@@ -1,0 +1,116 @@
+"""Shared state for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows (run pytest with ``-s`` or check the
+captured output).  The en-route figures 6-8 come from a single sweep and
+the hierarchical figures 9-10 from another; a session-scoped store makes
+sure each sweep runs exactly once even though three bench files consume
+it.  The file whose benchmark *computes* a sweep is the one that owns its
+timing (Figure 6 for en-route, Figure 9 for hierarchical); downstream
+figures benchmark their tabulation against the cached points.
+
+Scale: the ``small`` preset (12k requests, 500 objects) keeps the full
+harness under a few minutes while preserving every relative-performance
+shape; pass ``--cascade-scale=standard`` for the 60k-request version.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.experiments.presets import SMALL_SCALE, STANDARD_SCALE, build_architecture
+from repro.experiments.sweeps import SweepPoint, run_cache_size_sweep
+
+# Relative cache sizes used by all figure benches.  The paper sweeps
+# 0.1%..10%; at bench scale (500 objects) 0.1% caches hold less than one
+# average object, so the grid starts at 0.3%.
+BENCH_CACHE_SIZES = (0.003, 0.01, 0.03, 0.1)
+BENCH_SCHEMES = ("lru", "modulo", "lnc-r", "coordinated")
+BENCH_SEED = 1
+
+
+_FIGURE_REPORTS: list = []
+
+
+@pytest.fixture(autouse=True)
+def _collect_figure_tables(capsys, request):
+    """Re-emit each bench's printed tables in the terminal summary.
+
+    The tables ARE the reproduced figures; pytest's capture would hide
+    them unless ``-s`` is passed, so this fixture harvests the captured
+    stdout of every bench and :func:`pytest_terminal_summary` replays it
+    after the timing table.
+    """
+    yield
+    out = capsys.readouterr().out
+    if out.strip():
+        _FIGURE_REPORTS.append((request.node.name, out))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _FIGURE_REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name, out in _FIGURE_REPORTS:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write(out)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--cascade-scale",
+        action="store",
+        default="small",
+        choices=("small", "standard"),
+        help="workload scale for figure benchmarks",
+    )
+
+
+class _SweepStore:
+    """Lazily computed, session-shared sweep results."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, List[SweepPoint]] = {}
+        self.scale_name = "small"
+
+    def preset(self):
+        scale = SMALL_SCALE if self.scale_name == "small" else STANDARD_SCALE
+        return scale.with_seed(BENCH_SEED)
+
+    def ensure(self, key: str, factory: Callable[[], List[SweepPoint]]):
+        if key not in self._data:
+            self._data[key] = factory()
+        return self._data[key]
+
+    def sweep(self, architecture_name: str) -> List[SweepPoint]:
+        """The standard 4-scheme cache-size sweep for one architecture."""
+        return self.ensure(
+            architecture_name, lambda: self._run(architecture_name)
+        )
+
+    def _run(self, architecture_name: str) -> List[SweepPoint]:
+        preset = self.preset()
+        generator = preset.generator()
+        trace = generator.generate()
+        arch = build_architecture(
+            architecture_name, preset.workload, seed=BENCH_SEED
+        )
+        return run_cache_size_sweep(
+            arch,
+            trace,
+            generator.catalog,
+            scheme_names=BENCH_SCHEMES,
+            cache_sizes=BENCH_CACHE_SIZES,
+            scheme_params={"modulo": {"radius": 4}},
+        )
+
+
+_STORE = _SweepStore()
+
+
+@pytest.fixture(scope="session")
+def sweep_store(request) -> _SweepStore:
+    _STORE.scale_name = request.config.getoption("--cascade-scale")
+    return _STORE

@@ -1,0 +1,77 @@
+"""Extension E5: where should a fixed cache budget live in a hierarchy?
+
+The paper sizes every cache equally (section 3.2).  This ablation holds
+the *total* installed capacity fixed and redistributes it across tree
+levels -- uniform, leaf-heavy, and root-heavy -- under the coordinated
+scheme.
+
+Expected shape (dictated by the paper's delay model): link delay grows
+exponentially towards the root (``g**level * d`` with g = 5), so the
+root cache both aggregates every client's demand and shields the single
+most expensive link (root-to-origin, ``g**3 * d``).  A fixed budget is
+therefore best spent high up: root-heavy < uniform < leaf-heavy in
+latency.  Leaf-heavy splits the budget 27 ways across caches that each
+see 1/27 of the demand and only save cheap leaf links.
+"""
+
+from __future__ import annotations
+
+from repro.costs.model import LatencyCostModel
+from repro.experiments.presets import build_architecture
+from repro.sim.architecture import level_capacity_overrides
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import build_scheme
+
+CACHE_SIZE = 0.03
+
+DISTRIBUTIONS = {
+    "uniform": {},
+    "leaf-heavy": {0: 4.0},
+    "root-heavy": {3: 16.0},
+}
+
+
+def test_ablation_capacity_distribution(benchmark, sweep_store):
+    preset = sweep_store.preset()
+    generator = preset.generator()
+    trace = generator.generate()
+    catalog = generator.catalog
+    arch = build_architecture("hierarchical", preset.workload, seed=1)
+    cost = LatencyCostModel(arch.network, catalog.mean_size)
+    config = SimulationConfig(relative_cache_size=CACHE_SIZE)
+    base_capacity = config.capacity_bytes(catalog.total_bytes)
+    dentries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
+
+    def run_all():
+        results = {}
+        for label, multipliers in DISTRIBUTIONS.items():
+            overrides = level_capacity_overrides(
+                arch.network, base_capacity, multipliers
+            )
+            scheme = build_scheme(
+                "coordinated", cost, base_capacity, dentries,
+                capacity_overrides=overrides,
+            )
+            results[label] = SimulationEngine(arch, cost, scheme).run(trace)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("=" * 72)
+    print(
+        "Extension E5: capacity distribution across tree levels "
+        f"(fixed budget, base {CACHE_SIZE:.0%})"
+    )
+    print("=" * 72)
+    for label, result in results.items():
+        s = result.summary
+        print(
+            f"{label:<11} latency={s.mean_latency:.4f} "
+            f"byte_hit={s.byte_hit_ratio:.4f} hops={s.mean_hops:.3f}"
+        )
+
+    latencies = {k: r.summary.mean_latency for k, r in results.items()}
+    assert latencies["root-heavy"] < latencies["uniform"] < latencies["leaf-heavy"]
+    hits = {k: r.summary.byte_hit_ratio for k, r in results.items()}
+    assert hits["root-heavy"] > hits["uniform"] > hits["leaf-heavy"]

@@ -1,0 +1,66 @@
+"""Ablation A1: MODULO cache-radius sensitivity (paper sections 4.1-4.2).
+
+The paper reports that the best radius is configuration-dependent --
+radius 4 wins under its en-route topology while any radius > 1 is harmful
+under the hierarchical architecture (radius 1 degenerates to LRU).  This
+bench sweeps the radius on both architectures and asserts the
+architecture-dependent part of that claim: on the hierarchical tree,
+radius 1 strictly beats radius 4.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.presets import build_architecture
+from repro.experiments.sweeps import run_modulo_radius_sweep
+from repro.experiments.tables import format_sweep_table
+
+RADII = (1, 2, 3, 4, 5, 6)
+CACHE_SIZE = 0.03
+
+
+def _run(sweep_store, architecture_name):
+    preset = sweep_store.preset()
+    generator = preset.generator()
+    trace = generator.generate()
+    arch = build_architecture(architecture_name, preset.workload, seed=1)
+    return run_modulo_radius_sweep(
+        arch,
+        trace,
+        generator.catalog,
+        radii=RADII,
+        relative_cache_size=CACHE_SIZE,
+    )
+
+
+def test_ablation_modulo_radius(benchmark, sweep_store):
+    def run_both():
+        return {
+            name: _run(sweep_store, name)
+            for name in ("en-route", "hierarchical")
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print("=" * 72)
+    print(f"Ablation A1: MODULO cache radius (cache size {CACHE_SIZE:.0%})")
+    print("=" * 72)
+    for name, points in results.items():
+        print(format_sweep_table(points, ["latency", "byte_hit_ratio"], title=name))
+        print()
+
+    def latency_by_radius(points):
+        return {
+            int(p.scheme.split("r=")[1].rstrip(")")): p.summary.mean_latency
+            for p in points
+        }
+
+    hier = latency_by_radius(results["hierarchical"])
+    # Hierarchical: radius 1 (== LRU) must beat radius 4 (unused levels).
+    assert hier[1] < hier[4]
+    # And radius 4 is no better than any smaller radius.
+    assert hier[4] >= min(hier[r] for r in (1, 2, 3))
+
+    enroute = latency_by_radius(results["en-route"])
+    # En-route: some radius > 1 is at least competitive with radius 1
+    # (the paper found radius 4 best for its topology).
+    assert min(enroute[r] for r in RADII if r > 1) <= enroute[1] * 1.10

@@ -1,0 +1,59 @@
+"""Ablation A3: hierarchical delay-growth robustness (paper section 3.2).
+
+The paper tested "a wide range of d and g values and observed similar
+trends in the relative performance of different caching schemes".  This
+bench replays the hierarchical comparison for growth factors g in
+{2, 5, 10} and asserts the ranking (coordinated < LRU; MODULO(4) > LRU)
+holds at each.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.presets import build_architecture
+from repro.experiments.sweeps import run_cache_size_sweep
+from repro.experiments.tables import format_sweep_table
+from repro.topology.tree import TreeConfig
+
+GROWTH_FACTORS = (2.0, 5.0, 10.0)
+CACHE_SIZE = 0.03
+
+
+def test_ablation_tree_growth_factor(benchmark, sweep_store):
+    preset = sweep_store.preset()
+    generator = preset.generator()
+    trace = generator.generate()
+    catalog = generator.catalog
+
+    def run_all():
+        results = {}
+        for g in GROWTH_FACTORS:
+            arch = build_architecture(
+                "hierarchical",
+                preset.workload,
+                seed=1,
+                tree_config=TreeConfig(growth_factor=g),
+            )
+            results[g] = run_cache_size_sweep(
+                arch,
+                trace,
+                catalog,
+                scheme_names=("lru", "modulo", "coordinated"),
+                cache_sizes=(CACHE_SIZE,),
+                scheme_params={"modulo": {"radius": 4}},
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("=" * 72)
+    print(f"Ablation A3: tree delay growth factor g (cache {CACHE_SIZE:.0%})")
+    print("=" * 72)
+    for g, points in results.items():
+        print(format_sweep_table(points, ["latency", "byte_hit_ratio"],
+                                 title=f"g = {g}"))
+        print()
+
+    for g, points in results.items():
+        latency = {p.scheme.split("(")[0]: p.summary.mean_latency for p in points}
+        assert latency["coordinated"] < latency["lru"], (g, latency)
+        assert latency["modulo"] > latency["lru"], (g, latency)

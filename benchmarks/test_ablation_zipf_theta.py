@@ -1,0 +1,59 @@
+"""Ablation A4: Zipf-parameter robustness (paper section 3.1).
+
+The paper's workload argument rests on Zipf-like popularity; Breslau et
+al. measured theta between roughly 0.6 and 0.85 on proxy traces.  This
+bench re-runs the en-route comparison for theta in {0.6, 0.8, 1.0} and
+asserts the coordinated scheme's latency win is not an artifact of one
+particular skew.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.presets import build_architecture
+from repro.experiments.sweeps import run_cache_size_sweep
+from repro.experiments.tables import format_sweep_table
+
+THETAS = (0.6, 0.8, 1.0)
+CACHE_SIZE = 0.03
+
+
+def test_ablation_zipf_theta(benchmark, sweep_store):
+    def run_all():
+        results = {}
+        for theta in THETAS:
+            preset = sweep_store.preset().with_theta(theta)
+            generator = preset.generator()
+            trace = generator.generate()
+            arch = build_architecture("en-route", preset.workload, seed=1)
+            results[theta] = run_cache_size_sweep(
+                arch,
+                trace,
+                generator.catalog,
+                scheme_names=("lru", "lnc-r", "coordinated"),
+                cache_sizes=(CACHE_SIZE,),
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print("=" * 72)
+    print(f"Ablation A4: Zipf parameter theta (en-route, cache {CACHE_SIZE:.0%})")
+    print("=" * 72)
+    for theta, points in results.items():
+        print(format_sweep_table(points, ["latency", "byte_hit_ratio"],
+                                 title=f"theta = {theta}"))
+        print()
+
+    for theta, points in results.items():
+        latency = {p.scheme: p.summary.mean_latency for p in points}
+        hit = {p.scheme: p.summary.byte_hit_ratio for p in points}
+        assert latency["coordinated"] == min(latency.values()), (theta, latency)
+        assert hit["coordinated"] == max(hit.values()), (theta, hit)
+
+    # Stronger skew means more cacheable mass: the coordinated scheme's
+    # byte hit ratio should rise with theta.
+    hits = [
+        next(p for p in results[t] if p.scheme == "coordinated").summary.byte_hit_ratio
+        for t in THETAS
+    ]
+    assert hits[0] < hits[-1]

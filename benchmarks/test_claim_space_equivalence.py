@@ -1,0 +1,65 @@
+"""Claim C1: LRU needs 3-10x the cache space of coordinated caching.
+
+Paper section 4.1: "To achieve the same access latency, the schemes that
+do not optimize placement decisions (LRU and LNC-R) would require 3 to
+10 times the cache space of the coordinated scheme."  This bench inverts
+the Figure 6 sweep: for each coordinated point, find (by log-space
+interpolation of the LRU latency curve) the LRU cache size achieving the
+same latency, and report the space multiplier.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.tables import figure_series
+
+
+def _interpolate_size_for_latency(series, target_latency):
+    """Invert a (size, latency) curve: the size where latency == target.
+
+    Latency decreases with size; interpolates linearly in (log size,
+    latency).  Returns None when the target is outside the curve's range.
+    """
+    points = sorted(series)
+    for (s1, l1), (s2, l2) in zip(points, points[1:]):
+        lo, hi = min(l1, l2), max(l1, l2)
+        if lo <= target_latency <= hi and l1 != l2:
+            frac = (l1 - target_latency) / (l1 - l2)
+            log_size = math.log(s1) + frac * (math.log(s2) - math.log(s1))
+            return math.exp(log_size)
+    return None
+
+
+def test_claim_space_equivalence(benchmark, sweep_store):
+    points = benchmark.pedantic(
+        lambda: sweep_store.sweep("en-route"), rounds=1, iterations=1
+    )
+    latency = figure_series(points, "latency")
+    coordinated = dict(latency["coordinated"])
+    lru_series = latency[next(k for k in latency if k.startswith("lru"))]
+
+    print()
+    print("=" * 72)
+    print("Claim C1: cache space LRU needs to match coordinated latency")
+    print("(paper section 4.1: 3-10x)")
+    print("=" * 72)
+    multipliers = []
+    for size, coord_latency in sorted(coordinated.items()):
+        equivalent = _interpolate_size_for_latency(lru_series, coord_latency)
+        if equivalent is None:
+            print(f"coordinated @ {size:g}: LRU cannot match within the "
+                  "swept range (needs > 10% cache)")
+            continue
+        multiplier = equivalent / size
+        multipliers.append(multiplier)
+        print(
+            f"coordinated @ {size:g} (latency {coord_latency:.4f}) "
+            f"== LRU @ {equivalent:.4f}  ->  {multiplier:.1f}x space"
+        )
+
+    assert multipliers, "no coordinated latency reachable by LRU in range"
+    # The matched points need several times the space; at least one point
+    # in the 3-10x band, and none below 1.5x.
+    assert all(m > 1.5 for m in multipliers)
+    assert any(3.0 <= m for m in multipliers)

@@ -1,0 +1,68 @@
+"""Extension E1: the coordinated scheme vs a wider baseline family.
+
+Beyond the paper's three baselines, this bench adds LFU-everywhere,
+GreedyDual-Size-Popularity [8] and an admission-controlled LRU in the
+spirit of Aggarwal et al. [2] (all cited in the paper's related work,
+section 5) and checks the central claim survives stronger competition:
+per-cache replacement or admission optimizations alone -- however
+sophisticated -- do not match coordinated placement + replacement.
+
+One measured nuance worth knowing: at large caches LFU-everywhere can
+squeeze out a slightly *higher raw byte hit ratio* (it keeps popular
+objects at every node), yet still loses on access latency, hops and cache
+load -- the quantities the coordinated scheme actually optimizes.  The
+assertions encode that: strict wins on latency/hops/load, and byte hit
+ratio within a few percent of the best baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.presets import build_architecture
+from repro.experiments.sweeps import run_cache_size_sweep
+from repro.experiments.tables import format_sweep_table
+
+SCHEMES = ("lru", "lfu", "gds", "admission-lru", "lnc-r", "modulo", "coordinated")
+CACHE_SIZES = (0.01, 0.1)
+
+
+def test_extended_baseline_comparison(benchmark, sweep_store):
+    preset = sweep_store.preset()
+    generator = preset.generator()
+    trace = generator.generate()
+    arch = build_architecture("en-route", preset.workload, seed=1)
+
+    points = benchmark.pedantic(
+        lambda: run_cache_size_sweep(
+            arch,
+            trace,
+            generator.catalog,
+            scheme_names=SCHEMES,
+            cache_sizes=CACHE_SIZES,
+            scheme_params={"modulo": {"radius": 4}},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Extension E1: extended baseline family (en-route)")
+    print("=" * 72)
+    print(
+        format_sweep_table(
+            points, ["latency", "byte_hit_ratio", "hops", "cache_load"]
+        )
+    )
+
+    for size in CACHE_SIZES:
+        at_size = [p for p in points if p.relative_cache_size == size]
+        latency = {p.scheme: p.summary.mean_latency for p in at_size}
+        hit = {p.scheme: p.summary.byte_hit_ratio for p in at_size}
+        hops = {p.scheme: p.summary.mean_hops for p in at_size}
+        load = {p.scheme: p.summary.mean_cache_load for p in at_size}
+        assert latency["coordinated"] == min(latency.values()), (size, latency)
+        assert hops["coordinated"] == min(hops.values()), (size, hops)
+        assert load["coordinated"] == min(load.values()), (size, load)
+        # Raw byte hit ratio: within a few percent of the best baseline
+        # (cache-everywhere LFU-family policies can edge it out while
+        # losing every cost metric).
+        assert hit["coordinated"] >= max(hit.values()) * 0.95, (size, hit)

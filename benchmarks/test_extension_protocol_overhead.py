@@ -1,0 +1,62 @@
+"""Extension E6: the coordination protocol's communication overhead.
+
+Paper sections 2.3-2.4 argue that piggybacking (f, m, l) reports on
+requests and decisions + a cost accumulator on responses costs little:
+descriptors are "a few tens of bytes" versus kilobyte-scale objects, and
+no extra messages are exchanged.  This bench quantifies that on a full
+replay: protocol bytes as a fraction of object bytes moved through the
+network (byte x hops) must be well under 1%.
+"""
+
+from __future__ import annotations
+
+from repro.costs.model import LatencyCostModel
+from repro.experiments.presets import build_architecture
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import build_scheme
+
+CACHE_SIZE = 0.03
+
+
+def test_extension_protocol_overhead(benchmark, sweep_store):
+    preset = sweep_store.preset()
+    generator = preset.generator()
+    trace = generator.generate()
+    catalog = generator.catalog
+    arch = build_architecture("en-route", preset.workload, seed=1)
+    cost = LatencyCostModel(arch.network, catalog.mean_size)
+    config = SimulationConfig(relative_cache_size=CACHE_SIZE)
+    capacity = config.capacity_bytes(catalog.total_bytes)
+    dentries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
+
+    def run():
+        scheme = build_scheme("coordinated", cost, capacity, dentries)
+        result = SimulationEngine(
+            arch, cost, scheme, warmup_fraction=0.0
+        ).run(trace)
+        return scheme, result
+
+    scheme, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = scheme.protocol_stats
+    overhead = stats.overhead_bytes()
+    object_byte_hops = result.summary.mean_traffic_byte_hops * result.summary.requests
+    ratio = overhead / object_byte_hops
+
+    print()
+    print("=" * 72)
+    print("Extension E6: coordination protocol overhead (en-route, full trace)")
+    print("=" * 72)
+    print(f"requests                  {stats.requests}")
+    print(f"piggybacked reports       {stats.reports}")
+    print(f"no-descriptor tags        {stats.no_descriptor_tags}")
+    print(f"placement decisions       {stats.decisions}")
+    print(f"responses w/ accumulator  {stats.responses_with_accumulator}")
+    print(f"protocol bytes            {overhead}")
+    print(f"object byte-hops          {object_byte_hops:.3e}")
+    print(f"overhead ratio            {ratio:.5%}")
+
+    assert stats.requests == result.summary.requests
+    assert ratio < 0.01  # well under 1%, as the paper argues
+    # Reports per request stay bounded by the path length.
+    assert stats.reports / stats.requests < 13

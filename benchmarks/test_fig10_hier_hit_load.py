@@ -1,0 +1,41 @@
+"""Figure 10: byte hit ratio and cache load vs cache size (hierarchical).
+
+Paper shapes asserted:
+
+* coordinated achieves the highest byte hit ratio (Fig. 10a);
+* MODULO(r=4) shows a much lower byte hit ratio than LRU (unused cache
+  levels);
+* coordinated generally has the lowest total read/write load (Fig. 10b).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import figure_series, format_sweep_table
+
+
+def test_fig10_hier_byte_hit_ratio_and_cache_load(benchmark, sweep_store):
+    points = sweep_store.sweep("hierarchical")
+    tables = benchmark.pedantic(
+        lambda: format_sweep_table(
+            points, ["byte_hit_ratio", "cache_load", "read_load", "write_load"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Figure 10: Byte Hit Ratio and Cache Load vs Cache Size (Hierarchical)")
+    print("=" * 72)
+    print(tables)
+
+    hit = figure_series(points, "byte_hit_ratio")
+    schemes = {name.split("(")[0]: name for name in hit}
+    for size_index in range(len(hit["coordinated"])):
+        row = {s: hit[f][size_index][1] for s, f in schemes.items()}
+        assert row["coordinated"] == max(row.values()), (size_index, row)
+        assert row["modulo"] < row["lru"], (size_index, row)
+
+    load = figure_series(points, "cache_load")
+    for size_index in range(len(load["coordinated"])):
+        row = {s: load[f][size_index][1] for s, f in schemes.items()}
+        assert row["coordinated"] == min(row.values()), (size_index, row)

@@ -1,0 +1,50 @@
+"""Figure 6: access latency and response ratio vs cache size (en-route).
+
+This bench owns the en-route sweep (Figures 7 and 8 reuse its cached
+points).  Paper shapes asserted:
+
+* the coordinated scheme has the lowest latency and response ratio at
+  every cache size (Figs. 6a/6b);
+* LNC-R performs about like (or worse than) LRU;
+* all schemes improve as the cache grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.charts import render_figure
+from repro.experiments.tables import figure_series, format_sweep_table
+
+
+def test_fig6_enroute_latency_and_response_ratio(benchmark, sweep_store):
+    points = benchmark.pedantic(
+        lambda: sweep_store.sweep("en-route"), rounds=1, iterations=1
+    )
+    print()
+    print("=" * 72)
+    print("Figure 6: Access Latency and Response Ratio vs Cache Size (En-Route)")
+    print("=" * 72)
+    print(format_sweep_table(points, ["latency", "response_ratio"]))
+    print()
+    print(render_figure(points, "latency", title="Figure 6(a), rendered:"))
+
+    latency = figure_series(points, "latency")
+    schemes = {name.split("(")[0]: name for name in latency}
+
+    for size_index in range(len(latency["coordinated"])):
+        row = {
+            short: latency[full][size_index][1]
+            for short, full in schemes.items()
+        }
+        assert row["coordinated"] == min(row.values()), (size_index, row)
+
+    response = figure_series(points, "response_ratio")
+    for size_index in range(len(response["coordinated"])):
+        row = {
+            short: response[full][size_index][1]
+            for short, full in schemes.items()
+        }
+        assert row["coordinated"] == min(row.values()), (size_index, row)
+
+    # Latency decreases (weakly) with cache size for every scheme.
+    for series in latency.values():
+        assert series[0][1] >= series[-1][1]

@@ -1,0 +1,44 @@
+"""Figure 7: byte hit ratio and network traffic vs cache size (en-route).
+
+Reuses the en-route sweep (computed by the Figure 6 bench when run
+together; computed here when run alone).  Paper shapes asserted:
+
+* coordinated achieves the highest byte hit ratio, with the relative
+  advantage largest at small cache sizes (Fig. 7a);
+* coordinated produces the lowest network traffic in byte x hops
+  (Fig. 7b).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import figure_series, format_sweep_table
+
+
+def test_fig7_enroute_byte_hit_ratio_and_traffic(benchmark, sweep_store):
+    points = sweep_store.sweep("en-route")
+    tables = benchmark.pedantic(
+        lambda: format_sweep_table(points, ["byte_hit_ratio", "traffic"]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Figure 7: Byte Hit Ratio and Network Traffic vs Cache Size (En-Route)")
+    print("=" * 72)
+    print(tables)
+
+    hit = figure_series(points, "byte_hit_ratio")
+    schemes = {name.split("(")[0]: name for name in hit}
+    for size_index in range(len(hit["coordinated"])):
+        row = {s: hit[f][size_index][1] for s, f in schemes.items()}
+        assert row["coordinated"] == max(row.values()), (size_index, row)
+
+    # Relative byte-hit advantage over LRU shrinks as the cache grows.
+    first_gain = hit["coordinated"][0][1] / max(hit[schemes["lru"]][0][1], 1e-9)
+    last_gain = hit["coordinated"][-1][1] / max(hit[schemes["lru"]][-1][1], 1e-9)
+    assert first_gain >= last_gain
+
+    traffic = figure_series(points, "traffic")
+    for size_index in range(len(traffic["coordinated"])):
+        row = {s: traffic[f][size_index][1] for s, f in schemes.items()}
+        assert row["coordinated"] == min(row.values()), (size_index, row)

@@ -1,0 +1,49 @@
+"""Figure 8: hops traveled and cache read/write load vs cache size (en-route).
+
+Paper shapes asserted:
+
+* requests travel the fewest hops under coordinated caching (Fig. 8a);
+* coordinated has the lowest aggregate read/write load, with LRU and
+  LNC-R several times higher (the paper reports 3-24x) because they write
+  at every node on every delivery path (Fig. 8b);
+* reads dominate coordinated's load (the paper reports 75-80% read share).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import figure_series, format_sweep_table
+
+
+def test_fig8_enroute_hops_and_cache_load(benchmark, sweep_store):
+    points = sweep_store.sweep("en-route")
+    tables = benchmark.pedantic(
+        lambda: format_sweep_table(
+            points, ["hops", "cache_load", "read_load", "write_load"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Figure 8: Hops Traveled and Cache Load vs Cache Size (En-Route)")
+    print("=" * 72)
+    print(tables)
+
+    hops = figure_series(points, "hops")
+    schemes = {name.split("(")[0]: name for name in hops}
+    for size_index in range(len(hops["coordinated"])):
+        row = {s: hops[f][size_index][1] for s, f in schemes.items()}
+        assert row["coordinated"] == min(row.values()), (size_index, row)
+
+    load = figure_series(points, "cache_load")
+    for size_index in range(len(load["coordinated"])):
+        row = {s: load[f][size_index][1] for s, f in schemes.items()}
+        assert row["coordinated"] == min(row.values()), (size_index, row)
+        # LRU load is several times coordinated's.
+        assert row["lru"] / row["coordinated"] > 3.0, (size_index, row)
+
+    # Read load dominates coordinated caching's total load.
+    reads = figure_series(points, "read_load")["coordinated"]
+    writes = figure_series(points, "write_load")["coordinated"]
+    for (_, read), (_, write) in zip(reads, writes):
+        assert read > write

@@ -1,0 +1,42 @@
+"""Figure 9: access latency and response ratio vs cache size (hierarchical).
+
+This bench owns the hierarchical sweep (Figure 10 reuses its points).
+Paper shapes asserted:
+
+* coordinated has the lowest latency and response ratio everywhere;
+* MODULO with radius 4 performs much worse than LRU under the
+  hierarchical architecture (levels 1-3 go unused, section 4.2) --
+  the opposite of the en-route ranking.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.charts import render_figure
+from repro.experiments.tables import figure_series, format_sweep_table
+
+
+def test_fig9_hier_latency_and_response_ratio(benchmark, sweep_store):
+    points = benchmark.pedantic(
+        lambda: sweep_store.sweep("hierarchical"), rounds=1, iterations=1
+    )
+    print()
+    print("=" * 72)
+    print("Figure 9: Access Latency and Response Ratio vs Cache Size (Hierarchical)")
+    print("=" * 72)
+    print(format_sweep_table(points, ["latency", "response_ratio"]))
+    print()
+    print(render_figure(points, "latency", title="Figure 9(a), rendered:"))
+
+    latency = figure_series(points, "latency")
+    schemes = {name.split("(")[0]: name for name in latency}
+
+    for size_index in range(len(latency["coordinated"])):
+        row = {s: latency[f][size_index][1] for s, f in schemes.items()}
+        assert row["coordinated"] == min(row.values()), (size_index, row)
+        # The hierarchical blind spot: MODULO(r=4) trails LRU.
+        assert row["modulo"] > row["lru"], (size_index, row)
+
+    response = figure_series(points, "response_ratio")
+    for size_index in range(len(response["coordinated"])):
+        row = {s: response[f][size_index][1] for s, f in schemes.items()}
+        assert row["coordinated"] == min(row.values()), (size_index, row)

@@ -1,0 +1,59 @@
+"""Micro-benchmark M2: NCL bookkeeping structures (paper section 2.4).
+
+Compares the default bisect-list NCL cache against the paper's suggested
+heap organization, end to end: the same coordinated run executed with
+each structure must produce *identical metrics* (they are policy-
+equivalent by construction and by property test) while differing only in
+constant factors.  The printed timings quantify the engineering trade.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.costs.model import LatencyCostModel
+from repro.experiments.presets import build_architecture
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import build_scheme
+
+CACHE_SIZE = 0.03
+
+
+def test_micro_ncl_structures(benchmark, sweep_store):
+    preset = sweep_store.preset()
+    generator = preset.generator()
+    trace = generator.generate()
+    catalog = generator.catalog
+    arch = build_architecture("en-route", preset.workload, seed=1)
+    cost = LatencyCostModel(arch.network, catalog.mean_size)
+    config = SimulationConfig(relative_cache_size=CACHE_SIZE)
+    capacity = config.capacity_bytes(catalog.total_bytes)
+    dentries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
+
+    def run_both():
+        results = {}
+        for structure in ("list", "heap"):
+            scheme = build_scheme(
+                "coordinated", cost, capacity, dentries, ncl_structure=structure
+            )
+            start = time.perf_counter()
+            result = SimulationEngine(arch, cost, scheme).run(trace)
+            results[structure] = (result.summary, time.perf_counter() - start)
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print("=" * 72)
+    print("Micro M2: NCL structure (coordinated scheme, full replay)")
+    print("=" * 72)
+    for structure, (summary, elapsed) in results.items():
+        print(
+            f"{structure:<5} replay={elapsed:.2f}s "
+            f"latency={summary.mean_latency:.5f} "
+            f"byte_hit={summary.byte_hit_ratio:.5f}"
+        )
+
+    list_summary, _ = results["list"]
+    heap_summary, _ = results["heap"]
+    assert list_summary == heap_summary  # policy-identical results

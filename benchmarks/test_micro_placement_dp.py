@@ -1,0 +1,53 @@
+"""Micro-benchmark: the k-optimization dynamic program itself.
+
+Paper section 2.4 argues the DP's O(k^2) cost is negligible because k (the
+number of candidate caches on a path) stays small.  This bench measures
+the solver at the paper's realistic path length (the en-route topology
+averages ~12 hops) and checks it stays in the microsecond range, and that
+cost grows roughly quadratically (a 4x n gives <= ~30x time, allowing
+constant overheads).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.placement import PlacementProblem, solve_placement
+
+
+def _problem(n: int, seed: int = 0) -> PlacementProblem:
+    rng = np.random.default_rng(seed)
+    freqs = np.sort(rng.random(n))[::-1] * 10
+    penalties = rng.random(n) * 2
+    losses = rng.random(n)
+    return PlacementProblem(
+        tuple(freqs.tolist()), tuple(penalties.tolist()), tuple(losses.tolist())
+    )
+
+
+def test_micro_dp_at_path_length_12(benchmark):
+    problem = _problem(12)
+    solution = benchmark(solve_placement, problem)
+    assert solution.gain >= 0.0
+    # Sub-100us per decision leaves the DP negligible per request.
+    assert benchmark.stats["mean"] < 1e-4
+
+
+def test_micro_dp_quadratic_scaling(benchmark):
+    def measure(n: int) -> float:
+        problem = _problem(n)
+        solve_placement(problem)  # warm-up
+        start = time.perf_counter()
+        rounds = 200
+        for _ in range(rounds):
+            solve_placement(problem)
+        return (time.perf_counter() - start) / rounds
+
+    t12, t48 = benchmark.pedantic(
+        lambda: (measure(12), measure(48)), rounds=1, iterations=1
+    )
+    print(f"\nDP solve: n=12 -> {t12 * 1e6:.1f} us, n=48 -> {t48 * 1e6:.1f} us")
+    # O(n^2): 4x n => ~16x work; allow generous slack for noise.
+    assert t48 / t12 < 40

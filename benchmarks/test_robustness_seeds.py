@@ -1,0 +1,47 @@
+"""Robustness R1: the headline comparison across seeds.
+
+The paper replayed five daily traces and many random topologies and
+reports the same relative trends everywhere (sections 3.1-3.2, 4).  This
+bench re-runs the en-route comparison over several seeds -- each seed
+gives a fresh trace, a fresh Tiers topology and fresh attachments -- and
+asserts the coordinated scheme wins on latency in every single one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.robustness import run_robustness
+
+SEEDS = (1, 2, 3, 4, 5)
+CACHE_SIZE = 0.03
+
+
+def test_robustness_across_seeds(benchmark, sweep_store):
+    preset = sweep_store.preset()
+
+    result = benchmark.pedantic(
+        lambda: run_robustness(
+            preset,
+            "en-route",
+            scheme_names=("lru", "lnc-r", "coordinated"),
+            seeds=SEEDS,
+            relative_cache_size=CACHE_SIZE,
+            scheme_params={"modulo": {"radius": 4}},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print(f"Robustness R1: latency across {len(SEEDS)} seeds (cache {CACHE_SIZE:.0%})")
+    print("=" * 72)
+    print(result.format_table())
+    print(
+        f"coordinated beats lru in {result.wins('coordinated', 'lru')}/"
+        f"{result.num_seeds} seeds, "
+        f"lnc-r in {result.wins('coordinated', 'lnc-r')}/{result.num_seeds}"
+    )
+
+    assert result.wins("coordinated", "lru") == len(SEEDS)
+    assert result.wins("coordinated", "lnc-r") == len(SEEDS)
+    # Mean improvement over LRU is substantial, not marginal.
+    assert result.mean("coordinated") < 0.9 * result.mean("lru")

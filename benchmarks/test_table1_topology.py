@@ -1,0 +1,39 @@
+"""Table 1: system parameters for the en-route architecture.
+
+Regenerates the topology-characteristics table from our Tiers-like
+generator and checks it against the paper's reported values (100 nodes,
+50 WAN / 50 MAN, 173 links, WAN:MAN mean delay about 8:1, ~12-hop paths).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.presets import build_architecture
+from repro.experiments.tables import format_table1, topology_characteristics
+from repro.workload.generator import WorkloadConfig
+
+_WORKLOAD = WorkloadConfig(
+    num_objects=100, num_servers=50, num_clients=100, num_requests=10
+)
+
+
+def _build():
+    arch = build_architecture("en-route", _WORKLOAD, seed=0)
+    return topology_characteristics(arch)
+
+
+def test_table1_system_parameters(benchmark):
+    characteristics = benchmark.pedantic(_build, rounds=3, iterations=1)
+    print()
+    print("=" * 60)
+    print("Table 1: System Parameters for En-Route Architecture")
+    print("(paper: 100 nodes, 50 WAN, 50 MAN, 173 links,")
+    print(" 0.146 s WAN / 0.018 s MAN delays, ~12-hop paths)")
+    print("=" * 60)
+    print(format_table1(characteristics))
+
+    assert characteristics["total_nodes"] == 100
+    assert characteristics["wan_nodes"] == 50
+    assert characteristics["man_nodes"] == 50
+    assert characteristics["links"] == 173
+    assert abs(characteristics["avg_wan_link_delay"] - 0.146) < 0.015
+    assert 4 <= characteristics["avg_path_hops"] <= 18

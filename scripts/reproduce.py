@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Drives the full evaluation -- Table 1, the Figure 6-8 en-route sweep, the
+Figure 9-10 hierarchical sweep and the MODULO radius ablation -- and
+writes, into an output directory:
+
+* ``table1.txt``, ``fig6_8_enroute.txt``, ``fig9_10_hierarchical.txt``,
+  ``modulo_radius.txt`` -- the formatted tables;
+* ``enroute_points.json`` / ``hierarchical_points.json`` -- raw sweep
+  points for later ``cascade-repro compare`` regression checks;
+* ``charts.txt`` -- ASCII renderings of the headline figure panels.
+
+Usage:
+    python scripts/reproduce.py --out results [--scale standard]
+        [--seed 1] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.presets import (
+    DEFAULT_CACHE_SIZES,
+    SMALL_SCALE,
+    STANDARD_SCALE,
+    build_architecture,
+)
+from repro.experiments.charts import render_figure
+from repro.experiments.results_io import save_points_json
+from repro.experiments.sweeps import run_cache_size_sweep, run_modulo_radius_sweep
+from repro.experiments.tables import (
+    format_sweep_table,
+    format_table1,
+    topology_characteristics,
+)
+
+_SCALES = {"small": SMALL_SCALE, "standard": STANDARD_SCALE}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    preset = _SCALES[args.scale].with_seed(args.seed)
+    generator = preset.generator()
+    print(f"generating {preset.workload.num_requests}-request trace "
+          f"({args.scale} scale, seed {args.seed}) ...")
+    trace = generator.generate()
+    catalog = generator.catalog
+
+    # Table 1.
+    enroute = build_architecture("en-route", preset.workload, seed=args.seed)
+    table1 = (
+        "Table 1: System Parameters for En-Route Architecture\n"
+        + format_table1(topology_characteristics(enroute))
+    )
+    (out / "table1.txt").write_text(table1 + "\n")
+    print(table1)
+
+    charts: list[str] = []
+    for arch_name, filename in (
+        ("en-route", "fig6_8_enroute"),
+        ("hierarchical", "fig9_10_hierarchical"),
+    ):
+        architecture = (
+            enroute
+            if arch_name == "en-route"
+            else build_architecture(arch_name, preset.workload, seed=args.seed)
+        )
+        start = time.time()
+        print(f"\nrunning {arch_name} sweep ...", flush=True)
+        points = run_cache_size_sweep(
+            architecture,
+            trace,
+            catalog,
+            scheme_names=("lru", "modulo", "lnc-r", "coordinated"),
+            cache_sizes=DEFAULT_CACHE_SIZES,
+            scheme_params={"modulo": {"radius": 4}},
+            workers=args.workers,
+        )
+        elapsed = time.time() - start
+        text = format_sweep_table(
+            points,
+            [
+                "latency",
+                "response_ratio",
+                "byte_hit_ratio",
+                "traffic",
+                "hops",
+                "cache_load",
+            ],
+            title=f"{arch_name} sweep ({elapsed:.0f}s)",
+        )
+        (out / f"{filename}.txt").write_text(text + "\n")
+        save_points_json(points, out / f"{arch_name.replace('-', '')}_points.json")
+        print(text)
+        charts.append(render_figure(
+            points, "latency", title=f"{arch_name}: mean latency vs cache size"
+        ))
+
+    (out / "charts.txt").write_text("\n\n".join(charts) + "\n")
+
+    radius_texts = []
+    for arch_name in ("en-route", "hierarchical"):
+        architecture = build_architecture(
+            arch_name, preset.workload, seed=args.seed
+        )
+        points = run_modulo_radius_sweep(
+            architecture, trace, catalog, radii=(1, 2, 3, 4, 5, 6),
+            relative_cache_size=0.03,
+        )
+        radius_texts.append(format_sweep_table(
+            points,
+            ["latency", "byte_hit_ratio", "cache_load"],
+            title=f"MODULO radius ablation, {arch_name}, 3% cache",
+        ))
+    (out / "modulo_radius.txt").write_text("\n\n".join(radius_texts) + "\n")
+    print("\n" + "\n\n".join(radius_texts))
+
+    print(f"\nall artifacts written to {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

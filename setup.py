@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where `wheel` is absent."""
+
+from setuptools import setup
+
+setup()

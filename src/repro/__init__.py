@@ -1,0 +1,135 @@
+"""cascade-repro: coordinated management of cascaded caches.
+
+A reproduction of Tang & Chanson, *Coordinated Management of Cascaded
+Caches for Efficient Content Distribution* (ICDE 2003): the k-optimization
+dynamic program for object placement, the coordinated placement +
+replacement scheme, the LRU / MODULO / LNC-R baselines, and a trace-driven
+simulator for en-route and hierarchical caching architectures.
+
+Quickstart::
+
+    from repro import (
+        STANDARD_SCALE, SimulationConfig, build_architecture, run_single,
+    )
+
+    preset = STANDARD_SCALE
+    generator = preset.generator()
+    trace = generator.generate()
+    arch = build_architecture("en-route", preset.workload, seed=1)
+    point = run_single(
+        arch, trace, generator.catalog, "coordinated",
+        SimulationConfig(relative_cache_size=0.01),
+    )
+    print(point.summary.mean_latency)
+"""
+
+from repro.analysis.che import expected_byte_hit_ratio, lru_hit_ratios
+from repro.analysis.static_plan import greedy_static_plan
+from repro.analysis.tree_placement import (
+    TreePlacementProblem,
+    optimal_tree_placement,
+)
+from repro.core.coordinated import CoordinatedScheme
+from repro.core.placement import (
+    PlacementProblem,
+    PlacementSolution,
+    brute_force_placement,
+    enforce_monotone_frequencies,
+    solve_placement,
+)
+from repro.costs.model import LatencyCostModel
+from repro.experiments.presets import (
+    DEFAULT_CACHE_SIZES,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    STANDARD_SCALE,
+    ExperimentPreset,
+    build_architecture,
+)
+from repro.experiments.sweeps import (
+    SweepPoint,
+    run_cache_size_sweep,
+    run_modulo_radius_sweep,
+    run_single,
+)
+from repro.experiments.charts import render_ascii_chart, render_figure
+from repro.experiments.tables import (
+    figure_series,
+    format_sweep_table,
+    format_table1,
+    topology_characteristics,
+)
+from repro.experiments.compare import compare_points
+from repro.experiments.results_io import load_points_json, save_points_json
+from repro.experiments.robustness import RobustnessResult, run_robustness
+from repro.metrics.collector import MetricsSummary
+from repro.metrics.replication import (
+    copies_per_object,
+    density_by_popularity,
+    occupancy_by_level,
+)
+from repro.schemes import LNCRScheme, LRUEverywhereScheme, ModuloScheme
+from repro.sim.architecture import (
+    Architecture,
+    build_enroute_architecture,
+    build_hierarchical_architecture,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.sim.factory import SCHEME_NAMES, build_scheme
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Architecture",
+    "BoeingLikeTraceGenerator",
+    "CoordinatedScheme",
+    "DEFAULT_CACHE_SIZES",
+    "ExperimentPreset",
+    "LNCRScheme",
+    "LRUEverywhereScheme",
+    "LatencyCostModel",
+    "MetricsSummary",
+    "ModuloScheme",
+    "PAPER_SCALE",
+    "PlacementProblem",
+    "PlacementSolution",
+    "SCHEME_NAMES",
+    "SMALL_SCALE",
+    "STANDARD_SCALE",
+    "SimulationConfig",
+    "SimulationEngine",
+    "RobustnessResult",
+    "SimulationResult",
+    "SweepPoint",
+    "TreePlacementProblem",
+    "WorkloadConfig",
+    "brute_force_placement",
+    "build_architecture",
+    "compare_points",
+    "copies_per_object",
+    "density_by_popularity",
+    "expected_byte_hit_ratio",
+    "greedy_static_plan",
+    "load_points_json",
+    "lru_hit_ratios",
+    "occupancy_by_level",
+    "optimal_tree_placement",
+    "run_robustness",
+    "save_points_json",
+    "build_enroute_architecture",
+    "build_hierarchical_architecture",
+    "build_scheme",
+    "enforce_monotone_frequencies",
+    "figure_series",
+    "format_sweep_table",
+    "format_table1",
+    "render_ascii_chart",
+    "render_figure",
+    "run_cache_size_sweep",
+    "run_modulo_radius_sweep",
+    "run_single",
+    "solve_placement",
+    "topology_characteristics",
+]

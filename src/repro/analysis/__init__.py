@@ -1,0 +1,43 @@
+"""Analytical companions to the simulator.
+
+* :mod:`repro.analysis.tree_placement` -- optimal *static* placement of
+  one object over an entire distribution tree (the generalization of the
+  paper's per-path DP; cf. Li et al. [11] in the paper's references).
+  Useful as an offline upper bound for what coordinated per-path
+  decisions can achieve.
+* :mod:`repro.analysis.che` -- Che's approximation for LRU cache hit
+  ratios under independent-reference (Zipf) demand; used to sanity-check
+  the simulator's LRU substrate against theory.
+"""
+
+from repro.analysis.che import (
+    cascade_byte_hit_ratio,
+    cascade_lru_hit_ratios,
+    characteristic_time,
+    expected_byte_hit_ratio,
+    lru_hit_ratios,
+)
+from repro.analysis.static_plan import (
+    greedy_static_plan,
+    greedy_static_plan_multi_tree,
+    node_demand_rates,
+)
+from repro.analysis.tree_placement import (
+    TreePlacementProblem,
+    brute_force_tree_placement,
+    optimal_tree_placement,
+)
+
+__all__ = [
+    "TreePlacementProblem",
+    "brute_force_tree_placement",
+    "cascade_byte_hit_ratio",
+    "cascade_lru_hit_ratios",
+    "characteristic_time",
+    "expected_byte_hit_ratio",
+    "greedy_static_plan",
+    "greedy_static_plan_multi_tree",
+    "lru_hit_ratios",
+    "node_demand_rates",
+    "optimal_tree_placement",
+]

@@ -1,0 +1,174 @@
+"""Offline (oracle) static placement planning over distribution trees.
+
+Combines the per-object tree DP of :mod:`repro.analysis.tree_placement`
+with a greedy capacity allocator: objects are processed in descending
+traffic order; each one is placed optimally on its origin's distribution
+tree *given the space still available*, and the space it claims is
+subtracted.  The result is a static plan evaluable with
+:class:`repro.schemes.static.StaticPlacementScheme` -- an informed upper
+bound to compare the online coordinated scheme against (the oracle knows
+the true request rates; the online scheme must estimate them).
+
+:func:`greedy_static_plan` handles the single-tree (hierarchical) case;
+:func:`greedy_static_plan_multi_tree` generalizes to en-route
+architectures where every origin node roots its own shortest-path tree
+and node capacity is shared across all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.tree_placement import TreePlacementProblem, optimal_tree_placement
+from repro.sim.architecture import Architecture
+from repro.workload.catalog import ObjectCatalog
+
+# Loss value used to bar full nodes from a tree-placement problem.  Any
+# value above max_demand * max_path_cost works; this is comfortably so.
+_FORBIDDEN = 1e18
+
+
+def node_demand_rates(
+    architecture: Architecture,
+    object_rates: Sequence[float],
+    total_clients: int,
+) -> Dict[int, np.ndarray]:
+    """Per-node demand rates: object rate split over client attachments.
+
+    ``object_rates[o]`` is object ``o``'s aggregate request rate; each
+    client contributes an equal share at its attachment node.
+    """
+    if total_clients < 1:
+        raise ValueError("need at least one client")
+    rates = np.asarray(object_rates, dtype=np.float64)
+    clients_per_node: Dict[int, int] = {}
+    for node in architecture.client_nodes.values():
+        clients_per_node[node] = clients_per_node.get(node, 0) + 1
+    return {
+        node: rates * (count / total_clients)
+        for node, count in clients_per_node.items()
+    }
+
+
+def _tree_skeleton(
+    architecture: Architecture, root: int
+) -> tuple[List[int], List[int]]:
+    """(nodes, parent indices) for the distribution tree rooted at ``root``."""
+    tree = architecture.routing.tree(root)
+    network = architecture.network
+    nodes = [v for v in network.nodes() if tree.is_reachable(v)]
+    index_of = {v: i for i, v in enumerate(nodes)}
+    parents = []
+    for v in nodes:
+        parent = tree.parent(v)
+        parents.append(-1 if parent == -1 else index_of[parent])
+    return nodes, parents
+
+
+def _plan(
+    architecture: Architecture,
+    catalog: ObjectCatalog,
+    object_rates: Sequence[float],
+    capacity_bytes: int,
+    max_objects: int | None,
+) -> Dict[int, List[int]]:
+    """Greedy traffic-ordered planning over per-object distribution trees.
+
+    Node capacity is shared across all trees; an object's own origin node
+    is its tree's root and therefore never stores a copy of it (but may
+    store other servers' objects).
+    """
+    network = architecture.network
+    rates = np.asarray(object_rates, dtype=np.float64)
+    if len(rates) != catalog.num_objects:
+        raise ValueError("object_rates must cover the whole catalog")
+    demand_by_node = node_demand_rates(
+        architecture, rates, total_clients=len(architecture.client_nodes)
+    )
+    mean_size = catalog.mean_size
+    skeletons: Dict[int, tuple[List[int], List[int]]] = {}
+    remaining: Dict[int, int] = {}
+    plan: Dict[int, List[int]] = {}
+
+    traffic_order = np.argsort(-(rates * catalog.sizes))
+    if max_objects is not None:
+        traffic_order = traffic_order[:max_objects]
+
+    for object_id in traffic_order:
+        object_id = int(object_id)
+        size = catalog.size(object_id)
+        if rates[object_id] <= 0:
+            continue
+        root = architecture.server_nodes[catalog.server(object_id)]
+        if root not in skeletons:
+            skeletons[root] = _tree_skeleton(architecture, root)
+        nodes, parents = skeletons[root]
+        for v in nodes:
+            remaining.setdefault(v, capacity_bytes)
+        link_costs = tuple(
+            0.0
+            if parents[i] == -1
+            else network.link_delay(v, nodes[parents[i]]) * (size / mean_size)
+            for i, v in enumerate(nodes)
+        )
+        demands = tuple(
+            float(demand_by_node[v][object_id]) if v in demand_by_node else 0.0
+            for v in nodes
+        )
+        losses = tuple(
+            0.0 if v == root or remaining[v] >= size else _FORBIDDEN
+            for v in nodes
+        )
+        problem = TreePlacementProblem(
+            parents=tuple(parents),
+            link_costs=link_costs,
+            demands=demands,
+            losses=losses,
+        )
+        solution = optimal_tree_placement(problem)
+        for i in solution.nodes:
+            node = nodes[i]
+            if remaining[node] < size:  # defensive; losses should bar this
+                continue
+            remaining[node] -= size
+            plan.setdefault(node, []).append(object_id)
+    return plan
+
+
+def greedy_static_plan(
+    architecture: Architecture,
+    catalog: ObjectCatalog,
+    object_rates: Sequence[float],
+    capacity_bytes: int,
+    max_objects: int | None = None,
+) -> Dict[int, List[int]]:
+    """Plan a static placement on a single-tree architecture.
+
+    Returns ``{node: [object ids]}``.  Requires all servers attached to
+    one node (the paper's hierarchical setting); use
+    :func:`greedy_static_plan_multi_tree` otherwise.
+    """
+    roots = set(architecture.server_nodes.values())
+    if len(roots) != 1:
+        raise ValueError(
+            "greedy_static_plan supports single-tree architectures only"
+        )
+    return _plan(architecture, catalog, object_rates, capacity_bytes, max_objects)
+
+
+def greedy_static_plan_multi_tree(
+    architecture: Architecture,
+    catalog: ObjectCatalog,
+    object_rates: Sequence[float],
+    capacity_bytes: int,
+    max_objects: int | None = None,
+) -> Dict[int, List[int]]:
+    """Plan a static placement across per-origin distribution trees.
+
+    The en-route generalization: every origin node roots its own
+    shortest-path tree, objects are planned in global traffic order, and
+    node capacity is shared across all trees.
+    """
+    return _plan(architecture, catalog, object_rates, capacity_bytes, max_objects)

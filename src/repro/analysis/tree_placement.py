@@ -1,0 +1,207 @@
+"""Optimal static placement of one object over a distribution tree.
+
+The paper optimizes placement along the *path* a response travels; the
+natural offline companion (its reference [11], Li et al., studies the
+un-capacitated variant) optimizes over the whole distribution tree at
+once: given the local demand rate ``f_v`` each node observes from its own
+clients, the cost ``l_v`` of making room at ``v``, and per-link transfer
+costs, choose the set of caches minimizing
+
+    total_cost(S) = sum_v f_v * dist(v, nearest ancestor-or-self of v in
+                    S + {root}) + sum_{v in S} l_v
+
+where the root always holds the object (it is the origin).  Equivalently
+we *maximize* the saving relative to caching nowhere.
+
+The dynamic program processes the tree bottom-up with state
+``(node, nearest cached ancestor)``: ``gain(v, a)`` is the best net
+saving in ``v``'s subtree when the closest copy above ``v`` sits at
+ancestor ``a``.  With ``h`` the tree height, there are ``O(n h)`` states
+and each edge is scanned once per ancestor, giving ``O(n h)`` time --
+comfortably polynomial where brute force is ``O(2^n)``.
+
+Consistency with the paper's path DP is cross-checked in the tests: on a
+chain, this solver and :func:`repro.core.placement.solve_placement`
+produce the same value (local demands ``f_v - f_{v+1}`` correspond to the
+paper's cumulative path frequencies ``f_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TreePlacementProblem:
+    """One object's placement problem over a rooted tree.
+
+    ``parents[v]`` is the parent of node ``v`` (the root has parent
+    ``-1``); ``link_costs[v]`` is the cost of shipping the object over the
+    link from ``v`` to its parent (ignored for the root); ``demands[v]``
+    is the local request rate node ``v`` observes from its own clients;
+    ``losses[v]`` is the cost loss of making room at ``v`` (the root's
+    entries are ignored -- it is the origin and always holds the object).
+    """
+
+    parents: Tuple[int, ...]
+    link_costs: Tuple[float, ...]
+    demands: Tuple[float, ...]
+    losses: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.parents)
+        if n == 0:
+            raise ValueError("tree must have at least the root")
+        for name in ("link_costs", "demands", "losses"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} must have {n} entries")
+        roots = [v for v, p in enumerate(self.parents) if p == -1]
+        if len(roots) != 1:
+            raise ValueError("exactly one root (parent -1) required")
+        for v, p in enumerate(self.parents):
+            if p != -1 and not 0 <= p < n:
+                raise ValueError(f"node {v} has invalid parent {p}")
+        if any(c < 0 for c in self.link_costs):
+            raise ValueError("link costs must be non-negative")
+        if any(d < 0 for d in self.demands):
+            raise ValueError("demands must be non-negative")
+        if any(l < 0 for l in self.losses):
+            raise ValueError("losses must be non-negative")
+        # Reject cycles: walking up from every node must reach the root.
+        for v in range(n):
+            seen = 0
+            current = v
+            while current != -1:
+                current = self.parents[current]
+                seen += 1
+                if seen > n:
+                    raise ValueError("parent pointers contain a cycle")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parents)
+
+    @property
+    def root(self) -> int:
+        return next(v for v, p in enumerate(self.parents) if p == -1)
+
+    def children(self) -> List[List[int]]:
+        kids: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        for v, p in enumerate(self.parents):
+            if p != -1:
+                kids[p].append(v)
+        return kids
+
+    def total_cost(self, placement: Set[int]) -> float:
+        """Objective value of an arbitrary placement (root implicit)."""
+        holders = set(placement) | {self.root}
+        total = sum(self.losses[v] for v in placement if v != self.root)
+        for v in range(self.num_nodes):
+            if self.demands[v] == 0:
+                continue
+            cost = 0.0
+            current = v
+            while current not in holders:
+                cost += self.link_costs[current]
+                current = self.parents[current]
+            total += self.demands[v] * cost
+        return total
+
+
+@dataclass(frozen=True)
+class TreePlacementSolution:
+    """Chosen cache nodes (root excluded) and the saving vs caching nowhere."""
+
+    nodes: frozenset
+    saving: float
+    total_cost: float
+
+
+def optimal_tree_placement(
+    problem: TreePlacementProblem,
+) -> TreePlacementSolution:
+    """Solve the tree placement problem exactly in ``O(n h)``."""
+    n = problem.num_nodes
+    root = problem.root
+    children = problem.children()
+
+    # Ancestor lists (self excluded) and cost-to-ancestor tables.
+    ancestors: List[List[int]] = [[] for _ in range(n)]
+    dist_up: List[Dict[int, float]] = [dict() for _ in range(n)]
+    order: List[int] = []
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        for c in children[v]:
+            ancestors[c] = [v] + ancestors[v]
+            dist_up[c] = {v: problem.link_costs[c]}
+            for a, d in dist_up[v].items():
+                dist_up[c][a] = problem.link_costs[c] + d
+            stack.append(c)
+
+    # cost[v][a]: minimum total cost (demand transfer + losses) within
+    # v's subtree when the nearest copy above v sits at ancestor a.
+    # Process in reverse BFS order (leaves first).
+    cost: List[Dict[int, float]] = [dict() for _ in range(n)]
+    take: List[Dict[int, bool]] = [dict() for _ in range(n)]
+    for v in reversed(order):
+        if v == root:
+            continue
+        for a in ancestors[v]:
+            cache = problem.losses[v] + sum(cost[c][v] for c in children[v])
+            skip = problem.demands[v] * dist_up[v][a] + sum(
+                cost[c][a] for c in children[v]
+            )
+            if cache < skip:
+                cost[v][a] = cache
+                take[v][a] = True
+            else:
+                cost[v][a] = skip
+                take[v][a] = False
+
+    best_cost = sum(cost[c][root] for c in children[root])
+    best_saving = problem.total_cost(set()) - best_cost
+
+    # Recover the chosen set by walking down with the active ancestor.
+    chosen: Set[int] = set()
+    walk: List[Tuple[int, int]] = [(c, root) for c in children[root]]
+    while walk:
+        v, a = walk.pop()
+        if take[v][a]:
+            chosen.add(v)
+            walk.extend((c, v) for c in children[v])
+        else:
+            walk.extend((c, a) for c in children[v])
+
+    return TreePlacementSolution(
+        nodes=frozenset(chosen),
+        saving=best_saving,
+        total_cost=problem.total_cost(chosen),
+    )
+
+
+def brute_force_tree_placement(
+    problem: TreePlacementProblem,
+) -> TreePlacementSolution:
+    """Exhaustive reference solver (tests only; n <= ~16)."""
+    n = problem.num_nodes
+    if n > 18:
+        raise ValueError("brute force limited to small trees")
+    candidates = [v for v in range(n) if v != problem.root]
+    empty_cost = problem.total_cost(set())
+    best_cost = empty_cost
+    best: Set[int] = set()
+    for r in range(1, len(candidates) + 1):
+        for subset in combinations(candidates, r):
+            cost = problem.total_cost(set(subset))
+            if cost < best_cost:
+                best_cost = cost
+                best = set(subset)
+    return TreePlacementSolution(
+        nodes=frozenset(best),
+        saving=empty_cost - best_cost,
+        total_cost=best_cost,
+    )

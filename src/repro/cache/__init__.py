@@ -1,0 +1,25 @@
+"""Cache substrate: replacement policies, descriptor caches, estimators.
+
+Main caches are byte-capacity stores of object copies; the auxiliary
+*d-cache* (paper section 2.4) stores object descriptors only and is sized
+in descriptor count.  Frequency estimation follows the paper's sliding
+window of the K most recent reference times (section 3.2).
+"""
+
+from repro.cache.base import Cache, CacheEntry, CacheTooSmallError
+from repro.cache.lru import LRUCache
+from repro.cache.lfu import LFUCache
+from repro.cache.ncl import NCLCache
+from repro.cache.dcache import DescriptorCache
+from repro.cache.frequency import SlidingWindowFrequencyEstimator
+
+__all__ = [
+    "Cache",
+    "CacheEntry",
+    "CacheTooSmallError",
+    "DescriptorCache",
+    "LFUCache",
+    "LRUCache",
+    "NCLCache",
+    "SlidingWindowFrequencyEstimator",
+]

@@ -1,0 +1,153 @@
+"""Byte-capacity cache interface shared by all replacement policies."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Optional
+
+from repro.cache.descriptors import ObjectDescriptor
+
+
+class CacheTooSmallError(Exception):
+    """Raised when an object exceeds the cache's total capacity."""
+
+
+class CacheEntry:
+    """A cached object copy plus its descriptor."""
+
+    __slots__ = ("descriptor",)
+
+    def __init__(self, descriptor: ObjectDescriptor) -> None:
+        self.descriptor = descriptor
+
+    @property
+    def object_id(self) -> int:
+        return self.descriptor.object_id
+
+    @property
+    def size(self) -> int:
+        return self.descriptor.size
+
+
+class Cache(abc.ABC):
+    """A store of object copies bounded by a byte capacity.
+
+    Subclasses implement the replacement policy through
+    :meth:`select_victims`.  Insertions that need space call it and evict
+    the returned victims; objects larger than the whole cache raise
+    :class:`CacheTooSmallError` (callers treat that as "do not cache").
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._entries: Dict[int, CacheEntry] = {}
+        self._used = 0
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._entries
+
+    def object_ids(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    def entry(self, object_id: int) -> Optional[CacheEntry]:
+        """Entry for an object without touching recency state."""
+        return self._entries.get(object_id)
+
+    # -- policy hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def select_victims(
+        self, needed_bytes: int, now: float, exclude: Optional[int] = None
+    ) -> List[CacheEntry]:
+        """Pick entries to evict to free at least ``needed_bytes``.
+
+        Must not mutate the cache.  ``exclude`` names an object id that is
+        never a victim (the object being inserted).
+        """
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        """Policy hook invoked on a cache hit (default: no-op)."""
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        """Policy hook invoked after an entry joins the cache."""
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        """Policy hook invoked after an entry leaves the cache."""
+
+    # -- operations --------------------------------------------------------
+
+    def access(self, object_id: int, now: float) -> Optional[CacheEntry]:
+        """Look up an object on a request; updates policy recency state."""
+        entry = self._entries.get(object_id)
+        if entry is not None:
+            self.on_access(entry, now)
+        return entry
+
+    def insert(self, descriptor: ObjectDescriptor, now: float) -> List[CacheEntry]:
+        """Insert an object copy, evicting victims as needed.
+
+        Returns the evicted entries (empty when none were needed).  If the
+        object is already present this is a no-op returning ``[]``.
+        """
+        object_id = descriptor.object_id
+        if object_id in self._entries:
+            return []
+        if descriptor.size > self.capacity_bytes:
+            raise CacheTooSmallError(
+                f"object {object_id} ({descriptor.size} B) exceeds capacity "
+                f"{self.capacity_bytes} B"
+            )
+        evicted: List[CacheEntry] = []
+        needed = descriptor.size - self.free_bytes
+        if needed > 0:
+            victims = self.select_victims(needed, now, exclude=object_id)
+            freed = sum(v.size for v in victims)
+            if freed < needed:
+                raise AssertionError(
+                    "select_victims freed too little space "
+                    f"({freed} < {needed})"
+                )
+            for victim in victims:
+                self._remove_entry(victim)
+                evicted.append(victim)
+        entry = CacheEntry(descriptor)
+        self._entries[object_id] = entry
+        self._used += descriptor.size
+        self.on_insert(entry, now)
+        return evicted
+
+    def remove(self, object_id: int) -> Optional[CacheEntry]:
+        """Remove an object explicitly (e.g. invalidation)."""
+        entry = self._entries.get(object_id)
+        if entry is None:
+            return None
+        self._remove_entry(entry)
+        return entry
+
+    def _remove_entry(self, entry: CacheEntry) -> None:
+        del self._entries[entry.object_id]
+        self._used -= entry.size
+        self.on_remove(entry)
+
+    def check_invariants(self) -> None:
+        """Assert accounting consistency (used by tests)."""
+        actual = sum(e.size for e in self._entries.values())
+        if actual != self._used:
+            raise AssertionError(f"byte accounting drift: {actual} != {self._used}")
+        if self._used > self.capacity_bytes:
+            raise AssertionError("cache over capacity")

@@ -1,0 +1,123 @@
+"""The d-cache: an auxiliary descriptor cache (paper section 2.4).
+
+Each node keeps a small d-cache holding the descriptors of the most
+frequently accessed objects *not* stored in the main cache, so cost
+savings of candidate objects can be evaluated without keeping descriptors
+for the whole universe.  Capacity is measured in descriptor count (a
+descriptor is a few tens of bytes, so the d-cache's byte footprint is
+negligible, section 3.2).
+
+The paper manages the d-cache with simple LFU, and notes that descriptors
+can alternatively be organized into LRU stacks for O(1) maintenance when
+frequencies come from a sliding window.  Both policies are provided here
+(``policy="lfu"`` -- the default -- and ``policy="lru"``); the ablation
+bench ``benchmarks/test_ablation_dcache_policy.py`` compares them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.cache.lfu import _FrequencyBuckets
+from repro.cache.descriptors import ObjectDescriptor
+
+_POLICIES = ("lfu", "lru")
+
+
+class DescriptorCache:
+    """Store of up to ``capacity`` object descriptors (LFU or LRU managed)."""
+
+    def __init__(self, capacity: int, policy: str = "lfu") -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self._descriptors: Dict[int, ObjectDescriptor] = {}
+        self._buckets = _FrequencyBuckets() if policy == "lfu" else None
+        self._recency: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._descriptors
+
+    # -- policy bookkeeping --------------------------------------------------
+
+    def _track_insert(self, object_id: int) -> None:
+        if self._buckets is not None:
+            self._buckets.add(object_id)
+        else:
+            self._recency[object_id] = None
+
+    def _track_reference(self, object_id: int) -> None:
+        if self._buckets is not None:
+            self._buckets.promote(object_id)
+        else:
+            self._recency.move_to_end(object_id)
+
+    def _track_remove(self, object_id: int) -> None:
+        if self._buckets is not None:
+            self._buckets.discard(object_id)
+        else:
+            self._recency.pop(object_id, None)
+
+    def _victim(self) -> int:
+        if self._buckets is not None:
+            return next(self._buckets.eviction_order())
+        return next(iter(self._recency))
+
+    # -- operations ------------------------------------------------------------
+
+    def get(self, object_id: int) -> Optional[ObjectDescriptor]:
+        """Descriptor lookup; counts as a policy reference when present."""
+        descriptor = self._descriptors.get(object_id)
+        if descriptor is not None:
+            self._track_reference(object_id)
+        return descriptor
+
+    def peek(self, object_id: int) -> Optional[ObjectDescriptor]:
+        """Descriptor lookup without touching policy state."""
+        return self._descriptors.get(object_id)
+
+    def insert(self, descriptor: ObjectDescriptor) -> List[ObjectDescriptor]:
+        """Insert a descriptor, evicting per policy if full.
+
+        Returns evicted descriptors.  Inserting an already-present id
+        replaces the stored descriptor without resetting its policy state.
+        """
+        object_id = descriptor.object_id
+        if object_id in self._descriptors:
+            self._descriptors[object_id] = descriptor
+            return []
+        if self.capacity == 0:
+            return [descriptor]
+        evicted: List[ObjectDescriptor] = []
+        while len(self._descriptors) >= self.capacity:
+            victim_id = self._victim()
+            evicted.append(self._descriptors.pop(victim_id))
+            self._track_remove(victim_id)
+        self._descriptors[object_id] = descriptor
+        self._track_insert(object_id)
+        return evicted
+
+    def remove(self, object_id: int) -> Optional[ObjectDescriptor]:
+        """Remove a descriptor (e.g. when the object enters the main cache)."""
+        descriptor = self._descriptors.pop(object_id, None)
+        if descriptor is not None:
+            self._track_remove(object_id)
+        return descriptor
+
+    def check_invariants(self) -> None:
+        if len(self._descriptors) > self.capacity:
+            raise AssertionError("d-cache over capacity")
+        tracked = (
+            len(self._recency)
+            if self._buckets is None
+            else sum(1 for _ in self._buckets.eviction_order())
+        )
+        if tracked != len(self._descriptors):
+            raise AssertionError("d-cache policy bookkeeping drift")

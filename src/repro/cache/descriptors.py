@@ -1,0 +1,62 @@
+"""Object descriptors (cache-substrate home of the paper's meta information).
+
+Paper section 2.3: every cache maintains meta information per object --
+the object size, its access frequency (estimated from recent reference
+timestamps) and its miss penalty with respect to the node.  Descriptors
+live either attached to a cached copy in the main cache or standalone in
+the node's d-cache, and migrate between the two as objects are inserted
+and evicted.
+"""
+
+from __future__ import annotations
+
+from repro.cache.frequency import (
+    DEFAULT_AGING_INTERVAL,
+    DEFAULT_WINDOW,
+    SlidingWindowFrequencyEstimator,
+)
+
+
+class ObjectDescriptor:
+    """Per-(node, object) metadata used in caching decisions."""
+
+    __slots__ = ("object_id", "size", "estimator", "miss_penalty")
+
+    def __init__(
+        self,
+        object_id: int,
+        size: int,
+        miss_penalty: float = 0.0,
+        window: int = DEFAULT_WINDOW,
+        aging_interval: float = DEFAULT_AGING_INTERVAL,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("object size must be positive")
+        if miss_penalty < 0:
+            raise ValueError("miss penalty must be non-negative")
+        self.object_id = object_id
+        self.size = size
+        self.estimator = SlidingWindowFrequencyEstimator(window, aging_interval)
+        self.miss_penalty = miss_penalty
+
+    def record_access(self, now: float) -> float:
+        """Record one reference; returns the refreshed frequency."""
+        return self.estimator.record(now)
+
+    def frequency(self, now: float) -> float:
+        """Current access-frequency estimate ``f(O)``."""
+        return self.estimator.value(now)
+
+    def cost_rate(self, now: float) -> float:
+        """``f(O) * m(O)`` -- the cost loss of removing this object."""
+        return self.frequency(now) * self.miss_penalty
+
+    def normalized_cost_loss(self, now: float) -> float:
+        """``NCL(O) = f(O) * m(O) / s(O)`` (paper section 2.1)."""
+        return self.cost_rate(now) / self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ObjectDescriptor(id={self.object_id}, size={self.size}, "
+            f"m={self.miss_penalty:.4g})"
+        )

@@ -1,0 +1,100 @@
+"""Least-frequently-used cache.
+
+Not used by any of the paper's object caches directly, but provided as a
+classic baseline and as the policy backbone of the d-cache (which manages
+descriptors by LFU, section 2.4).  Eviction order is lowest hit count
+first, ties broken least-recently-used first; bookkeeping is O(1) via
+frequency buckets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.cache.base import Cache, CacheEntry
+
+
+class _FrequencyBuckets:
+    """hit-count -> insertion-ordered ids, with O(1) promote/evict."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._buckets: Dict[int, "OrderedDict[int, None]"] = {}
+        self._min_count = 0
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._counts
+
+    def count(self, key: int) -> int:
+        return self._counts[key]
+
+    def add(self, key: int) -> None:
+        if key in self._counts:
+            raise KeyError(f"duplicate key {key}")
+        self._counts[key] = 1
+        self._buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_count = 1
+
+    def promote(self, key: int) -> None:
+        count = self._counts[key]
+        bucket = self._buckets[count]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[count]
+            if self._min_count == count:
+                self._min_count = count + 1
+        self._counts[key] = count + 1
+        self._buckets.setdefault(count + 1, OrderedDict())[key] = None
+
+    def discard(self, key: int) -> None:
+        count = self._counts.pop(key, None)
+        if count is None:
+            return
+        bucket = self._buckets[count]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[count]
+            if self._min_count == count:
+                self._min_count = min(self._buckets, default=0)
+
+    def eviction_order(self):
+        """Yield keys lowest-count-first, LRU-first within a count."""
+        for count in sorted(self._buckets):
+            yield from self._buckets[count]
+
+
+class LFUCache(Cache):
+    """Evicts least-frequently-accessed objects first (ties: LRU)."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._buckets = _FrequencyBuckets()
+
+    def select_victims(
+        self, needed_bytes: int, now: float, exclude: Optional[int] = None
+    ) -> List[CacheEntry]:
+        victims: List[CacheEntry] = []
+        freed = 0
+        for object_id in self._buckets.eviction_order():
+            if object_id == exclude:
+                continue
+            entry = self._entries[object_id]
+            victims.append(entry)
+            freed += entry.size
+            if freed >= needed_bytes:
+                break
+        return victims
+
+    def hit_count(self, object_id: int) -> int:
+        """Accesses recorded for a cached object (for tests)."""
+        return self._buckets.count(object_id)
+
+    def on_access(self, entry: CacheEntry, now: float) -> None:
+        self._buckets.promote(entry.object_id)
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        self._buckets.add(entry.object_id)
+
+    def on_remove(self, entry: CacheEntry) -> None:
+        self._buckets.discard(entry.object_id)

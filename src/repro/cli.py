@@ -1,0 +1,356 @@
+"""Command-line interface: ``cascade-repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``table1``  -- regenerate Table 1 (en-route topology characteristics).
+* ``sweep``   -- run a cache-size sweep (the engine behind Figures 6-10)
+  and print the metric table (optionally ASCII charts / JSON output).
+* ``radius``  -- the MODULO cache-radius ablation.
+* ``analyze`` -- workload statistics and Zipf fit of a trace CSV.
+* ``replay``  -- replay a trace CSV against one scheme on one
+  architecture and print its metrics.
+
+Examples::
+
+    cascade-repro table1 --seed 0
+    cascade-repro sweep --arch en-route --schemes lru,coordinated \
+        --sizes 0.01,0.1 --scale small
+    cascade-repro radius --arch hierarchical --radii 1,2,4 --size 0.03
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+from repro.experiments.charts import render_figure
+from repro.experiments.presets import (
+    DEFAULT_CACHE_SIZES,
+    SMALL_SCALE,
+    STANDARD_SCALE,
+    build_architecture,
+)
+from repro.experiments.results_io import save_points_json
+from repro.experiments.sweeps import run_cache_size_sweep, run_modulo_radius_sweep
+from repro.experiments.tables import (
+    format_sweep_table,
+    format_table1,
+    topology_characteristics,
+)
+from repro.sim.factory import SCHEME_NAMES
+
+_SCALES = {"small": SMALL_SCALE, "standard": STANDARD_SCALE}
+_DEFAULT_METRICS = (
+    "latency",
+    "response_ratio",
+    "byte_hit_ratio",
+    "traffic",
+    "hops",
+    "cache_load",
+)
+
+
+def _csv_floats(text: str) -> List[float]:
+    return [float(x) for x in text.split(",") if x]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def _csv_strs(text: str) -> List[str]:
+    return [x.strip() for x in text.split(",") if x.strip()]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch",
+        choices=("en-route", "hierarchical"),
+        default="en-route",
+        help="cascaded caching architecture",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="workload preset scale",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--theta", type=float, default=None, help="override Zipf parameter"
+    )
+
+
+def _preset(args: argparse.Namespace):
+    preset = _SCALES[args.scale].with_seed(args.seed)
+    if args.theta is not None:
+        preset = preset.with_theta(args.theta)
+    return preset
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    preset = _preset(args)
+    arch = build_architecture("en-route", preset.workload, seed=args.seed)
+    print("Table 1: System Parameters for En-Route Architecture")
+    print(format_table1(topology_characteristics(arch)))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    preset = _preset(args)
+    unknown = set(args.schemes) - set(SCHEME_NAMES)
+    if unknown:
+        print(f"unknown schemes: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    generator = preset.generator()
+    trace = generator.generate()
+    arch = build_architecture(args.arch, preset.workload, seed=args.seed)
+    points = run_cache_size_sweep(
+        arch,
+        trace,
+        generator.catalog,
+        scheme_names=args.schemes,
+        cache_sizes=args.sizes,
+        scheme_params={"modulo": {"radius": args.radius}},
+        workers=args.workers,
+    )
+    print(
+        format_sweep_table(
+            points,
+            args.metrics,
+            title=f"{args.arch} sweep ({preset.name} scale, seed {args.seed})",
+        )
+    )
+    if args.chart:
+        for metric in args.metrics:
+            print()
+            print(render_figure(points, metric, title=f"{metric}:"))
+    if args.save:
+        save_points_json(points, args.save)
+        print(f"\nsaved {len(points)} points to {args.save}")
+    return 0
+
+
+def _cmd_radius(args: argparse.Namespace) -> int:
+    preset = _preset(args)
+    generator = preset.generator()
+    trace = generator.generate()
+    arch = build_architecture(args.arch, preset.workload, seed=args.seed)
+    points = run_modulo_radius_sweep(
+        arch,
+        trace,
+        generator.catalog,
+        radii=args.radii,
+        relative_cache_size=args.size,
+    )
+    print(
+        format_sweep_table(
+            points,
+            args.metrics,
+            title=f"MODULO radius ablation on {args.arch} (cache {args.size:.1%})",
+        )
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.workload.stats import fit_zipf, summarize_trace
+    from repro.workload.trace import read_trace_csv
+
+    trace = read_trace_csv(args.trace)
+    stats = summarize_trace(trace)
+    print(f"trace: {args.trace}")
+    print(f"  requests          {stats.requests}")
+    print(f"  unique objects    {stats.unique_objects}")
+    print(f"  unique clients    {stats.unique_clients}")
+    print(f"  duration          {stats.duration:.1f} s")
+    print(f"  mean request rate {stats.mean_request_rate:.2f} /s")
+    print(f"  mean object size  {stats.mean_size:.0f} B")
+    print(f"  median size       {stats.median_size:.0f} B")
+    print(f"  total bytes       {stats.total_bytes}")
+    try:
+        fit = fit_zipf(trace)
+    except ValueError as error:
+        print(f"  zipf fit          unavailable ({error})")
+        return 0
+    print(f"  zipf theta        {fit.theta:.3f} (r^2 = {fit.r_squared:.3f})")
+    print(f"  top-decile share  {fit.top_decile_share:.1%}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import compare_points
+    from repro.experiments.results_io import load_points_json
+
+    baseline = load_points_json(args.baseline)
+    candidate = load_points_json(args.candidate)
+    report = compare_points(
+        baseline,
+        candidate,
+        metrics=args.metrics,
+        relative_tolerance=args.tolerance,
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.costs.model import LatencyCostModel
+    from repro.sim.config import SimulationConfig
+    from repro.sim.engine import SimulationEngine
+    from repro.workload.trace import read_trace_csv
+
+    if args.scheme not in SCHEME_NAMES:
+        print(f"unknown scheme {args.scheme!r}", file=sys.stderr)
+        return 2
+    trace = read_trace_csv(args.trace)
+    if len(trace) == 0:
+        print("trace is empty", file=sys.stderr)
+        return 2
+    num_clients = max(r.client_id for r in trace) + 1
+    num_servers = max(r.server_id for r in trace) + 1
+    # The trace itself defines the object volume base.
+    sizes_by_object = {r.object_id: r.size for r in trace}
+    total_bytes = sum(sizes_by_object.values())
+    mean_size = total_bytes / len(sizes_by_object)
+
+    from repro.workload.generator import WorkloadConfig
+
+    workload = WorkloadConfig(
+        num_objects=max(sizes_by_object) + 1,
+        num_servers=num_servers,
+        num_clients=num_clients,
+        num_requests=len(trace),
+    )
+    arch = build_architecture(args.arch, workload, seed=args.seed)
+    cost = LatencyCostModel(arch.network, mean_size)
+    config = SimulationConfig(relative_cache_size=args.size)
+    capacity = config.capacity_bytes(total_bytes)
+    dentries = config.dcache_entries(total_bytes, mean_size)
+
+    from repro.sim.factory import build_scheme
+
+    scheme = build_scheme(args.scheme, cost, capacity, dentries)
+    result = SimulationEngine(arch, cost, scheme).run(trace)
+    s = result.summary
+    print(f"{args.scheme} on {args.arch}, cache {args.size:.2%} "
+          f"({result.requests_measured} measured requests)")
+    print(f"  mean latency      {s.mean_latency:.5f}")
+    print(f"  latency p50/p90/p99  "
+          f"{s.latency_percentiles[0]:.5f} / {s.latency_percentiles[1]:.5f} "
+          f"/ {s.latency_percentiles[2]:.5f}")
+    print(f"  response ratio    {s.mean_response_ratio:.3e}")
+    print(f"  byte hit ratio    {s.byte_hit_ratio:.4f}")
+    print(f"  mean hops         {s.mean_hops:.3f}")
+    print(f"  cache load/req    {s.mean_cache_load:.0f} B")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cascade-repro",
+        description="Reproduction of coordinated cascaded-cache management "
+        "(Tang & Chanson, ICDE 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    _add_common(table1)
+    table1.set_defaults(func=_cmd_table1)
+
+    sweep = sub.add_parser("sweep", help="cache-size sweep (Figures 6-10)")
+    _add_common(sweep)
+    sweep.add_argument(
+        "--schemes",
+        type=_csv_strs,
+        default=list(SCHEME_NAMES),
+        help="comma-separated scheme names",
+    )
+    sweep.add_argument(
+        "--sizes",
+        type=_csv_floats,
+        default=list(DEFAULT_CACHE_SIZES),
+        help="comma-separated relative cache sizes",
+    )
+    sweep.add_argument("--radius", type=int, default=4, help="MODULO radius")
+    sweep.add_argument(
+        "--metrics",
+        type=_csv_strs,
+        default=list(_DEFAULT_METRICS),
+        help="comma-separated metric names",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the (scheme, size) grid",
+    )
+    sweep.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each metric as an ASCII chart",
+    )
+    sweep.add_argument(
+        "--save",
+        default=None,
+        help="write the sweep points to this JSON file",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    radius = sub.add_parser("radius", help="MODULO cache-radius ablation")
+    _add_common(radius)
+    radius.add_argument(
+        "--radii", type=_csv_ints, default=[1, 2, 3, 4, 5, 6]
+    )
+    radius.add_argument("--size", type=float, default=0.03)
+    radius.add_argument(
+        "--metrics",
+        type=_csv_strs,
+        default=["latency", "byte_hit_ratio", "cache_load"],
+    )
+    radius.set_defaults(func=_cmd_radius)
+
+    analyze = sub.add_parser("analyze", help="statistics of a trace CSV")
+    analyze.add_argument("trace", help="trace CSV path")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    compare = sub.add_parser(
+        "compare", help="diff two saved sweep-result JSON files"
+    )
+    compare.add_argument("baseline", help="baseline results JSON")
+    compare.add_argument("candidate", help="candidate results JSON")
+    compare.add_argument(
+        "--tolerance", type=float, default=0.02, help="relative tolerance"
+    )
+    compare.add_argument(
+        "--metrics",
+        type=_csv_strs,
+        default=["latency", "byte_hit_ratio", "hops", "cache_load"],
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    replay = sub.add_parser("replay", help="replay a trace CSV")
+    replay.add_argument("trace", help="trace CSV path")
+    replay.add_argument(
+        "--arch",
+        choices=("en-route", "hierarchical"),
+        default="en-route",
+    )
+    replay.add_argument("--scheme", default="coordinated")
+    replay.add_argument(
+        "--size", type=float, default=0.03, help="relative cache size"
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.set_defaults(func=_cmd_replay)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

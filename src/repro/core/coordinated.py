@@ -1,0 +1,175 @@
+"""The coordinated caching scheme (paper sections 2.3-2.4).
+
+Per request, the scheme runs the three-phase protocol:
+
+1. **Upstream walk.**  The request travels from the requester towards the
+   origin; every intermediate cache appends a :class:`NodeReport` carrying
+   its frequency estimate ``f_i``, stored miss penalty ``m_i`` and
+   prospective eviction cost loss ``l_i`` for the object -- or a
+   "no descriptor" tag when the object is unknown to both its main cache
+   and d-cache (such nodes are pruned from the candidate set, Theorem 2's
+   justification).  The walk stops at the first cache holding the object.
+
+2. **Placement decision.**  The serving node repairs the piggybacked
+   frequencies to be non-increasing and solves the n-optimization problem
+   by dynamic programming (:func:`~repro.core.placement.solve_placement`),
+   yielding the set of caches that should store a copy.
+
+3. **Downstream walk.**  The object travels back with a cost accumulator
+   (initially 0).  At each node the accumulator grows by the cost of the
+   link just traversed and refreshes the node's stored miss penalty for
+   the object; nodes instructed to cache insert the copy (greedy-NCL
+   eviction, victims' descriptors dropping to the d-cache) and reset the
+   accumulator to 0; other nodes ensure a d-cache descriptor exists.
+
+No extra messages or probes are used -- all information rides on the
+request/response pair, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.piggyback import (
+    NodeReport,
+    ProtocolStats,
+    RequestEnvelope,
+    ResponseEnvelope,
+)
+from repro.core.placement import (
+    PlacementProblem,
+    enforce_monotone_frequencies,
+    solve_placement,
+)
+from repro.schemes.base import RequestOutcome
+from repro.schemes.descriptor_scheme import DescriptorSchemeBase
+
+
+class CoordinatedScheme(DescriptorSchemeBase):
+    """Integrated placement + replacement along delivery paths."""
+
+    name = "coordinated"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.protocol_stats = ProtocolStats()
+
+    # -- protocol phases -------------------------------------------------------
+
+    def _upstream_walk(
+        self, path: Sequence[int], object_id: int, size: int, now: float
+    ) -> Tuple[int, RequestEnvelope]:
+        """Phase 1: find the serving node, collecting node reports."""
+        envelope = RequestEnvelope(object_id)
+        last = len(path) - 1
+        for i in range(last):
+            state = self.node_state(path[i])
+            if object_id in state.cache:
+                state.cache.record_access(object_id, now)
+                return i, envelope
+            descriptor = state.record_request(object_id, now)
+            if descriptor is None:
+                report = NodeReport(
+                    node=path[i],
+                    frequency=0.0,
+                    miss_penalty=0.0,
+                    cost_loss=None,
+                    has_descriptor=False,
+                )
+            else:
+                report = NodeReport(
+                    node=path[i],
+                    frequency=descriptor.frequency(now),
+                    miss_penalty=descriptor.miss_penalty,
+                    cost_loss=state.cache.cost_loss(object_id, size, now),
+                    has_descriptor=True,
+                )
+            envelope.add_report(report)
+        return last, envelope
+
+    def decide_placement(
+        self, envelope: RequestEnvelope, now: float
+    ) -> ResponseEnvelope:
+        """Phase 2: the serving node's dynamic-programming decision.
+
+        Exposed publicly so the decision step can be unit-tested and
+        inspected independently of the simulator.
+        """
+        candidates = [
+            r for r in envelope.reports_server_first() if r.is_candidate()
+        ]
+        if not candidates:
+            return ResponseEnvelope(
+                object_id=envelope.object_id,
+                cache_at=frozenset(),
+                expected_gain=0.0,
+            )
+        frequencies = enforce_monotone_frequencies(
+            [r.frequency for r in candidates]
+        )
+        problem = PlacementProblem(
+            frequencies=tuple(frequencies),
+            penalties=tuple(r.miss_penalty for r in candidates),
+            losses=tuple(r.cost_loss for r in candidates),
+        )
+        solution = solve_placement(problem)
+        chosen = frozenset(candidates[i].node for i in solution.indices)
+        return ResponseEnvelope(
+            object_id=envelope.object_id,
+            cache_at=chosen,
+            expected_gain=solution.gain,
+        )
+
+    def _downstream_walk(
+        self,
+        path: Sequence[int],
+        hit_index: int,
+        response: ResponseEnvelope,
+        size: int,
+        now: float,
+    ) -> Tuple[List[int], int]:
+        """Phase 3: deliver the object, updating caches and penalties."""
+        object_id = response.object_id
+        inserted: List[int] = []
+        evictions = 0
+        accumulator = 0.0
+        for i in range(hit_index - 1, -1, -1):
+            node = path[i]
+            accumulator += self.cost_model.link_cost(path[i], path[i + 1], size)
+            state = self.node_state(node)
+            if response.should_cache(node):
+                evicted = state.insert_object(object_id, size, accumulator, now)
+                if evicted is not None:
+                    inserted.append(node)
+                    evictions += len(evicted)
+                    accumulator = 0.0
+            else:
+                state.ensure_dcache_descriptor(object_id, size, accumulator, now)
+        return inserted, evictions
+
+    # -- scheme interface --------------------------------------------------------
+
+    def process_request(
+        self, path: Sequence[int], object_id: int, size: int, now: float
+    ) -> RequestOutcome:
+        hit_index, envelope = self._upstream_walk(path, object_id, size, now)
+        response = self.decide_placement(envelope, now)
+        inserted, evictions = self._downstream_walk(
+            path, hit_index, response, size, now
+        )
+        stats = self.protocol_stats
+        stats.requests += 1
+        stats.reports += sum(1 for r in envelope.reports if r.has_descriptor)
+        stats.no_descriptor_tags += sum(
+            1 for r in envelope.reports if not r.has_descriptor
+        )
+        stats.decisions += len(response.cache_at)
+        if hit_index > 0:
+            stats.responses_with_accumulator += 1
+        return RequestOutcome(
+            path=path,
+            hit_index=hit_index,
+            size=size,
+            inserted_nodes=tuple(inserted),
+            evicted_objects=evictions,
+        )

@@ -1,0 +1,11 @@
+"""Object descriptors (re-export).
+
+The descriptor type lives with the cache substrate in
+:mod:`repro.cache.descriptors`; it is re-exported here because the paper
+introduces descriptors as part of the coordinated scheme (section 2.3)
+and users naturally look for them under :mod:`repro.core`.
+"""
+
+from repro.cache.descriptors import ObjectDescriptor
+
+__all__ = ["ObjectDescriptor"]

@@ -1,0 +1,112 @@
+"""Piggyback records exchanged along delivery paths (paper section 2.3).
+
+The coordinated scheme adds a small record to each *request* as it passes
+an intermediate cache -- the node's frequency estimate, miss penalty and
+prospective cost loss for the requested object -- plus a flag when the node
+has no descriptor for the object (such nodes are pruned from the candidate
+set, section 2.4).  The *response* carries the placement decision and a
+cost accumulator used to refresh miss penalties: each node adds the cost of
+the link the object just traversed, and nodes that store a copy reset it
+to zero before forwarding downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List
+
+# Wire-size assumptions for overhead accounting (paper section 2.4 puts a
+# descriptor at "a few tens of bytes"); tunable in ProtocolStats.
+REPORT_BYTES = 24       # f, m, l as packed floats
+TAG_BYTES = 2           # the "no descriptor" tag
+DECISION_BYTES = 4      # one node id in the response's cache_at set
+ACCUMULATOR_BYTES = 8   # the response's running cost variable
+
+
+@dataclass
+class ProtocolStats:
+    """Coordination-protocol message overhead counters.
+
+    The coordinated scheme increments these as requests and responses
+    travel; :meth:`overhead_bytes` converts them to a wire-byte estimate
+    so the paper's "communication overhead ... is small" claim (section
+    2.3) can be checked against the object bytes actually moved.
+    """
+
+    requests: int = 0
+    reports: int = 0
+    no_descriptor_tags: int = 0
+    decisions: int = 0
+    responses_with_accumulator: int = 0
+
+    def overhead_bytes(
+        self,
+        report_bytes: int = REPORT_BYTES,
+        tag_bytes: int = TAG_BYTES,
+        decision_bytes: int = DECISION_BYTES,
+        accumulator_bytes: int = ACCUMULATOR_BYTES,
+    ) -> int:
+        """Total protocol bytes under the given wire-size assumptions."""
+        return (
+            self.reports * report_bytes
+            + self.no_descriptor_tags * tag_bytes
+            + self.decisions * decision_bytes
+            + self.responses_with_accumulator * accumulator_bytes
+        )
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """One intermediate cache's contribution to the request message.
+
+    ``cost_loss`` is ``None`` when the node cannot cache the object at all
+    (object larger than its cache); ``has_descriptor`` is ``False`` when
+    the node lacks a descriptor for the object in both its main cache and
+    its d-cache (the special tag of section 2.4).
+    """
+
+    node: int
+    frequency: float
+    miss_penalty: float
+    cost_loss: float | None
+    has_descriptor: bool
+
+    def is_candidate(self) -> bool:
+        """Whether the DP should consider caching at this node."""
+        return self.has_descriptor and self.cost_loss is not None
+
+
+@dataclass
+class RequestEnvelope:
+    """A request message accumulating node reports on its way upstream.
+
+    Reports are appended in travel order, i.e. from the requester ``A_n``
+    towards the serving node; ``reports_server_first()`` returns them in
+    the DP's ``A_1 .. A_n`` order.
+    """
+
+    object_id: int
+    reports: List[NodeReport] = field(default_factory=list)
+
+    def add_report(self, report: NodeReport) -> None:
+        self.reports.append(report)
+
+    def reports_server_first(self) -> List[NodeReport]:
+        return list(reversed(self.reports))
+
+
+@dataclass(frozen=True)
+class ResponseEnvelope:
+    """The serving node's reply: where to cache the object.
+
+    ``cache_at`` holds node ids.  The cost accumulator itself is advanced
+    by the scheme while walking the response down the path (it is state of
+    the walk, not of the message dataclass).
+    """
+
+    object_id: int
+    cache_at: FrozenSet[int]
+    expected_gain: float
+
+    def should_cache(self, node: int) -> bool:
+        return node in self.cache_at

@@ -1,0 +1,161 @@
+"""The k-optimization problem and its dynamic-programming solution.
+
+Paper section 2.2, Definition 1: given non-increasing access frequencies
+``f_1 >= ... >= f_n >= f_{n+1} = 0``, miss penalties ``m_i >= 0`` and cost
+losses ``l_i >= 0``, choose indices ``v_1 < ... < v_r`` maximizing
+
+    sum_i ((f_{v_i} - f_{v_{i+1}}) * m_{v_i} - l_{v_i}),   f_{v_{r+1}} = 0.
+
+Theorem 1 gives optimal substructure, yielding the O(n^2) recurrences
+
+    OPT_0 = 0
+    OPT_k = max(0, max_{1<=i<=k} OPT_{i-1} + (f_i - f_{k+1}) * m_i - l_i)
+
+with back-pointers ``L_k`` (the largest index in an optimal solution of the
+k-problem, or -1 when the optimum is the empty set).  The full placement
+problem is the n-optimization problem; the solution is recovered by
+iterating ``v_r = L_n``, ``v_{i} = L_{v_{i+1} - 1}``.
+
+This module indexes nodes 0-based: position ``0`` is ``A_1`` (the cache
+adjacent to the node satisfying the request) and position ``n-1`` is
+``A_n`` (where the request originated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+_MONOTONE_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """Inputs of one n-optimization problem.
+
+    ``frequencies[i]``, ``penalties[i]`` and ``losses[i]`` describe the
+    cache at 0-based position ``i`` along the delivery path, ordered from
+    the serving node towards the requester.  Frequencies must be
+    non-increasing (use :func:`enforce_monotone_frequencies` to repair
+    noisy estimates first).
+    """
+
+    frequencies: Tuple[float, ...]
+    penalties: Tuple[float, ...]
+    losses: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.frequencies)
+        if n == 0:
+            raise ValueError("placement problem needs at least one node")
+        if len(self.penalties) != n or len(self.losses) != n:
+            raise ValueError("frequencies, penalties, losses must align")
+        if any(f < 0 for f in self.frequencies):
+            raise ValueError("frequencies must be non-negative")
+        if any(m < 0 for m in self.penalties):
+            raise ValueError("penalties must be non-negative")
+        if any(l < 0 for l in self.losses):
+            raise ValueError("losses must be non-negative")
+        for a, b in zip(self.frequencies, self.frequencies[1:]):
+            if b > a + _MONOTONE_SLACK:
+                raise ValueError(
+                    "frequencies must be non-increasing along the path; "
+                    "apply enforce_monotone_frequencies first"
+                )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.frequencies)
+
+    def objective(self, indices: Sequence[int]) -> float:
+        """``Delta-cost`` of caching at the given 0-based positions."""
+        ordered = list(indices)
+        if ordered != sorted(set(ordered)):
+            raise ValueError("indices must be strictly increasing")
+        if ordered and not 0 <= ordered[0] <= ordered[-1] < self.num_nodes:
+            raise IndexError("index out of range")
+        total = 0.0
+        for pos, i in enumerate(ordered):
+            next_f = (
+                self.frequencies[ordered[pos + 1]]
+                if pos + 1 < len(ordered)
+                else 0.0
+            )
+            total += (self.frequencies[i] - next_f) * self.penalties[i]
+            total -= self.losses[i]
+        return total
+
+
+@dataclass(frozen=True)
+class PlacementSolution:
+    """Optimal caching positions (0-based, strictly increasing) and gain."""
+
+    indices: Tuple[int, ...]
+    gain: float
+
+
+def solve_placement(problem: PlacementProblem) -> PlacementSolution:
+    """Solve the n-optimization problem in O(n^2) by dynamic programming."""
+    n = problem.num_nodes
+    f = problem.frequencies
+    m = problem.penalties
+    l = problem.losses
+
+    # opt[k] / last[k] follow the paper's OPT_k / L_k with k in 0..n and
+    # 1-based node indices internally; f_{k+1} for k == n is 0.
+    opt = [0.0] * (n + 1)
+    last = [-1] * (n + 1)
+    for k in range(1, n + 1):
+        f_next = f[k] if k < n else 0.0
+        best = 0.0
+        best_i = -1
+        for i in range(1, k + 1):
+            candidate = opt[i - 1] + (f[i - 1] - f_next) * m[i - 1] - l[i - 1]
+            if candidate > best:
+                best = candidate
+                best_i = i
+        opt[k] = best
+        last[k] = best_i
+
+    indices: List[int] = []
+    k = n
+    while k > 0 and last[k] > 0:
+        v = last[k]
+        indices.append(v - 1)  # convert to 0-based position
+        k = v - 1
+    indices.reverse()
+    return PlacementSolution(indices=tuple(indices), gain=opt[n])
+
+
+def brute_force_placement(problem: PlacementProblem) -> PlacementSolution:
+    """Exhaustive O(2^n) reference solver (tests only; n <= ~16)."""
+    n = problem.num_nodes
+    if n > 20:
+        raise ValueError("brute force limited to small problems")
+    best_gain = 0.0
+    best: Tuple[int, ...] = ()
+    for r in range(1, n + 1):
+        for subset in combinations(range(n), r):
+            gain = problem.objective(subset)
+            if gain > best_gain:
+                best_gain = gain
+                best = subset
+    return PlacementSolution(indices=best, gain=best_gain)
+
+
+def enforce_monotone_frequencies(frequencies: Sequence[float]) -> List[float]:
+    """Repair noisy per-node frequency estimates to be non-increasing.
+
+    In the model, every request counted at position ``i`` also passes
+    position ``i-1`` (closer to the server), so true frequencies satisfy
+    ``f_1 >= ... >= f_n``.  Independent sliding-window estimates can
+    violate this; the repair takes the running maximum from the requester
+    end towards the server end, the smallest pointwise increase that
+    restores monotonicity without lowering any estimate.
+    """
+    repaired = [max(f, 0.0) for f in frequencies]
+    for i in range(len(repaired) - 2, -1, -1):
+        if repaired[i] < repaired[i + 1]:
+            repaired[i] = repaired[i + 1]
+    return repaired

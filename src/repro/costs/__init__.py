@@ -1,0 +1,15 @@
+"""Cost models: the paper's generic link cost ``c(u, v, O)``."""
+
+from repro.costs.model import (
+    BandwidthCostModel,
+    CostModel,
+    HopCostModel,
+    LatencyCostModel,
+)
+
+__all__ = [
+    "BandwidthCostModel",
+    "CostModel",
+    "HopCostModel",
+    "LatencyCostModel",
+]

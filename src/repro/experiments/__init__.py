@@ -1,0 +1,46 @@
+"""Experiment harness: the paper's tables and figures as runnable sweeps."""
+
+from repro.experiments.presets import (
+    DEFAULT_CACHE_SIZES,
+    ExperimentPreset,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    STANDARD_SCALE,
+)
+from repro.experiments.charts import render_ascii_chart, render_figure
+from repro.experiments.results_io import load_points_json, save_points_json
+from repro.experiments.robustness import RobustnessResult, run_robustness
+from repro.experiments.sweeps import (
+    SweepPoint,
+    run_cache_size_sweep,
+    run_single,
+    run_modulo_radius_sweep,
+)
+from repro.experiments.tables import (
+    figure_series,
+    format_sweep_table,
+    format_table1,
+    topology_characteristics,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_SIZES",
+    "ExperimentPreset",
+    "PAPER_SCALE",
+    "RobustnessResult",
+    "SMALL_SCALE",
+    "STANDARD_SCALE",
+    "SweepPoint",
+    "figure_series",
+    "format_sweep_table",
+    "format_table1",
+    "load_points_json",
+    "render_ascii_chart",
+    "render_figure",
+    "run_cache_size_sweep",
+    "run_modulo_radius_sweep",
+    "run_robustness",
+    "run_single",
+    "save_points_json",
+    "topology_characteristics",
+]

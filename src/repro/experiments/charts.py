@@ -1,0 +1,107 @@
+"""Plain-text rendering of figure series.
+
+The paper presents its evaluation as line charts; this module renders the
+same series as terminal-friendly ASCII charts so the benchmark harness
+and examples can show each figure's *shape* (who is above whom, where
+curves converge) without a plotting dependency.
+
+The x axis is the relative cache size on a log scale, matching the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+_MARKERS = "ox*+#@%&"
+
+
+def render_ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render per-scheme (x, y) series as an ASCII chart.
+
+    ``series`` is the output of
+    :func:`repro.experiments.tables.figure_series`.  X values must be
+    positive (they are plotted on a log scale).  Returns a multi-line
+    string; schemes get distinct point markers, listed in the legend.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("series contain no points")
+    if any(x <= 0 for x, _ in points):
+        raise ValueError("x values must be positive (log scale)")
+
+    xs = [math.log10(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(_MARKERS, sorted(series.items())):
+        for x, y in values:
+            col = round((math.log10(x) - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    x_left = f"{10 ** x_min:.3g}"
+    x_right = f"{10 ** x_max:.3g}"
+    axis = " " * label_width + " +" + "-" * width
+    xticks = (
+        " " * (label_width + 2)
+        + x_left
+        + " " * max(1, width - len(x_left) - len(x_right))
+        + x_right
+    )
+    lines.append(axis)
+    lines.append(xticks)
+    lines.append(" " * (label_width + 2) + "relative cache size (log scale)")
+    legend = "  ".join(
+        f"{marker}={name}"
+        for marker, (name, _) in zip(_MARKERS, sorted(series.items()))
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_figure(
+    points: Sequence,
+    metric: str,
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Convenience wrapper: sweep points -> ASCII chart of one metric."""
+    from repro.experiments.tables import figure_series
+
+    series = figure_series(points, metric)
+    return render_ascii_chart(
+        series, title=title, width=width, height=height, y_label=metric
+    )

@@ -1,0 +1,120 @@
+"""Regression comparison of saved sweep results.
+
+``compare_points`` diffs two sets of sweep points (e.g. a saved baseline
+JSON versus a fresh run) metric by metric with a relative tolerance --
+the building block for CI-style guarding of the reproduction's numbers
+(``cascade-repro compare a.json b.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.sweeps import SweepPoint
+from repro.experiments.tables import METRIC_ACCESSORS, metric_value
+
+DEFAULT_METRICS = ("latency", "byte_hit_ratio", "hops", "cache_load")
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One metric's deviation between baseline and candidate."""
+
+    scheme: str
+    relative_cache_size: float
+    metric: str
+    baseline: float
+    candidate: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.candidate != 0 else 0.0
+        return (self.candidate - self.baseline) / self.baseline
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Outcome of comparing two result sets."""
+
+    matched_points: int
+    missing_in_candidate: Tuple[Tuple[str, float], ...]
+    extra_in_candidate: Tuple[Tuple[str, float], ...]
+    drifts: Tuple[MetricDrift, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing_in_candidate and not self.drifts
+
+    def format(self) -> str:
+        lines = [f"matched points: {self.matched_points}"]
+        for scheme, size in self.missing_in_candidate:
+            lines.append(f"MISSING  {scheme} @ {size:g}")
+        for scheme, size in self.extra_in_candidate:
+            lines.append(f"extra    {scheme} @ {size:g}")
+        for drift in self.drifts:
+            lines.append(
+                f"DRIFT    {drift.scheme} @ {drift.relative_cache_size:g} "
+                f"{drift.metric}: {drift.baseline:.6g} -> "
+                f"{drift.candidate:.6g} ({drift.relative_change:+.2%})"
+            )
+        if self.ok:
+            lines.append("OK: candidate matches baseline within tolerance")
+        return "\n".join(lines)
+
+
+def _index(points: Sequence[SweepPoint]) -> Dict[Tuple[str, float], SweepPoint]:
+    return {(p.scheme, p.relative_cache_size): p for p in points}
+
+
+def compare_points(
+    baseline: Sequence[SweepPoint],
+    candidate: Sequence[SweepPoint],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    relative_tolerance: float = 0.02,
+) -> ComparisonReport:
+    """Diff two result sets.
+
+    Points are matched by (scheme, relative cache size); each requested
+    metric must agree within ``relative_tolerance`` (relative to the
+    baseline value; exact match required when the baseline is 0).
+    """
+    if relative_tolerance < 0:
+        raise ValueError("relative_tolerance must be non-negative")
+    unknown = set(metrics) - set(METRIC_ACCESSORS)
+    if unknown:
+        raise ValueError(f"unknown metrics: {sorted(unknown)}")
+    base_index = _index(baseline)
+    cand_index = _index(candidate)
+    missing = tuple(sorted(set(base_index) - set(cand_index)))
+    extra = tuple(sorted(set(cand_index) - set(base_index)))
+    drifts: List[MetricDrift] = []
+    matched = 0
+    for key in sorted(set(base_index) & set(cand_index)):
+        matched += 1
+        base_point = base_index[key]
+        cand_point = cand_index[key]
+        for metric in metrics:
+            b = metric_value(base_point.summary, metric)
+            c = metric_value(cand_point.summary, metric)
+            if b == 0:
+                within = c == 0
+            else:
+                within = abs(c - b) <= relative_tolerance * abs(b)
+            if not within:
+                drifts.append(
+                    MetricDrift(
+                        scheme=key[0],
+                        relative_cache_size=key[1],
+                        metric=metric,
+                        baseline=b,
+                        candidate=c,
+                    )
+                )
+    return ComparisonReport(
+        matched_points=matched,
+        missing_in_candidate=missing,
+        extra_in_candidate=extra,
+        drifts=tuple(drifts),
+    )

@@ -1,0 +1,105 @@
+"""Experiment presets: paper-default parameters at laptop-friendly scales.
+
+The paper replays ~11 M post-warmup requests for 100 k objects; a pure
+Python simulator cannot do that per sweep point in reasonable time, so
+presets scale the trace down while keeping every *shape-determining*
+parameter at its paper value (Zipf-like popularity, cache sizes relative
+to the total object volume, topology parameters, warm-up split).  The
+``PAPER_SCALE`` preset documents the original dimensions and can be run
+when hours of compute are acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.architecture import (
+    Architecture,
+    build_enroute_architecture,
+    build_hierarchical_architecture,
+)
+from repro.topology.tiers import TiersConfig
+from repro.topology.tree import TreeConfig
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+
+# The paper sweeps relative cache size 0.1% .. 10% on a log scale (Fig. 6).
+DEFAULT_CACHE_SIZES = (0.001, 0.003, 0.01, 0.03, 0.1)
+
+
+@dataclass(frozen=True)
+class ExperimentPreset:
+    """A named workload scale."""
+
+    name: str
+    workload: WorkloadConfig
+
+    def with_seed(self, seed: int) -> "ExperimentPreset":
+        return replace(self, workload=replace(self.workload, seed=seed))
+
+    def with_theta(self, theta: float) -> "ExperimentPreset":
+        return replace(
+            self, workload=replace(self.workload, zipf_theta=theta)
+        )
+
+    def generator(self) -> BoeingLikeTraceGenerator:
+        return BoeingLikeTraceGenerator(self.workload)
+
+
+SMALL_SCALE = ExperimentPreset(
+    name="small",
+    workload=WorkloadConfig(
+        num_objects=500,
+        num_servers=10,
+        num_clients=60,
+        num_requests=12_000,
+        zipf_theta=0.8,
+    ),
+)
+
+STANDARD_SCALE = ExperimentPreset(
+    name="standard",
+    workload=WorkloadConfig(
+        num_objects=2_000,
+        num_servers=20,
+        num_clients=200,
+        num_requests=60_000,
+        zipf_theta=0.8,
+    ),
+)
+
+# Paper dimensions (documented; runs for hours under CPython).
+PAPER_SCALE = ExperimentPreset(
+    name="paper",
+    workload=WorkloadConfig(
+        num_objects=100_000,
+        num_servers=2_000,
+        num_clients=60_000,
+        num_requests=11_000_000,
+        zipf_theta=0.8,
+    ),
+)
+
+
+def build_architecture(
+    name: str,
+    workload: WorkloadConfig,
+    seed: int = 0,
+    tiers_config: TiersConfig | None = None,
+    tree_config: TreeConfig | None = None,
+) -> Architecture:
+    """Build one of the paper's two architectures for a given workload."""
+    if name == "en-route":
+        return build_enroute_architecture(
+            num_clients=workload.num_clients,
+            num_servers=workload.num_servers,
+            tiers_config=tiers_config or TiersConfig(seed=seed),
+            seed=seed,
+        )
+    if name == "hierarchical":
+        return build_hierarchical_architecture(
+            num_clients=workload.num_clients,
+            num_servers=workload.num_servers,
+            tree_config=tree_config or TreeConfig(),
+            seed=seed,
+        )
+    raise ValueError(f"unknown architecture {name!r}")

@@ -1,0 +1,62 @@
+"""Persisting sweep results as JSON.
+
+Long sweeps are expensive; saving their points lets EXPERIMENTS.md-style
+reports, charts and regression comparisons be regenerated without
+re-simulating.  The format is a plain JSON document with a schema version
+so older result files stay loadable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.experiments.sweeps import SweepPoint
+from repro.metrics.collector import MetricsSummary
+
+_SCHEMA_VERSION = 1
+
+
+def save_points_json(points: Sequence[SweepPoint], path: str | Path) -> None:
+    """Write sweep points (with full metric summaries) to a JSON file."""
+    document = {
+        "schema_version": _SCHEMA_VERSION,
+        "points": [
+            {
+                "architecture": p.architecture,
+                "scheme": p.scheme,
+                "relative_cache_size": p.relative_cache_size,
+                "summary": dataclasses.asdict(p.summary),
+            }
+            for p in points
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2)
+
+
+def load_points_json(path: str | Path) -> List[SweepPoint]:
+    """Load sweep points previously written by :func:`save_points_json`."""
+    with open(path) as f:
+        document = json.load(f)
+    version = document.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported results schema version: {version!r}")
+    points = []
+    for raw in document["points"]:
+        summary = dict(raw["summary"])
+        if "latency_percentiles" in summary:
+            summary["latency_percentiles"] = tuple(
+                summary["latency_percentiles"]
+            )
+        points.append(
+            SweepPoint(
+                architecture=raw["architecture"],
+                scheme=raw["scheme"],
+                relative_cache_size=raw["relative_cache_size"],
+                summary=MetricsSummary(**summary),
+            )
+        )
+    return points

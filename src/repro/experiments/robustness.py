@@ -1,0 +1,103 @@
+"""Multi-seed robustness runs.
+
+The paper reports that its trends hold across five daily traces and "a
+wide range of different network topologies" (sections 3.1-3.2).  This
+module re-runs a scheme comparison across several seeds -- each seed
+producing a fresh trace, topology and attachment -- and aggregates
+per-scheme means and standard deviations, so "X beats Y" claims can be
+checked for seed-sensitivity rather than read off a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.presets import ExperimentPreset, build_architecture
+from repro.experiments.sweeps import run_single
+from repro.experiments.tables import metric_value
+from repro.sim.config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """Per-scheme metric samples across seeds."""
+
+    architecture: str
+    metric: str
+    samples: Dict[str, Tuple[float, ...]]
+
+    def mean(self, scheme: str) -> float:
+        return float(np.mean(self.samples[scheme]))
+
+    def std(self, scheme: str) -> float:
+        return float(np.std(self.samples[scheme]))
+
+    def wins(self, winner: str, loser: str) -> int:
+        """In how many seeds ``winner`` strictly beats ``loser`` (lower is better)."""
+        return sum(
+            1
+            for w, l in zip(self.samples[winner], self.samples[loser])
+            if w < l
+        )
+
+    @property
+    def num_seeds(self) -> int:
+        return len(next(iter(self.samples.values())))
+
+    def format_table(self) -> str:
+        lines = [
+            f"{self.metric} on {self.architecture} over {self.num_seeds} seeds",
+            f"{'scheme':<14} {'mean':>12} {'std':>12}",
+        ]
+        for scheme in sorted(self.samples):
+            lines.append(
+                f"{scheme:<14} {self.mean(scheme):>12.5g} "
+                f"{self.std(scheme):>12.3g}"
+            )
+        return "\n".join(lines)
+
+
+def run_robustness(
+    preset: ExperimentPreset,
+    architecture_name: str,
+    scheme_names: Sequence[str],
+    seeds: Sequence[int],
+    relative_cache_size: float,
+    metric: str = "latency",
+    scheme_params: Dict[str, Dict] | None = None,
+) -> RobustnessResult:
+    """Replay the comparison once per seed; every seed re-randomizes
+    the trace, the topology and the client/server attachment."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    params = scheme_params or {}
+    config = SimulationConfig(relative_cache_size=relative_cache_size)
+    samples: Dict[str, List[float]] = {}
+    for seed in seeds:
+        seeded = preset.with_seed(seed)
+        generator = seeded.generator()
+        trace = generator.generate()
+        architecture = build_architecture(
+            architecture_name, seeded.workload, seed=seed
+        )
+        for name in scheme_names:
+            point = run_single(
+                architecture,
+                trace,
+                generator.catalog,
+                name,
+                config,
+                **params.get(name, {}),
+            )
+            samples.setdefault(name, []).append(
+                metric_value(point.summary, metric)
+            )
+    # Key results by the resolved scheme display name.
+    return RobustnessResult(
+        architecture=architecture_name,
+        metric=metric,
+        samples={k: tuple(v) for k, v in samples.items()},
+    )

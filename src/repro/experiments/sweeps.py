@@ -1,0 +1,130 @@
+"""Parameter sweeps regenerating the paper's figures.
+
+``run_cache_size_sweep`` is the workhorse behind Figures 6-10: it replays
+one trace against every (scheme, relative cache size) combination on one
+architecture and returns the resulting metric summaries.
+``run_modulo_radius_sweep`` backs the cache-radius ablation discussed in
+sections 4.1-4.2.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.costs.model import LatencyCostModel
+from repro.metrics.collector import MetricsSummary
+from repro.sim.architecture import Architecture
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import build_scheme
+from repro.workload.catalog import ObjectCatalog
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (scheme, cache size) measurement."""
+
+    architecture: str
+    scheme: str
+    relative_cache_size: float
+    summary: MetricsSummary
+
+
+def run_single(
+    architecture: Architecture,
+    trace: Trace,
+    catalog: ObjectCatalog,
+    scheme_name: str,
+    config: SimulationConfig,
+    **scheme_params,
+) -> SweepPoint:
+    """Run one scheme at one cache size and return its sweep point."""
+    cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
+    capacity = config.capacity_bytes(catalog.total_bytes)
+    dcache_entries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
+    scheme = build_scheme(
+        scheme_name, cost_model, capacity, dcache_entries, **scheme_params
+    )
+    engine = SimulationEngine(
+        architecture, cost_model, scheme, warmup_fraction=config.warmup_fraction
+    )
+    result = engine.run(trace)
+    return SweepPoint(
+        architecture=architecture.name,
+        scheme=scheme.name,
+        relative_cache_size=config.relative_cache_size,
+        summary=result.summary,
+    )
+
+
+def _sweep_task(
+    args: Tuple[Architecture, Trace, ObjectCatalog, str, SimulationConfig, Dict]
+) -> SweepPoint:
+    """Module-level task wrapper so ProcessPoolExecutor can pickle it."""
+    architecture, trace, catalog, name, config, params = args
+    return run_single(architecture, trace, catalog, name, config, **params)
+
+
+def run_cache_size_sweep(
+    architecture: Architecture,
+    trace: Trace,
+    catalog: ObjectCatalog,
+    scheme_names: Sequence[str],
+    cache_sizes: Iterable[float],
+    dcache_ratio: float = 3.0,
+    warmup_fraction: float = 0.5,
+    scheme_params: Dict[str, Dict] | None = None,
+    workers: int = 1,
+) -> List[SweepPoint]:
+    """Sweep relative cache size for several schemes over one trace.
+
+    ``scheme_params`` maps scheme name to extra keyword arguments (e.g.
+    ``{"modulo": {"radius": 4}}``).  Every point replays the same trace on
+    fresh caches, exactly as the paper compares schemes.
+
+    ``workers > 1`` fans the (scheme, size) grid out over a process pool;
+    points are independent, so results are identical to the sequential
+    run (and returned in the same deterministic order) at a fraction of
+    the wall-clock time.  Each worker receives its own copy of the
+    architecture and trace, so prefer it for grids, not single points.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    params = scheme_params or {}
+    tasks = []
+    for size in cache_sizes:
+        config = SimulationConfig(
+            relative_cache_size=size,
+            dcache_ratio=dcache_ratio,
+            warmup_fraction=warmup_fraction,
+        )
+        for name in scheme_names:
+            tasks.append(
+                (architecture, trace, catalog, name, config, params.get(name, {}))
+            )
+    if workers == 1:
+        return [_sweep_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(_sweep_task, tasks))
+
+
+def run_modulo_radius_sweep(
+    architecture: Architecture,
+    trace: Trace,
+    catalog: ObjectCatalog,
+    radii: Iterable[int],
+    relative_cache_size: float,
+    warmup_fraction: float = 0.5,
+) -> List[SweepPoint]:
+    """The MODULO cache-radius ablation (paper sections 4.1-4.2)."""
+    config = SimulationConfig(
+        relative_cache_size=relative_cache_size,
+        warmup_fraction=warmup_fraction,
+    )
+    return [
+        run_single(architecture, trace, catalog, "modulo", config, radius=radius)
+        for radius in radii
+    ]

@@ -1,0 +1,123 @@
+"""Tabulation of experiment results in the paper's shapes.
+
+* :func:`topology_characteristics` / :func:`format_table1` regenerate
+  Table 1 (en-route system parameters).
+* :func:`figure_series` turns sweep points into the (x, y) series of one
+  figure panel; :func:`format_sweep_table` renders sweep results as the
+  text table the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.sweeps import SweepPoint
+from repro.metrics.collector import MetricsSummary
+from repro.sim.architecture import Architecture
+from repro.topology.graph import NodeKind
+
+# Metric accessor registry: figure panels select series by these names.
+METRIC_ACCESSORS = {
+    "latency": lambda s: s.mean_latency,
+    "response_ratio": lambda s: s.mean_response_ratio,
+    "byte_hit_ratio": lambda s: s.byte_hit_ratio,
+    "hit_ratio": lambda s: s.hit_ratio,
+    "traffic": lambda s: s.mean_traffic_byte_hops,
+    "hops": lambda s: s.mean_hops,
+    "cache_load": lambda s: s.mean_cache_load,
+    "read_load": lambda s: s.mean_read_load,
+    "write_load": lambda s: s.mean_write_load,
+    "latency_p50": lambda s: s.latency_percentiles[0],
+    "latency_p90": lambda s: s.latency_percentiles[1],
+    "latency_p99": lambda s: s.latency_percentiles[2],
+}
+
+
+def metric_value(summary: MetricsSummary, metric: str) -> float:
+    """Look up one metric by registry name."""
+    try:
+        accessor = METRIC_ACCESSORS[metric]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(METRIC_ACCESSORS)}"
+        ) from None
+    return accessor(summary)
+
+
+def topology_characteristics(architecture: Architecture) -> Dict[str, float]:
+    """The quantities reported in Table 1 for an en-route topology."""
+    network = architecture.network
+    return {
+        "total_nodes": network.num_nodes,
+        "wan_nodes": len(network.nodes_of_kind(NodeKind.WAN)),
+        "man_nodes": len(network.nodes_of_kind(NodeKind.MAN)),
+        "links": network.num_links,
+        "avg_wan_link_delay": network.mean_delay([NodeKind.WAN]),
+        "avg_man_link_delay": network.mean_delay([NodeKind.MAN]),
+        "avg_path_hops": architecture.mean_client_server_hops(),
+    }
+
+
+def format_table1(characteristics: Dict[str, float]) -> str:
+    """Render Table 1 ('System Parameters for En-Route Architecture')."""
+    rows = [
+        ("Total number of nodes", f"{characteristics['total_nodes']:.0f}"),
+        ("Number of WAN nodes", f"{characteristics['wan_nodes']:.0f}"),
+        ("Number of MAN nodes", f"{characteristics['man_nodes']:.0f}"),
+        ("Number of network links", f"{characteristics['links']:.0f}"),
+        (
+            "Average delay of WAN links",
+            f"{characteristics['avg_wan_link_delay']:.3f} second",
+        ),
+        (
+            "Average delay of MAN links",
+            f"{characteristics['avg_man_link_delay']:.3f} second",
+        ),
+        ("Average path length (hops)", f"{characteristics['avg_path_hops']:.1f}"),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{name:<{width}}  {value}" for name, value in rows]
+    return "\n".join(lines)
+
+
+def figure_series(
+    points: Sequence[SweepPoint], metric: str
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-scheme (cache size, metric) series, sorted by cache size."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for point in points:
+        series.setdefault(point.scheme, []).append(
+            (point.relative_cache_size, metric_value(point.summary, metric))
+        )
+    for values in series.values():
+        values.sort()
+    return series
+
+
+def format_sweep_table(
+    points: Sequence[SweepPoint],
+    metrics: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render sweep points as a fixed-width text table, one row per point."""
+    header = ["scheme", "cache%"] + list(metrics)
+    rows: List[List[str]] = []
+    ordered = sorted(points, key=lambda p: (p.scheme, p.relative_cache_size))
+    for point in ordered:
+        row = [point.scheme, f"{100 * point.relative_cache_size:g}"]
+        row.extend(
+            f"{metric_value(point.summary, metric):.6g}" for metric in metrics
+        )
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

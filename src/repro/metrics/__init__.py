@@ -1,0 +1,5 @@
+"""Metrics: the six performance measures of the paper's evaluation."""
+
+from repro.metrics.collector import MetricsCollector, MetricsSummary
+
+__all__ = ["MetricsCollector", "MetricsSummary"]

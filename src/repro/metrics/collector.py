@@ -1,0 +1,138 @@
+"""Metric aggregation for simulation runs.
+
+The collector accumulates, per served request, the measures reported in
+the paper's evaluation (section 4):
+
+* **access latency** -- total cost from the requester to the serving node
+  (Figures 6a, 9a);
+* **response ratio** -- latency divided by object size, eliminating the
+  object-size effect (Figures 6b, 9b);
+* **byte hit ratio** -- bytes served by caches over bytes requested, a
+  proxy for origin-server load reduction (Figures 7a, 10a);
+* **network traffic** -- byte x hops per request (Figure 7b);
+* **hops traveled** -- links crossed before hitting the object
+  (Figure 8a);
+* **cache read/write load** -- aggregate bytes read from and written into
+  caches per request (Figures 8b, 10b).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.schemes.base import RequestOutcome
+
+# Reservoir size for latency percentiles: large enough for stable p99 at
+# the trace scales used here, small enough to be memory-trivial.
+_RESERVOIR_SIZE = 8192
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Aggregated results over the measurement window of one run.
+
+    ``latency_percentiles`` holds (p50, p90, p99) estimated from a
+    fixed-size reservoir sample of per-request latencies -- an extension
+    beyond the paper, which reports means only.
+    """
+
+    requests: int
+    mean_latency: float
+    mean_response_ratio: float
+    byte_hit_ratio: float
+    hit_ratio: float
+    mean_traffic_byte_hops: float
+    mean_hops: float
+    mean_read_load: float
+    mean_write_load: float
+    latency_percentiles: Tuple[float, float, float] = (
+        math.nan,
+        math.nan,
+        math.nan,
+    )
+
+    @property
+    def mean_cache_load(self) -> float:
+        """Aggregate read + write bytes per request (Figures 8b, 10b)."""
+        return self.mean_read_load + self.mean_write_load
+
+    @property
+    def read_load_share(self) -> float:
+        """Fraction of the cache load that is (useful) read load."""
+        total = self.mean_cache_load
+        return self.mean_read_load / total if total > 0 else 0.0
+
+
+class MetricsCollector:
+    """Accumulates per-request measurements and produces a summary."""
+
+    def __init__(self) -> None:
+        self._requests = 0
+        # Deterministic reservoir sampler: identical runs yield identical
+        # percentile estimates.
+        self._reservoir: list[float] = []
+        self._rng = random.Random(0x5EED)
+        self._latency = 0.0
+        self._response_ratio = 0.0
+        self._bytes_requested = 0
+        self._bytes_cache_served = 0
+        self._cache_hits = 0
+        self._byte_hops = 0.0
+        self._hops = 0
+        self._bytes_read = 0
+        self._bytes_written = 0
+
+    @property
+    def requests(self) -> int:
+        return self._requests
+
+    def record(self, outcome: RequestOutcome, latency: float) -> None:
+        """Record one request's outcome with its modelled access latency."""
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._requests += 1
+        if len(self._reservoir) < _RESERVOIR_SIZE:
+            self._reservoir.append(latency)
+        else:
+            slot = self._rng.randrange(self._requests)
+            if slot < _RESERVOIR_SIZE:
+                self._reservoir[slot] = latency
+        self._latency += latency
+        self._response_ratio += latency / outcome.size
+        self._bytes_requested += outcome.size
+        if outcome.served_by_cache:
+            self._bytes_cache_served += outcome.size
+            self._cache_hits += 1
+        self._byte_hops += outcome.size * outcome.hops
+        self._hops += outcome.hops
+        self._bytes_read += outcome.bytes_read
+        self._bytes_written += outcome.bytes_written
+
+    def summary(self) -> MetricsSummary:
+        if self._requests == 0:
+            raise ValueError("no requests recorded")
+        n = self._requests
+        ordered = sorted(self._reservoir)
+        percentiles = tuple(
+            ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+            for q in (0.50, 0.90, 0.99)
+        )
+        return MetricsSummary(
+            latency_percentiles=percentiles,
+            requests=n,
+            mean_latency=self._latency / n,
+            mean_response_ratio=self._response_ratio / n,
+            byte_hit_ratio=(
+                self._bytes_cache_served / self._bytes_requested
+                if self._bytes_requested
+                else 0.0
+            ),
+            hit_ratio=self._cache_hits / n,
+            mean_traffic_byte_hops=self._byte_hops / n,
+            mean_hops=self._hops / n,
+            mean_read_load=self._bytes_read / n,
+            mean_write_load=self._bytes_written / n,
+        )

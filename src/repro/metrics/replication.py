@@ -1,0 +1,67 @@
+"""Replication-density instrumentation.
+
+The paper explains coordinated caching's wins by *where* copies end up:
+popular objects get replicated densely (close to clients), unpopular ones
+sparsely.  These helpers snapshot a scheme's cache state so that claim
+can be observed directly (see the hierarchical example and the
+``test_extension_replication_density`` bench).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.schemes.base import CachingScheme
+
+
+def copies_per_object(scheme: CachingScheme) -> Dict[int, int]:
+    """How many caches currently hold each object (objects with >= 1 copy)."""
+    counts: Dict[int, int] = {}
+    for cache in scheme.caches().values():
+        for object_id in cache.object_ids():
+            counts[object_id] = counts.get(object_id, 0) + 1
+    return counts
+
+
+def density_by_popularity(
+    scheme: CachingScheme,
+    popularity_ranking: Sequence[int],
+    buckets: int = 10,
+) -> List[float]:
+    """Mean copy count per popularity bucket (bucket 0 = most popular).
+
+    ``popularity_ranking`` lists object ids from most to least popular
+    (e.g. ``trace.most_popular(catalog.num_objects)``).  Objects missing
+    from every cache count as zero copies.
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be >= 1")
+    if not popularity_ranking:
+        raise ValueError("popularity ranking is empty")
+    counts = copies_per_object(scheme)
+    n = len(popularity_ranking)
+    means: List[float] = []
+    for b in range(buckets):
+        start = b * n // buckets
+        end = (b + 1) * n // buckets
+        members = popularity_ranking[start:end]
+        if not members:
+            means.append(0.0)
+            continue
+        means.append(sum(counts.get(o, 0) for o in members) / len(members))
+    return means
+
+
+def occupancy_by_level(scheme: CachingScheme, network) -> Dict[int, float]:
+    """Mean cache fill fraction per topology level (hierarchies only)."""
+    fills: Dict[int, List[float]] = {}
+    for node, cache in scheme.caches().items():
+        if cache.capacity_bytes == 0:
+            continue
+        level = network.level(node)
+        fills.setdefault(level, []).append(
+            cache.used_bytes / cache.capacity_bytes
+        )
+    return {
+        level: sum(values) / len(values) for level, values in fills.items()
+    }

@@ -1,0 +1,86 @@
+"""Time-series metrics: per-window aggregates over a run.
+
+The paper reports steady-state means; for studying *dynamics* -- warm-up
+convergence, reaction to flash crowds or invalidation storms -- the
+engine can additionally bin outcomes into fixed-width time windows via
+:class:`IntervalMetricsCollector` and report a series of per-window
+snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.schemes.base import RequestOutcome
+
+
+@dataclass(frozen=True)
+class IntervalSnapshot:
+    """Aggregates of one time window."""
+
+    window_start: float
+    window_end: float
+    requests: int
+    mean_latency: float
+    byte_hit_ratio: float
+    mean_hops: float
+
+    @property
+    def midpoint(self) -> float:
+        return (self.window_start + self.window_end) / 2
+
+
+class IntervalMetricsCollector:
+    """Bins request outcomes into fixed-width windows.
+
+    Windows are aligned at ``t = 0``; empty windows between active ones
+    are emitted with zero requests so series stay evenly spaced.
+    """
+
+    def __init__(self, window_seconds: float) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self._windows: dict[int, List] = {}
+
+    def record(self, outcome: RequestOutcome, latency: float, now: float) -> None:
+        if now < 0:
+            raise ValueError("time must be non-negative")
+        index = int(now // self.window_seconds)
+        bucket = self._windows.setdefault(index, [0, 0.0, 0, 0, 0])
+        bucket[0] += 1                       # requests
+        bucket[1] += latency                 # latency sum
+        bucket[2] += outcome.size            # bytes requested
+        if outcome.served_by_cache:
+            bucket[3] += outcome.size        # bytes cache-served
+        bucket[4] += outcome.hops            # hops sum
+
+    def series(self) -> List[IntervalSnapshot]:
+        """Snapshots for every window from the first to the last active one."""
+        if not self._windows:
+            return []
+        first = min(self._windows)
+        last = max(self._windows)
+        snapshots: List[IntervalSnapshot] = []
+        for index in range(first, last + 1):
+            start = index * self.window_seconds
+            end = start + self.window_seconds
+            bucket = self._windows.get(index)
+            if bucket is None or bucket[0] == 0:
+                snapshots.append(
+                    IntervalSnapshot(start, end, 0, 0.0, 0.0, 0.0)
+                )
+                continue
+            requests, latency_sum, req_bytes, hit_bytes, hops_sum = bucket
+            snapshots.append(
+                IntervalSnapshot(
+                    window_start=start,
+                    window_end=end,
+                    requests=requests,
+                    mean_latency=latency_sum / requests,
+                    byte_hit_ratio=hit_bytes / req_bytes if req_bytes else 0.0,
+                    mean_hops=hops_sum / requests,
+                )
+            )
+        return snapshots

@@ -1,0 +1,11 @@
+"""Routing substrate: shortest paths and per-server distribution trees.
+
+In the paper, the propagation paths of cache misses for a given origin
+server form a tree rooted at that server (section 2); for the en-route
+architecture these are shortest-path trees over the network (section 3.2).
+"""
+
+from repro.routing.shortest_path import dijkstra
+from repro.routing.distribution_tree import DistributionTree, RoutingTable
+
+__all__ = ["DistributionTree", "RoutingTable", "dijkstra"]

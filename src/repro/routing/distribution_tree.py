@@ -1,0 +1,101 @@
+"""Per-origin distribution trees.
+
+A *distribution tree* (paper section 2) is the tree along which cache
+misses for one origin server propagate.  For the en-route architecture it
+is the shortest-path tree rooted at the server's attachment node; for the
+hierarchical architecture it is the cache hierarchy itself.  A
+:class:`RoutingTable` lazily builds and memoizes one tree per distinct root
+node, since servers co-located at a node share a tree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.routing.shortest_path import dijkstra
+from repro.topology.graph import Network
+
+
+class DistributionTree:
+    """Shortest-path tree rooted at one node.
+
+    ``path_to_root(v)`` returns the node sequence ``[v, ..., root]`` which,
+    read left to right, is the cache-miss propagation path of a request
+    issued at ``v`` (the paper's ``A_n .. A_0`` read in reverse).
+    """
+
+    def __init__(self, network: Network, root: int) -> None:
+        self.network = network
+        self.root = root
+        self._dist, self._parent = dijkstra(network, root)
+        self._paths: Dict[int, List[int]] = {}
+
+    def parent(self, node: int) -> int:
+        """Parent of ``node`` on the tree (``-1`` at the root)."""
+        return self._parent[node]
+
+    def distance(self, node: int) -> float:
+        """Total delay from ``node`` to the root."""
+        return self._dist[node]
+
+    def is_reachable(self, node: int) -> bool:
+        return math.isfinite(self._dist[node])
+
+    def depth(self, node: int) -> int:
+        """Hop count from ``node`` up to the root."""
+        return len(self.path_to_root(node)) - 1
+
+    def path_to_root(self, node: int) -> List[int]:
+        """Node sequence from ``node`` up to (and including) the root.
+
+        Paths are memoized; the returned list must not be mutated.
+        """
+        cached = self._paths.get(node)
+        if cached is not None:
+            return cached
+        if not self.is_reachable(node):
+            raise ValueError(f"node {node} cannot reach root {self.root}")
+        path = [node]
+        current = node
+        while current != self.root:
+            current = self._parent[current]
+            path.append(current)
+        self._paths[node] = path
+        return path
+
+
+class RoutingTable:
+    """Memoized distribution trees, keyed by root node.
+
+    Origin servers mapped to the same attachment node share one tree, so
+    the table never builds more than ``num_nodes`` trees.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._trees: Dict[int, DistributionTree] = {}
+
+    def tree(self, root: int) -> DistributionTree:
+        tree = self._trees.get(root)
+        if tree is None:
+            tree = DistributionTree(self.network, root)
+            self._trees[root] = tree
+        return tree
+
+    def request_path(self, client_node: int, server_node: int) -> List[int]:
+        """Miss-propagation path ``[client_node, ..., server_node]``."""
+        return self.tree(server_node).path_to_root(client_node)
+
+    def mean_path_hops(self, clients: List[int], servers: List[int]) -> float:
+        """Average hop count between every (client, server) pair given."""
+        if not clients or not servers:
+            raise ValueError("need at least one client and one server")
+        total = 0
+        count = 0
+        for server in servers:
+            tree = self.tree(server)
+            for client in clients:
+                total += tree.depth(client)
+                count += 1
+        return total / count

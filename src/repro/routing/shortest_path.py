@@ -1,0 +1,40 @@
+"""Dijkstra shortest paths over :class:`repro.topology.Network`."""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Tuple
+
+from repro.topology.graph import Network
+
+
+def dijkstra(network: Network, source: int) -> Tuple[List[float], List[int]]:
+    """Single-source shortest paths by base link delay.
+
+    Returns ``(dist, parent)`` where ``dist[v]`` is the total delay of the
+    shortest path from ``source`` to ``v`` (``inf`` if unreachable) and
+    ``parent[v]`` is the predecessor of ``v`` on that path (``-1`` for the
+    source and unreachable nodes).  Ties are broken deterministically by
+    node id so distribution trees are reproducible.
+    """
+    n = network.num_nodes
+    if not 0 <= source < n:
+        raise KeyError(f"unknown source node {source}")
+    dist = [math.inf] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled = [False] * n
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        for v, delay in network.neighbors(u):
+            nd = d + delay
+            if nd < dist[v] or (nd == dist[v] and not settled[v] and u < parent[v]):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, parent

@@ -1,0 +1,35 @@
+"""Caching schemes: the paper's baselines plus the shared scheme interface.
+
+The coordinated scheme itself lives in :mod:`repro.core.coordinated`; the
+baselines of paper section 3.3 live here:
+
+* :class:`LRUEverywhereScheme` -- cache at every node on the delivery
+  path, evict least-recently-used.
+* :class:`ModuloScheme` -- LRU replacement, but place copies only at nodes
+  a fixed *cache radius* of hops apart [Bhattacharjee et al. 1998].
+* :class:`LNCRScheme` -- cache everywhere, evict by least normalized cost
+  loss [Scheuermann et al. 1997].
+"""
+
+from repro.schemes.base import CachingScheme, RequestOutcome
+from repro.schemes.descriptor_scheme import DescriptorSchemeBase
+from repro.schemes.extra_baselines import (
+    AdmissionLRUScheme,
+    GDSScheme,
+    LFUEverywhereScheme,
+)
+from repro.schemes.lru_everywhere import LRUEverywhereScheme
+from repro.schemes.modulo import ModuloScheme
+from repro.schemes.lncr import LNCRScheme
+
+__all__ = [
+    "AdmissionLRUScheme",
+    "CachingScheme",
+    "DescriptorSchemeBase",
+    "GDSScheme",
+    "LFUEverywhereScheme",
+    "LNCRScheme",
+    "LRUEverywhereScheme",
+    "ModuloScheme",
+    "RequestOutcome",
+]

@@ -1,0 +1,163 @@
+"""Scheme interface and the shared cascaded request walk.
+
+A *scheme* owns the cache state of every node and decides, per request,
+where the object ends up cached (the placement problem) and what gets
+evicted (the replacement problem).  The simulator hands a scheme the full
+delivery path ``[client_node, ..., server_node]`` (a branch of the origin
+server's distribution tree) and the scheme returns a
+:class:`RequestOutcome` from which all of the paper's metrics derive.
+
+Convention: every node on the path except the last (the origin-server
+attachment) hosts a cache.  Caching at the server's own node would save
+nothing (the object is locally available at cost 0), and the paper's model
+likewise places ``A_0`` outside the candidate set.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.cache.base import Cache
+from repro.costs.model import CostModel
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What happened to one request.
+
+    ``hit_index`` indexes into ``path``: the serving node is
+    ``path[hit_index]``; a value of ``len(path) - 1`` means the origin
+    server satisfied the request.  ``bytes_written`` counts one object size
+    per cache insertion performed; ``bytes_read`` counts the read at the
+    serving cache (zero on an origin hit) -- together these are the paper's
+    aggregate cache read/write load per request (section 4.1).
+    """
+
+    path: Sequence[int]
+    hit_index: int
+    size: int
+    inserted_nodes: tuple = ()
+    evicted_objects: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.hit_index < len(self.path):
+            raise ValueError("hit_index out of path range")
+
+    @property
+    def served_by_cache(self) -> bool:
+        return self.hit_index < len(self.path) - 1
+
+    @property
+    def hops(self) -> int:
+        """Links traversed by the request before hitting the object."""
+        return self.hit_index
+
+    @property
+    def bytes_read(self) -> int:
+        return self.size if self.served_by_cache else 0
+
+    @property
+    def bytes_written(self) -> int:
+        return self.size * len(self.inserted_nodes)
+
+
+class CachingScheme(abc.ABC):
+    """Base class for all cache-management schemes.
+
+    Subclasses provide :meth:`_new_cache` (the per-node cache construction)
+    and :meth:`process_request`.  Node caches are created lazily the first
+    time a path touches the node, each with ``capacity_bytes``.
+    """
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        capacity_bytes: int,
+        capacity_overrides: Dict[int, int] | None = None,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        if capacity_overrides and any(
+            c < 0 for c in capacity_overrides.values()
+        ):
+            raise ValueError("capacity overrides must be non-negative")
+        self.cost_model = cost_model
+        self.capacity_bytes = capacity_bytes
+        self.capacity_overrides = dict(capacity_overrides or {})
+        self._caches: Dict[int, Cache] = {}
+
+    @abc.abstractmethod
+    def _new_cache(self, node: int) -> Cache:
+        """Construct the cache for one node."""
+
+    @abc.abstractmethod
+    def process_request(
+        self, path: Sequence[int], object_id: int, size: int, now: float
+    ) -> RequestOutcome:
+        """Serve one request along ``path`` and update cache contents."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def capacity_for(self, node: int) -> int:
+        """The node's cache capacity: the uniform default or an override.
+
+        Heterogeneous provisioning (e.g. bigger caches higher up a
+        hierarchy) is an extension beyond the paper, which sizes every
+        cache equally (section 3.2).
+        """
+        return self.capacity_overrides.get(node, self.capacity_bytes)
+
+    def cache_at(self, node: int) -> Cache:
+        """The node's cache, created on first use."""
+        cache = self._caches.get(node)
+        if cache is None:
+            cache = self._new_cache(node)
+            self._caches[node] = cache
+        return cache
+
+    def caches(self) -> Dict[int, Cache]:
+        """All materialized node caches (read-only use)."""
+        return self._caches
+
+    def has_object(self, node: int, object_id: int) -> bool:
+        """Whether the node currently caches the object (no state change)."""
+        cache = self._caches.get(node)
+        return cache is not None and object_id in cache
+
+    def _find_hit(
+        self, path: Sequence[int], object_id: int, now: float
+    ) -> int:
+        """Walk upstream; return the index of the lowest node with the object.
+
+        Touches policy state (recency etc.) only at the hit node.  Returns
+        ``len(path) - 1`` when only the origin has it.
+        """
+        last = len(path) - 1
+        for i in range(last):
+            if self.cache_at(path[i]).access(object_id, now) is not None:
+                return i
+        return last
+
+    def invalidate_object(self, object_id: int) -> int:
+        """Drop every cached copy of an object (server invalidation).
+
+        Extension beyond the paper, which assumes a coherency protocol
+        keeps copies fresh (section 2): an origin-side update invalidates
+        all replicas.  Returns the number of copies removed.
+        """
+        removed = 0
+        for cache in self._caches.values():
+            if cache.remove(object_id) is not None:
+                removed += 1
+        return removed
+
+    def total_cached_bytes(self) -> int:
+        return sum(cache.used_bytes for cache in self._caches.values())
+
+    def check_invariants(self) -> None:
+        for cache in self._caches.values():
+            cache.check_invariants()

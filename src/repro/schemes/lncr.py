@@ -1,0 +1,58 @@
+"""The LNC-R baseline [Scheuermann, Shim & Vingralek 1997].
+
+Paper section 3.3: a cost-based *replacement* algorithm effective for a
+single web cache -- evict objects with the least normalized cost loss
+``f(O) * m(O) / s(O)``.  Placement is not optimized: like LRU, the object
+is cached at every node on the delivery path, and each node takes the
+object's miss penalty to be the cost of its immediate upstream link.
+Descriptors of objects not in the main cache live in the node's d-cache
+for better frequency estimation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.schemes.base import RequestOutcome
+from repro.schemes.descriptor_scheme import DescriptorSchemeBase
+
+
+class LNCRScheme(DescriptorSchemeBase):
+    """Cache everywhere; evict by least normalized cost loss."""
+
+    name = "lnc-r"
+
+    def process_request(
+        self, path: Sequence[int], object_id: int, size: int, now: float
+    ) -> RequestOutcome:
+        # Upstream walk: find the serving node, recording a reference on
+        # every descriptor the request passes (main cache or d-cache).
+        last = len(path) - 1
+        hit_index = last
+        for i in range(last):
+            state = self.node_state(path[i])
+            state.record_request(object_id, now)
+            if object_id in state.cache:
+                hit_index = i
+                break
+
+        # Downstream walk: insert everywhere below the serving node with
+        # miss penalty = cost of the immediate upstream link.
+        inserted: List[int] = []
+        evictions = 0
+        for i in range(hit_index - 1, -1, -1):
+            node = path[i]
+            upstream_cost = self.cost_model.link_cost(path[i], path[i + 1], size)
+            state = self.node_state(node)
+            evicted = state.insert_object(object_id, size, upstream_cost, now)
+            if evicted is None:
+                continue
+            inserted.append(node)
+            evictions += len(evicted)
+        return RequestOutcome(
+            path=path,
+            hit_index=hit_index,
+            size=size,
+            inserted_nodes=tuple(inserted),
+            evicted_objects=evictions,
+        )

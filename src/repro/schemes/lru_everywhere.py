@@ -1,0 +1,54 @@
+"""The LRU baseline: cache everywhere, evict least-recently-used.
+
+Paper section 3.3: "The requested object is cached by every node through
+which the object passes.  If there is not enough free space, the cache
+purges one or more least recently referenced objects."  No d-cache is
+used.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.base import Cache, CacheTooSmallError
+from repro.cache.lru import LRUCache
+from repro.cache.descriptors import ObjectDescriptor
+from repro.schemes.base import CachingScheme, RequestOutcome
+
+
+class LRUEverywhereScheme(CachingScheme):
+    """Place at every on-path cache below the serving node; LRU replacement."""
+
+    name = "lru"
+
+    def _new_cache(self, node: int) -> Cache:
+        return LRUCache(self.capacity_for(node))
+
+    def _placement_indices(
+        self, path: Sequence[int], hit_index: int
+    ) -> List[int]:
+        """Path indices (strictly below the serving node) that store a copy."""
+        return list(range(hit_index))
+
+    def process_request(
+        self, path: Sequence[int], object_id: int, size: int, now: float
+    ) -> RequestOutcome:
+        hit_index = self._find_hit(path, object_id, now)
+        inserted: List[int] = []
+        evictions = 0
+        for i in self._placement_indices(path, hit_index):
+            node = path[i]
+            cache = self.cache_at(node)
+            try:
+                evicted = cache.insert(ObjectDescriptor(object_id, size), now)
+            except CacheTooSmallError:
+                continue
+            inserted.append(node)
+            evictions += len(evicted)
+        return RequestOutcome(
+            path=path,
+            hit_index=hit_index,
+            size=size,
+            inserted_nodes=tuple(inserted),
+            evicted_objects=evictions,
+        )

@@ -1,0 +1,49 @@
+"""The MODULO baseline [Bhattacharjee et al., INFOCOM'98].
+
+Paper section 3.3: a modified LRU scheme with a simple placement rule --
+on the delivery path from the origin server to the client, the object is
+cached only at nodes a fixed number of hops (the *cache radius*) apart.
+Positions are anchored at the origin server: a node whose hop distance
+from the server attachment is a positive multiple of the radius stores a
+copy.  A radius of 1 degenerates to the LRU (cache everywhere) scheme.
+
+Under the hierarchical architecture this anchoring makes any radius > 1
+leave entire cache levels unused (paper section 4.2): with a depth-4 tree
+and radius 4 only the leaf caches (4 hops from the server) are eligible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.costs.model import CostModel
+from repro.schemes.lru_everywhere import LRUEverywhereScheme
+
+
+class ModuloScheme(LRUEverywhereScheme):
+    """LRU replacement with radius-based placement."""
+
+    name = "modulo"
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        capacity_bytes: int,
+        radius: int = 4,
+        capacity_overrides: dict | None = None,
+    ) -> None:
+        super().__init__(cost_model, capacity_bytes, capacity_overrides)
+        if radius < 1:
+            raise ValueError("cache radius must be >= 1")
+        self.radius = radius
+        self.name = f"modulo(r={radius})"
+
+    def _placement_indices(
+        self, path: Sequence[int], hit_index: int
+    ) -> List[int]:
+        last = len(path) - 1  # server attachment position
+        return [
+            i
+            for i in range(hit_index)
+            if (last - i) % self.radius == 0
+        ]

@@ -1,0 +1,21 @@
+"""Trace-driven simulation of cascaded caching architectures."""
+
+from repro.sim.architecture import (
+    Architecture,
+    build_enroute_architecture,
+    build_hierarchical_architecture,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.sim.factory import SCHEME_NAMES, build_scheme
+
+__all__ = [
+    "Architecture",
+    "SCHEME_NAMES",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "build_enroute_architecture",
+    "build_hierarchical_architecture",
+    "build_scheme",
+]

@@ -1,0 +1,39 @@
+"""Simulation configuration.
+
+Cache sizes follow the paper's convention (section 3.2): the *relative
+cache size* is the per-node capacity as a fraction of the total size of
+all objects, and the d-cache holds ``dcache_ratio`` times the average
+number of objects the main cache can accommodate (default 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Per-run knobs independent of architecture and workload."""
+
+    relative_cache_size: float = 0.01
+    dcache_ratio: float = 3.0
+    warmup_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.relative_cache_size <= 0:
+            raise ValueError("relative_cache_size must be positive")
+        if self.dcache_ratio < 0:
+            raise ValueError("dcache_ratio must be non-negative")
+        if not 0 <= self.warmup_fraction < 1:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+
+    def capacity_bytes(self, total_object_bytes: int) -> int:
+        """Per-node main-cache capacity in bytes."""
+        return max(1, int(self.relative_cache_size * total_object_bytes))
+
+    def dcache_entries(self, total_object_bytes: int, mean_object_size: float) -> int:
+        """d-cache capacity in descriptors (section 3.2's sizing rule)."""
+        if mean_object_size <= 0:
+            raise ValueError("mean object size must be positive")
+        objects_in_cache = self.capacity_bytes(total_object_bytes) / mean_object_size
+        return max(1, int(self.dcache_ratio * objects_in_cache))

@@ -1,0 +1,127 @@
+"""Scheme construction by name.
+
+Central registry used by the experiment runner, the CLI and the examples;
+scheme-specific parameters (e.g. MODULO's cache radius) are keyword
+arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.coordinated import CoordinatedScheme
+from repro.costs.model import CostModel
+from repro.schemes.base import CachingScheme
+from repro.schemes.extra_baselines import (
+    AdmissionLRUScheme,
+    GDSScheme,
+    LFUEverywhereScheme,
+)
+from repro.schemes.lncr import LNCRScheme
+from repro.schemes.lru_everywhere import LRUEverywhereScheme
+from repro.schemes.modulo import ModuloScheme
+
+
+def _build_lru(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return LRUEverywhereScheme(
+        cost_model, capacity, capacity_overrides=params.get("capacity_overrides")
+    )
+
+
+def _build_modulo(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return ModuloScheme(
+        cost_model,
+        capacity,
+        radius=params.get("radius", 4),
+        capacity_overrides=params.get("capacity_overrides"),
+    )
+
+
+def _build_lncr(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return LNCRScheme(
+        cost_model,
+        capacity,
+        dcache_entries,
+        dcache_policy=params.get("dcache_policy", "lfu"),
+        ncl_structure=params.get("ncl_structure", "list"),
+        capacity_overrides=params.get("capacity_overrides"),
+    )
+
+
+def _build_coordinated(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return CoordinatedScheme(
+        cost_model,
+        capacity,
+        dcache_entries,
+        dcache_policy=params.get("dcache_policy", "lfu"),
+        ncl_structure=params.get("ncl_structure", "list"),
+        capacity_overrides=params.get("capacity_overrides"),
+    )
+
+
+def _build_lfu(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return LFUEverywhereScheme(
+        cost_model, capacity, capacity_overrides=params.get("capacity_overrides")
+    )
+
+
+def _build_gds(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return GDSScheme(
+        cost_model,
+        capacity,
+        popularity_aware=params.get("popularity_aware", True),
+        capacity_overrides=params.get("capacity_overrides"),
+    )
+
+
+def _build_admission_lru(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return AdmissionLRUScheme(
+        cost_model,
+        capacity,
+        history_entries=params.get("history_entries", 1024),
+        capacity_overrides=params.get("capacity_overrides"),
+    )
+
+
+_REGISTRY: Dict[str, Callable[..., CachingScheme]] = {
+    "lru": _build_lru,
+    "modulo": _build_modulo,
+    "lnc-r": _build_lncr,
+    "coordinated": _build_coordinated,
+    "lfu": _build_lfu,
+    "gds": _build_gds,
+    "admission-lru": _build_admission_lru,
+}
+
+SCHEME_NAMES = tuple(_REGISTRY)
+
+
+def build_scheme(
+    name: str,
+    cost_model: CostModel,
+    capacity_bytes: int,
+    dcache_entries: int,
+    **params,
+) -> CachingScheme:
+    """Build a scheme by registry name (see :data:`SCHEME_NAMES`)."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None
+    return builder(cost_model, capacity_bytes, dcache_entries, **params)

@@ -1,0 +1,30 @@
+"""Network topology models for cascaded caching architectures.
+
+This package provides the network substrate the paper's evaluation runs on:
+
+* :mod:`repro.topology.graph` -- the generic undirected network model with
+  per-link base delays.
+* :mod:`repro.topology.tiers` -- a Tiers-like random WAN/MAN topology
+  generator (en-route caching architecture, paper section 3.2 / Table 1).
+* :mod:`repro.topology.tree` -- full O-ary tree topologies with exponentially
+  growing level delays (hierarchical caching architecture, Figure 5).
+* :mod:`repro.topology.builder` -- convenience builders for hand-crafted
+  topologies (chains, stars) used in tests and examples.
+"""
+
+from repro.topology.graph import Link, Network, NodeKind
+from repro.topology.builder import build_chain, build_star
+from repro.topology.tiers import TiersConfig, TiersTopologyGenerator
+from repro.topology.tree import TreeConfig, build_tree_topology
+
+__all__ = [
+    "Link",
+    "Network",
+    "NodeKind",
+    "TiersConfig",
+    "TiersTopologyGenerator",
+    "TreeConfig",
+    "build_chain",
+    "build_star",
+    "build_tree_topology",
+]

@@ -1,0 +1,35 @@
+"""Convenience topology builders for tests, examples and micro-studies."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.graph import Network, NodeKind
+
+
+def build_chain(delays: Sequence[float], kind: NodeKind = NodeKind.MAN) -> Network:
+    """Build a chain topology ``0 - 1 - ... - n`` with the given link delays.
+
+    A chain is the simplest cascaded architecture: node ``len(delays)`` can
+    act as the origin-server attachment and node 0 as the client attachment.
+    """
+    if not delays:
+        raise ValueError("a chain needs at least one link delay")
+    net = Network()
+    for _ in range(len(delays) + 1):
+        net.add_node(kind)
+    for i, delay in enumerate(delays):
+        net.add_link(i, i + 1, delay)
+    return net
+
+
+def build_star(leaf_delays: Sequence[float], kind: NodeKind = NodeKind.MAN) -> Network:
+    """Build a star: node 0 is the hub, leaves ``1..n`` hang off it."""
+    if not leaf_delays:
+        raise ValueError("a star needs at least one leaf")
+    net = Network()
+    net.add_node(kind)
+    for delay in leaf_delays:
+        leaf = net.add_node(kind)
+        net.add_link(0, leaf, delay)
+    return net

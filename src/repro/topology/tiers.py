@@ -1,0 +1,190 @@
+"""Tiers-like random WAN/MAN topology generator.
+
+The paper's en-route experiments use topologies produced by the Tiers
+program [Calvert, Doar & Zegura 1997]: a wide-area backbone (WAN) plus a
+number of metropolitan-area networks (MANs) hanging off it.  Tiers places
+nodes at random plane coordinates, connects each tier with a minimum
+spanning tree over Euclidean distance, and adds redundancy links between
+near-by nodes.  This module reimplements that construction.
+
+Defaults reproduce Table 1 of the paper: 100 nodes (50 WAN + 50 MAN split
+into 5 MANs of 10 nodes), 173 links, and a WAN:MAN mean-delay ratio of
+roughly 8:1 (0.146 s vs 0.018 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.topology.graph import Network, NodeKind
+
+
+@dataclass(frozen=True)
+class TiersConfig:
+    """Parameters for :class:`TiersTopologyGenerator`.
+
+    The defaults match Table 1 of the paper: ``49 + 59`` WAN links,
+    ``5 * (9 + 3)`` MAN links and 5 MAN-to-WAN attachment links, i.e. 173
+    links over 100 nodes.
+    """
+
+    wan_nodes: int = 50
+    num_mans: int = 5
+    man_nodes: int = 10
+    wan_extra_links: int = 59
+    man_extra_links: int = 3
+    wan_delay_mean: float = 0.146
+    man_delay_mean: float = 0.018
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wan_nodes < 2:
+            raise ValueError("need at least 2 WAN nodes")
+        if self.num_mans < 1 or self.man_nodes < 1:
+            raise ValueError("need at least one MAN with one node")
+        if self.wan_delay_mean <= 0 or self.man_delay_mean <= 0:
+            raise ValueError("mean delays must be positive")
+        if self.wan_extra_links < 0 or self.man_extra_links < 0:
+            raise ValueError("redundancy link counts must be non-negative")
+
+    @property
+    def total_nodes(self) -> int:
+        return self.wan_nodes + self.num_mans * self.man_nodes
+
+
+def _mst_edges(points: np.ndarray) -> List[Tuple[int, int]]:
+    """Prim's minimum spanning tree over Euclidean distance.
+
+    Returns edges as local index pairs.  ``points`` is an ``(n, 2)`` array.
+    """
+    n = len(points)
+    if n == 1:
+        return []
+    dist = np.linalg.norm(points[:, None, :] - points[None, :, :], axis=2)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best_dist = dist[0].copy()
+    best_from = np.zeros(n, dtype=int)
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        candidates = np.where(~in_tree, best_dist, np.inf)
+        v = int(np.argmin(candidates))
+        edges.append((int(best_from[v]), v))
+        in_tree[v] = True
+        closer = dist[v] < best_dist
+        update = closer & ~in_tree
+        best_dist[update] = dist[v][update]
+        best_from[update] = v
+    return edges
+
+
+def _redundancy_edges(
+    points: np.ndarray,
+    existing: set,
+    count: int,
+) -> List[Tuple[int, int]]:
+    """Pick the ``count`` shortest non-existing edges (Tiers-style redundancy)."""
+    n = len(points)
+    candidates: List[Tuple[float, int, int]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i, j) not in existing:
+                d = float(np.linalg.norm(points[i] - points[j]))
+                candidates.append((d, i, j))
+    candidates.sort()
+    return [(i, j) for _, i, j in candidates[:count]]
+
+
+class TiersTopologyGenerator:
+    """Generate random two-tier (WAN + MANs) topologies.
+
+    Usage::
+
+        net = TiersTopologyGenerator(TiersConfig(seed=7)).generate()
+
+    Node ids ``0 .. wan_nodes-1`` are WAN nodes; the remainder are MAN
+    nodes, grouped contiguously per MAN.  Clients and origin servers should
+    attach to MAN nodes only (the WAN is a pure backbone, section 3.2).
+    """
+
+    def __init__(self, config: TiersConfig | None = None) -> None:
+        self.config = config or TiersConfig()
+
+    def generate(self) -> Network:
+        """Build one random topology according to the configuration."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        net = Network()
+
+        for _ in range(cfg.wan_nodes):
+            net.add_node(NodeKind.WAN)
+        man_groups: List[List[int]] = []
+        for _ in range(cfg.num_mans):
+            group = [net.add_node(NodeKind.MAN) for _ in range(cfg.man_nodes)]
+            man_groups.append(group)
+
+        wan_points = rng.random((cfg.wan_nodes, 2))
+        self._connect_tier(
+            net,
+            points=wan_points,
+            node_ids=list(range(cfg.wan_nodes)),
+            extra_links=cfg.wan_extra_links,
+            delay_mean=cfg.wan_delay_mean,
+        )
+
+        for man_index, group in enumerate(man_groups):
+            man_points = rng.random((cfg.man_nodes, 2)) * 0.1
+            self._connect_tier(
+                net,
+                points=man_points,
+                node_ids=group,
+                extra_links=cfg.man_extra_links,
+                delay_mean=cfg.man_delay_mean,
+            )
+            # Attach each MAN's gateway (its first node) to a WAN node.
+            gateway = group[0]
+            wan_attach = int(rng.integers(cfg.wan_nodes))
+            attach_delay = float(
+                cfg.man_delay_mean * rng.uniform(0.5, 1.5)
+            )
+            net.add_link(gateway, wan_attach, attach_delay)
+
+        return net
+
+    def _connect_tier(
+        self,
+        net: Network,
+        points: np.ndarray,
+        node_ids: Sequence[int],
+        extra_links: int,
+        delay_mean: float,
+    ) -> None:
+        """Wire one tier: MST over random points plus redundancy links.
+
+        Link delays are proportional to Euclidean distance, rescaled so
+        that the tier's mean link delay equals ``delay_mean``.
+        """
+        n = len(node_ids)
+        tree = _mst_edges(points)
+        existing = {tuple(sorted(e)) for e in tree}
+        max_extra = n * (n - 1) // 2 - len(existing)
+        extra = _redundancy_edges(points, existing, min(extra_links, max_extra))
+        edges = tree + extra
+        if not edges:
+            return
+        distances = np.array(
+            [np.linalg.norm(points[i] - points[j]) for i, j in edges]
+        )
+        # Guard degenerate layouts where all points coincide.
+        mean_dist = float(distances.mean())
+        if mean_dist <= 0:
+            delays = np.full(len(edges), delay_mean)
+        else:
+            delays = distances * (delay_mean / mean_dist)
+            # Never emit a zero-delay link: clamp to 1% of the mean.
+            delays = np.maximum(delays, delay_mean * 0.01)
+        for (i, j), delay in zip(edges, delays):
+            net.add_link(node_ids[i], node_ids[j], float(delay))

@@ -1,0 +1,124 @@
+"""Full O-ary tree topologies for the hierarchical caching architecture.
+
+Paper section 3.2 / Figure 5: caches form a full tree of fanout ``O`` and a
+given depth.  Origin servers attach above the root, clients below the
+leaves.  Link delays grow exponentially towards the root: the link between a
+level-``i`` node and its level-``(i+1)`` parent has mean delay ``g**i * d``
+where ``d`` is the base delay and ``g`` the growth factor (defaults
+``d = 0.008`` s, ``g = 5``).  The *level* of a node is its height above the
+leaves (leaves are level 0, the root is level ``depth - 1``).
+
+The virtual origin-server attachment above the root is **not** a node of the
+tree returned here; the simulator models it as a dedicated server node (see
+:func:`build_tree_topology`, which can optionally append it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.topology.graph import Network, NodeKind
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Parameters for the hierarchical architecture (paper defaults)."""
+
+    depth: int = 4
+    fanout: int = 3
+    base_delay: float = 0.008
+    growth_factor: float = 5.0
+    include_server_node: bool = True
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("tree depth must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.base_delay <= 0:
+            raise ValueError("base delay must be positive")
+        if self.growth_factor <= 0:
+            raise ValueError("growth factor must be positive")
+
+    @property
+    def num_cache_nodes(self) -> int:
+        """Number of cache nodes in a full tree of this depth/fanout."""
+        if self.fanout == 1:
+            return self.depth
+        return (self.fanout**self.depth - 1) // (self.fanout - 1)
+
+    def level_delay(self, level: int) -> float:
+        """Mean delay of the link from a level-``level`` node to its parent."""
+        return self.base_delay * self.growth_factor**level
+
+
+@dataclass(frozen=True)
+class TreeTopology:
+    """A built hierarchical topology.
+
+    Attributes
+    ----------
+    network:
+        The underlying :class:`Network`.  Node 0 is the root cache; node ids
+        increase breadth-first.  When ``config.include_server_node`` is set,
+        the last node is the origin-server attachment point, linked to the
+        root with delay ``g**(depth-1) * d`` (the paper's ``g**3 * d`` for
+        its depth-4 tree whose root sits at level 3).
+    root:
+        Node id of the root cache.
+    leaves:
+        Node ids of the leaf caches (clients attach here).
+    server_node:
+        Node id of the origin-server attachment, or ``None``.
+    """
+
+    network: Network
+    config: TreeConfig
+    root: int
+    leaves: List[int]
+    server_node: int | None
+
+
+def build_tree_topology(config: TreeConfig | None = None) -> TreeTopology:
+    """Build a full O-ary tree per the paper's hierarchical architecture.
+
+    With the paper's defaults (depth 4, fanout 3) the tree has 40 cache
+    nodes: 1 root (level 3), 3 + 9 internal (levels 2, 1) and 27 leaves
+    (level 0).  The root-to-server link delay is ``g**(depth-1) * d``
+    (``g**3 * d`` in the paper's notation where the root is level 3).
+    """
+    cfg = config or TreeConfig()
+    net = Network()
+
+    # Breadth-first construction: level of a node = height above leaves.
+    root_level = cfg.depth - 1
+    root = net.add_node(NodeKind.TREE, level=root_level)
+    frontier = [root]
+    for level in range(root_level - 1, -1, -1):
+        next_frontier: List[int] = []
+        for parent in frontier:
+            for _ in range(cfg.fanout):
+                child = net.add_node(NodeKind.TREE, level=level)
+                # Link between a level-`level` child and its parent has
+                # delay g**level * d (paper: level of the lower end).
+                net.add_link(child, parent, cfg.level_delay(level))
+                next_frontier.append(child)
+        frontier = next_frontier
+    leaves = frontier if cfg.depth > 1 else [root]
+
+    server_node: int | None = None
+    if cfg.include_server_node:
+        server_node = net.add_node(NodeKind.TREE, level=cfg.depth)
+        # Paper: "the average delay between the root node and an origin
+        # server is set to g**3 * d" for a depth-4 tree whose root sits at
+        # level 3 -- i.e. g**root_level... note g**3 = g**(depth-1).
+        net.add_link(root, server_node, cfg.level_delay(root_level))
+
+    return TreeTopology(
+        network=net,
+        config=cfg,
+        root=root,
+        leaves=leaves,
+        server_node=server_node,
+    )

@@ -1,0 +1,35 @@
+"""Workload substrate: object catalogs, Zipf popularity, traces.
+
+The paper drives its simulation with the (proprietary, now unavailable)
+Boeing proxy traces of March 1999.  This package provides (a) a trace file
+format with reader/writer so any real trace can be plugged in, and (b) a
+synthetic generator reproducing the statistical properties the paper relies
+on: Zipf-like object popularity [Breslau et al. 1999], heavy-tailed object
+sizes, Poisson request arrivals and random client/server placement.
+"""
+
+from repro.workload.catalog import ObjectCatalog, SizeDistribution
+from repro.workload.zipf import ZipfSampler
+from repro.workload.trace import Trace, TraceRecord, read_trace_csv, write_trace_csv
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+from repro.workload.scenarios import inject_flash_crowd, inject_scan
+from repro.workload.stats import fit_zipf, summarize_trace
+from repro.workload.updates import UpdateEvent, generate_update_events
+
+__all__ = [
+    "BoeingLikeTraceGenerator",
+    "ObjectCatalog",
+    "SizeDistribution",
+    "Trace",
+    "TraceRecord",
+    "UpdateEvent",
+    "WorkloadConfig",
+    "ZipfSampler",
+    "fit_zipf",
+    "generate_update_events",
+    "inject_flash_crowd",
+    "inject_scan",
+    "read_trace_csv",
+    "summarize_trace",
+    "write_trace_csv",
+]

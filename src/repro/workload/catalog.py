@@ -1,0 +1,133 @@
+"""Object catalog: ids, sizes and owning origin servers.
+
+Every origin server hosts a disjoint collection of objects (paper,
+section 2).  The catalog assigns each object a size drawn from a
+heavy-tailed distribution (lognormal body + Pareto tail), which matches
+the well-known shape of web object sizes the Boeing traces exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """Heavy-tailed object size distribution.
+
+    A fraction ``tail_fraction`` of objects draw sizes from a Pareto tail
+    starting at ``tail_min``; the rest draw from a lognormal body.  Sizes
+    are clamped to ``[min_size, max_size]`` and rounded to whole bytes.
+    Defaults are typical 1999-era web object statistics: median a few KB,
+    mean dominated by the tail.
+    """
+
+    body_median: float = 4096.0
+    body_sigma: float = 1.2
+    tail_fraction: float = 0.03
+    tail_min: float = 65536.0
+    tail_alpha: float = 1.2
+    min_size: int = 64
+    max_size: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tail_fraction <= 1:
+            raise ValueError("tail_fraction must be in [0, 1]")
+        if self.min_size <= 0 or self.max_size < self.min_size:
+            raise ValueError("invalid size bounds")
+        if self.body_median <= 0 or self.tail_min <= 0:
+            raise ValueError("size scales must be positive")
+        if self.tail_alpha <= 0:
+            raise ValueError("tail_alpha must be positive")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` object sizes in bytes."""
+        body = rng.lognormal(
+            mean=np.log(self.body_median), sigma=self.body_sigma, size=count
+        )
+        tail = self.tail_min * (1.0 + rng.pareto(self.tail_alpha, size=count))
+        is_tail = rng.random(count) < self.tail_fraction
+        sizes = np.where(is_tail, tail, body)
+        sizes = np.clip(sizes, self.min_size, self.max_size)
+        return sizes.astype(np.int64)
+
+
+class ObjectCatalog:
+    """Immutable catalog mapping object id -> (size, server id).
+
+    Object ids are dense integers ``0 .. num_objects - 1``.  Servers are
+    dense integers ``0 .. num_servers - 1``; each object belongs to exactly
+    one server (disjoint server collections, as in the paper's model).
+    """
+
+    def __init__(self, sizes: np.ndarray, servers: np.ndarray) -> None:
+        if len(sizes) != len(servers):
+            raise ValueError("sizes and servers must have equal length")
+        if len(sizes) == 0:
+            raise ValueError("catalog must contain at least one object")
+        if (sizes <= 0).any():
+            raise ValueError("object sizes must be positive")
+        if (servers < 0).any():
+            raise ValueError("server ids must be non-negative")
+        self._sizes = np.asarray(sizes, dtype=np.int64)
+        self._servers = np.asarray(servers, dtype=np.int64)
+
+    @classmethod
+    def generate(
+        cls,
+        num_objects: int,
+        num_servers: int,
+        size_distribution: SizeDistribution | None = None,
+        seed: int = 0,
+    ) -> "ObjectCatalog":
+        """Random catalog: sizes from the distribution, servers uniform."""
+        if num_objects < 1 or num_servers < 1:
+            raise ValueError("need at least one object and one server")
+        rng = np.random.default_rng(seed)
+        dist = size_distribution or SizeDistribution()
+        sizes = dist.sample(num_objects, rng)
+        servers = rng.integers(num_servers, size=num_objects)
+        return cls(sizes, servers)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._sizes)
+
+    @property
+    def num_servers(self) -> int:
+        return int(self._servers.max()) + 1
+
+    def size(self, object_id: int) -> int:
+        return int(self._sizes[object_id])
+
+    def server(self, object_id: int) -> int:
+        return int(self._servers[object_id])
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """All sizes (read-only view)."""
+        view = self._sizes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def servers(self) -> np.ndarray:
+        """All owning server ids (read-only view)."""
+        view = self._servers.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def total_bytes(self) -> int:
+        """Total size of all objects -- the paper's 'relative cache size' base."""
+        return int(self._sizes.sum())
+
+    @property
+    def mean_size(self) -> float:
+        return float(self._sizes.mean())
+
+    def objects_of_server(self, server_id: int) -> List[int]:
+        return np.nonzero(self._servers == server_id)[0].tolist()

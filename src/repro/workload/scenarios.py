@@ -1,0 +1,90 @@
+"""Non-stationary workload scenarios (stress extensions).
+
+The paper's traces are replayed as-is; these helpers synthesize the two
+classic adversarial patterns for caches so the schemes' adaptivity can be
+stressed:
+
+* :func:`inject_flash_crowd` -- a sudden burst of requests for one object
+  over a time window (a breaking-news workload).  A good cascaded scheme
+  reacts by replicating the object close to clients for the duration.
+* :func:`inject_scan` -- a one-pass sequential sweep over many cold
+  objects (a crawler).  Scans pollute recency-based caches; admission- or
+  cost-aware schemes should shrug them off.
+
+Both return new, time-sorted traces and leave the input untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.workload.catalog import ObjectCatalog
+from repro.workload.trace import Trace, TraceRecord
+
+
+def _merge(base: Trace, extra: List[TraceRecord]) -> Trace:
+    merged = sorted(
+        list(base.records) + extra, key=lambda r: r.time
+    )
+    return Trace(merged)
+
+
+def inject_flash_crowd(
+    trace: Trace,
+    catalog: ObjectCatalog,
+    object_id: int,
+    start: float,
+    duration: float,
+    extra_rate: float,
+    num_clients: int,
+    seed: int = 0,
+) -> Trace:
+    """Add a Poisson burst of requests for one object during a window."""
+    if duration <= 0 or extra_rate <= 0:
+        raise ValueError("duration and extra_rate must be positive")
+    if num_clients < 1:
+        raise ValueError("need at least one client")
+    rng = np.random.default_rng(seed)
+    count = int(rng.poisson(extra_rate * duration))
+    times = np.sort(rng.random(count) * duration) + start
+    clients = rng.integers(num_clients, size=count)
+    size = catalog.size(object_id)
+    server = catalog.server(object_id)
+    extra = [
+        TraceRecord(
+            time=float(t),
+            client_id=int(c),
+            object_id=object_id,
+            server_id=server,
+            size=size,
+        )
+        for t, c in zip(times, clients)
+    ]
+    return _merge(trace, extra)
+
+
+def inject_scan(
+    trace: Trace,
+    catalog: ObjectCatalog,
+    start: float,
+    inter_arrival: float,
+    object_ids: List[int] | None = None,
+    client_id: int = 0,
+) -> Trace:
+    """Add a one-pass sequential scan over objects starting at ``start``."""
+    if inter_arrival <= 0:
+        raise ValueError("inter_arrival must be positive")
+    ids = object_ids if object_ids is not None else list(range(catalog.num_objects))
+    extra = [
+        TraceRecord(
+            time=start + i * inter_arrival,
+            client_id=client_id,
+            object_id=oid,
+            server_id=catalog.server(oid),
+            size=catalog.size(oid),
+        )
+        for i, oid in enumerate(ids)
+    ]
+    return _merge(trace, extra)

@@ -1,0 +1,92 @@
+"""Trace analysis: the statistics the paper's workload argument rests on.
+
+Section 3.1 argues the Boeing requests follow a Zipf-like popularity law
+and that subtrace extraction preserves relative frequencies.  When a user
+plugs a *real* trace into the simulator, these helpers verify the same
+properties hold: Zipf-parameter estimation by least-squares on the
+log-log rank-frequency curve, size statistics, and request-rate
+summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class PopularityFit:
+    """Zipf-like fit of a trace's rank-frequency curve."""
+
+    theta: float
+    r_squared: float
+    num_objects: int
+    top_decile_share: float
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate workload statistics for one trace."""
+
+    requests: int
+    unique_objects: int
+    unique_clients: int
+    duration: float
+    mean_request_rate: float
+    mean_size: float
+    median_size: float
+    total_bytes: int
+
+
+def fit_zipf(trace: Trace, min_objects: int = 10) -> PopularityFit:
+    """Estimate the Zipf parameter from a trace's rank-frequency curve.
+
+    Fits ``log(count) = c - theta * log(rank)`` by least squares over all
+    object ranks.  ``r_squared`` reports fit quality; a value near 1 means
+    the trace is genuinely Zipf-like (the paper's assumption).
+    """
+    counts: dict[int, int] = {}
+    for record in trace:
+        counts[record.object_id] = counts.get(record.object_id, 0) + 1
+    if len(counts) < min_objects:
+        raise ValueError(
+            f"need at least {min_objects} distinct objects to fit, "
+            f"got {len(counts)}"
+        )
+    ranked = np.sort(np.array(list(counts.values()), dtype=np.float64))[::-1]
+    ranks = np.arange(1, len(ranked) + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(ranked)
+    slope, intercept = np.polyfit(x, y, 1)
+    predictions = slope * x + intercept
+    residual = np.sum((y - predictions) ** 2)
+    total = np.sum((y - y.mean()) ** 2)
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    top = max(1, len(ranked) // 10)
+    return PopularityFit(
+        theta=float(-slope),
+        r_squared=float(r_squared),
+        num_objects=len(ranked),
+        top_decile_share=float(ranked[:top].sum() / ranked.sum()),
+    )
+
+
+def summarize_trace(trace: Trace) -> TraceStatistics:
+    """Aggregate statistics for one trace."""
+    if len(trace) == 0:
+        raise ValueError("cannot summarize an empty trace")
+    sizes = np.array([r.size for r in trace], dtype=np.float64)
+    duration = trace.duration
+    return TraceStatistics(
+        requests=len(trace),
+        unique_objects=trace.unique_objects(),
+        unique_clients=len({r.client_id for r in trace}),
+        duration=duration,
+        mean_request_rate=(len(trace) / duration if duration > 0 else 0.0),
+        mean_size=float(sizes.mean()),
+        median_size=float(np.median(sizes)),
+        total_bytes=int(sizes.sum()),
+    )

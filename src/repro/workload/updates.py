@@ -1,0 +1,67 @@
+"""Object-update (invalidation) event streams.
+
+The paper assumes cached objects are up to date, "e.g., by using a cache
+coherency protocol [9] if necessary" (section 2), and notes web objects
+are read-mostly [13].  This module provides the missing piece as an
+extension: a stream of server-side update events that invalidate every
+cached copy of an object, so the read-mostly assumption can be stressed
+(see ``benchmarks/test_ablation_invalidation.py``).
+
+Update targets follow a Zipf law like reads do (popular objects are also
+updated more often), with an independently configurable skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One server-side object update at a point in time."""
+
+    time: float
+    object_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("update time must be non-negative")
+        if self.object_id < 0:
+            raise ValueError("object id must be non-negative")
+
+
+def generate_update_events(
+    num_objects: int,
+    duration: float,
+    update_rate: float,
+    zipf_theta: float = 0.8,
+    seed: int = 0,
+) -> List[UpdateEvent]:
+    """Poisson stream of updates over ``[0, duration]``.
+
+    ``update_rate`` is the aggregate updates per unit time across all
+    objects.  A rate of 0 returns an empty stream.
+    """
+    if num_objects < 1:
+        raise ValueError("need at least one object")
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    if update_rate < 0:
+        raise ValueError("update_rate must be non-negative")
+    if update_rate == 0 or duration == 0:
+        return []
+    rng = np.random.default_rng(seed)
+    count = int(rng.poisson(update_rate * duration))
+    if count == 0:
+        return []
+    times = np.sort(rng.random(count) * duration)
+    objects = ZipfSampler(num_objects, zipf_theta).sample(count, rng)
+    return [
+        UpdateEvent(time=float(t), object_id=int(o))
+        for t, o in zip(times, objects)
+    ]

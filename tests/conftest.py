@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.model import LatencyCostModel
+from repro.topology.builder import build_chain
+from repro.workload.catalog import ObjectCatalog
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+
+
+@pytest.fixture
+def chain4():
+    """A 5-node chain 0-1-2-3-4 with unit link delays.
+
+    Node 4 plays the origin-server attachment; node 0 the client node.
+    """
+    return build_chain([1.0, 1.0, 1.0, 1.0])
+
+
+@pytest.fixture
+def chain_costs(chain4):
+    """Latency cost model on the chain, avg size 100 (so size 100 -> cost 1/hop)."""
+    return LatencyCostModel(chain4, avg_size=100.0)
+
+
+@pytest.fixture
+def tiny_catalog():
+    return ObjectCatalog.generate(num_objects=50, num_servers=5, seed=3)
+
+
+@pytest.fixture
+def tiny_workload():
+    return WorkloadConfig(
+        num_objects=80,
+        num_servers=5,
+        num_clients=10,
+        num_requests=2_000,
+        zipf_theta=0.8,
+        seed=11,
+    )
+
+
+@pytest.fixture
+def tiny_trace(tiny_workload):
+    generator = BoeingLikeTraceGenerator(tiny_workload)
+    return generator.generate(), generator.catalog

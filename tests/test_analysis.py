@@ -1,0 +1,287 @@
+"""Tests for the analytical companions (tree placement DP, Che approximation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.che import (
+    characteristic_time,
+    expected_byte_hit_ratio,
+    lru_hit_ratios,
+)
+from repro.analysis.tree_placement import (
+    TreePlacementProblem,
+    brute_force_tree_placement,
+    optimal_tree_placement,
+)
+from repro.core.placement import PlacementProblem, solve_placement
+
+
+def chain_problem(link_costs, demands, losses):
+    """A chain rooted at node 0: 0 <- 1 <- 2 <- ..."""
+    n = len(demands)
+    parents = tuple([-1] + list(range(n - 1)))
+    return TreePlacementProblem(
+        parents=parents,
+        link_costs=tuple(link_costs),
+        demands=tuple(demands),
+        losses=tuple(losses),
+    )
+
+
+class TestProblemValidation:
+    def test_requires_single_root(self):
+        with pytest.raises(ValueError):
+            TreePlacementProblem((0,), (0.0,), (0.0,), (0.0,))
+        with pytest.raises(ValueError):
+            TreePlacementProblem((-1, -1), (0.0, 0.0), (0.0, 0.0), (0.0, 0.0))
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            TreePlacementProblem(
+                (-1, 2, 1), (0.0, 1.0, 1.0), (0.0, 0.0, 0.0), (0.0, 0.0, 0.0)
+            )
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            chain_problem([0.0, -1.0], [0.0, 0.0], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            chain_problem([0.0, 1.0], [0.0, -1.0], [0.0, 0.0])
+
+    def test_total_cost_of_empty_placement(self):
+        # Demand 2 at node 2, two unit links up to the root.
+        problem = chain_problem([0.0, 1.0, 1.0], [0.0, 0.0, 2.0], [0.0] * 3)
+        assert problem.total_cost(set()) == pytest.approx(4.0)
+        assert problem.total_cost({1}) == pytest.approx(2.0)
+        assert problem.total_cost({2}) == pytest.approx(0.0)
+
+
+class TestOptimalTreePlacement:
+    def test_caches_at_demand_hotspot(self):
+        problem = chain_problem([0.0, 1.0, 1.0], [0.0, 0.0, 5.0], [0.5, 0.5, 0.5])
+        solution = optimal_tree_placement(problem)
+        assert solution.nodes == frozenset({2})
+        assert solution.saving == pytest.approx(5.0 * 2 - 0.5)
+
+    def test_empty_when_losses_prohibitive(self):
+        problem = chain_problem([0.0, 1.0], [0.0, 1.0], [0.0, 100.0])
+        solution = optimal_tree_placement(problem)
+        assert solution.nodes == frozenset()
+        assert solution.saving == 0.0
+
+    def test_branching_tree(self):
+        #       0 (root)
+        #      / \
+        #     1   2     demands at leaves 3 (under 1) and 4 (under 2)
+        #     |   |
+        #     3   4
+        problem = TreePlacementProblem(
+            parents=(-1, 0, 0, 1, 2),
+            link_costs=(0.0, 1.0, 1.0, 1.0, 1.0),
+            demands=(0.0, 0.0, 0.0, 4.0, 4.0),
+            losses=(0.0, 1.0, 1.0, 1.0, 1.0),
+        )
+        solution = optimal_tree_placement(problem)
+        assert solution.nodes == frozenset({3, 4})
+
+    def test_shared_parent_beats_two_leaves_when_losses_high(self):
+        # One node serving both leaves is cheaper when leaf losses are big.
+        problem = TreePlacementProblem(
+            parents=(-1, 0, 1, 1),
+            link_costs=(0.0, 5.0, 0.1, 0.1),
+            demands=(0.0, 0.0, 3.0, 3.0),
+            losses=(0.0, 0.5, 40.0, 40.0),
+        )
+        solution = optimal_tree_placement(problem)
+        assert solution.nodes == frozenset({1})
+
+    def test_matches_brute_force_fixed_cases(self):
+        cases = [
+            chain_problem([0, 2, 1, 3], [0, 1, 5, 2], [0, 1, 2, 1]),
+            TreePlacementProblem(
+                parents=(-1, 0, 0, 1, 1, 2, 2),
+                link_costs=(0, 1, 2, 1, 3, 2, 1),
+                demands=(0, 1, 0, 4, 2, 0, 5),
+                losses=(0, 2, 1, 3, 1, 0.5, 2),
+            ),
+        ]
+        for problem in cases:
+            dp = optimal_tree_placement(problem)
+            bf = brute_force_tree_placement(problem)
+            assert dp.saving == pytest.approx(bf.saving)
+            assert dp.total_cost == pytest.approx(bf.total_cost)
+
+    def test_solution_cost_matches_objective(self):
+        problem = chain_problem([0, 1, 2, 1, 1], [0, 2, 0, 3, 1], [0, 1, 1, 1, 1])
+        solution = optimal_tree_placement(problem)
+        assert solution.total_cost == pytest.approx(
+            problem.total_cost(set(solution.nodes))
+        )
+        assert solution.saving == pytest.approx(
+            problem.total_cost(set()) - solution.total_cost
+        )
+
+
+@st.composite
+def random_trees(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    parents = [-1]
+    for v in range(1, n):
+        parents.append(draw(st.integers(min_value=0, max_value=v - 1)))
+    link_costs = [0.0] + [
+        draw(st.floats(min_value=0.0, max_value=10.0)) for _ in range(n - 1)
+    ]
+    demands = [
+        draw(st.floats(min_value=0.0, max_value=10.0)) for _ in range(n)
+    ]
+    losses = [
+        draw(st.floats(min_value=0.0, max_value=30.0)) for _ in range(n)
+    ]
+    return TreePlacementProblem(
+        tuple(parents), tuple(link_costs), tuple(demands), tuple(losses)
+    )
+
+
+class TestTreePlacementProperties:
+    @given(random_trees())
+    @settings(max_examples=150, deadline=None)
+    def test_dp_equals_brute_force(self, problem):
+        dp = optimal_tree_placement(problem)
+        bf = brute_force_tree_placement(problem)
+        assert dp.saving == pytest.approx(bf.saving, abs=1e-6)
+
+    @given(random_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_saving_nonnegative_and_consistent(self, problem):
+        solution = optimal_tree_placement(problem)
+        assert solution.saving >= -1e-9
+        assert solution.total_cost == pytest.approx(
+            problem.total_cost(set(solution.nodes)), abs=1e-6
+        )
+
+
+class TestPathEquivalence:
+    def test_chain_tree_matches_path_dp(self):
+        """On a chain, the tree DP and the paper's path DP agree.
+
+        Path positions A_1..A_n (server-adjacent first) map to chain
+        nodes 1..n below the root; the paper's cumulative frequency f_i
+        equals the sum of local demands at positions i..n.
+        """
+        link_costs = [0.0, 1.0, 2.0, 0.5, 1.5]
+        local_demands = [0.0, 1.0, 0.5, 3.0, 0.25]
+        losses = [0.0, 0.7, 0.2, 1.1, 0.4]
+        tree = chain_problem(link_costs, local_demands, losses)
+        tree_solution = optimal_tree_placement(tree)
+
+        n = len(link_costs) - 1
+        cumulative = [sum(local_demands[i:]) for i in range(1, n + 1)]
+        penalties = [sum(link_costs[1 : i + 1]) for i in range(1, n + 1)]
+        path = PlacementProblem(
+            frequencies=tuple(cumulative),
+            penalties=tuple(penalties),
+            losses=tuple(losses[1:]),
+        )
+        path_solution = solve_placement(path)
+        assert tree_solution.saving == pytest.approx(path_solution.gain)
+        assert tree_solution.nodes == frozenset(
+            i + 1 for i in path_solution.indices
+        )
+
+
+class TestCheApproximation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            characteristic_time([], [], 10)
+        with pytest.raises(ValueError):
+            characteristic_time([1.0], [1.0, 2.0], 10)
+        with pytest.raises(ValueError):
+            characteristic_time([-1.0], [1.0], 10)
+        with pytest.raises(ValueError):
+            characteristic_time([1.0], [0.0], 10)
+
+    def test_zero_capacity(self):
+        assert characteristic_time([1.0], [10.0], 0.0) == 0.0
+        assert expected_byte_hit_ratio([1.0], [10.0], 0.0) == 0.0
+
+    def test_infinite_capacity_hits_everything(self):
+        ratios = lru_hit_ratios([1.0, 2.0], [10.0, 10.0], 1000.0)
+        assert (ratios == 1.0).all()
+        assert expected_byte_hit_ratio([1.0, 2.0], [10.0, 10.0], 1000.0) == 1.0
+
+    def test_characteristic_time_fills_capacity(self):
+        rng = np.random.default_rng(0)
+        rates = rng.random(100) * 5
+        sizes = rng.integers(1, 100, size=100).astype(float)
+        capacity = 0.3 * sizes.sum()
+        t = characteristic_time(rates, sizes, capacity)
+        occupied = np.sum(sizes * -np.expm1(-rates * t))
+        assert occupied == pytest.approx(capacity, rel=1e-6)
+
+    def test_hit_ratio_monotone_in_capacity(self):
+        rates = 1.0 / np.arange(1, 51)
+        sizes = np.full(50, 10.0)
+        ratios = [
+            expected_byte_hit_ratio(rates, sizes, c) for c in (50, 150, 400)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_matches_simulated_lru_cache(self):
+        """Simulated single-LRU byte hit ratio ~= Che prediction."""
+        from repro.costs.model import LatencyCostModel
+        from repro.schemes.lru_everywhere import LRUEverywhereScheme
+        from repro.topology.builder import build_chain
+        from repro.workload.generator import (
+            BoeingLikeTraceGenerator,
+            WorkloadConfig,
+        )
+        from repro.workload.zipf import ZipfSampler
+
+        config = WorkloadConfig(
+            num_objects=300,
+            num_servers=1,
+            num_clients=1,
+            num_requests=60_000,
+            zipf_theta=0.8,
+            seed=17,
+        )
+        generator = BoeingLikeTraceGenerator(config)
+        trace = generator.generate()
+        catalog = generator.catalog
+        capacity = int(0.1 * catalog.total_bytes)
+
+        network = build_chain([1.0])
+        cost = LatencyCostModel(network, catalog.mean_size)
+        scheme = LRUEverywhereScheme(cost, capacity_bytes=capacity)
+        hits = requested = 0
+        warmup = len(trace) // 2
+        for index, record in enumerate(trace):
+            outcome = scheme.process_request(
+                [0, 1], record.object_id, record.size, record.time
+            )
+            if index >= warmup:
+                requested += record.size
+                if outcome.served_by_cache:
+                    hits += record.size
+        simulated = hits / requested
+
+        # Build the theoretical per-object rates from the generator's
+        # actual popularity mapping: rank r has Zipf probability p_r.
+        sampler = ZipfSampler(config.num_objects, config.zipf_theta)
+        rng = np.random.default_rng(config.seed + 1)
+        rank_to_object = rng.permutation(config.num_objects)
+        rates = np.zeros(config.num_objects)
+        for rank in range(config.num_objects):
+            rates[rank_to_object[rank]] = (
+                sampler.probability(rank) * config.request_rate
+            )
+        sizes = catalog.sizes.astype(float)
+        # Skip objects too large to cache at all (Che assumes they churn).
+        cacheable = sizes <= capacity
+        theory = expected_byte_hit_ratio(
+            rates[cacheable], sizes[cacheable], capacity
+        ) * (rates[cacheable] * sizes[cacheable]).sum() / (rates * sizes).sum()
+        assert simulated == pytest.approx(theory, abs=0.08)

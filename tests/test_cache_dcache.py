@@ -1,0 +1,75 @@
+"""Tests for the LFU descriptor cache (paper section 2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.dcache import DescriptorCache
+from repro.cache.descriptors import ObjectDescriptor
+
+
+def desc(object_id: int, size: int = 100) -> ObjectDescriptor:
+    return ObjectDescriptor(object_id, size)
+
+
+class TestDescriptorCache:
+    def test_insert_and_get(self):
+        dcache = DescriptorCache(2)
+        d = desc(1)
+        assert dcache.insert(d) == []
+        assert dcache.get(1) is d
+        assert len(dcache) == 1
+
+    def test_zero_capacity_rejects_everything(self):
+        dcache = DescriptorCache(0)
+        d = desc(1)
+        assert dcache.insert(d) == [d]
+        assert 1 not in dcache
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DescriptorCache(-1)
+
+    def test_lfu_eviction(self):
+        dcache = DescriptorCache(2)
+        dcache.insert(desc(1))
+        dcache.insert(desc(2))
+        dcache.get(1)  # 1 now has 2 references, 2 has 1
+        evicted = dcache.insert(desc(3))
+        assert [d.object_id for d in evicted] == [2]
+        assert 1 in dcache and 3 in dcache
+
+    def test_peek_does_not_promote(self):
+        dcache = DescriptorCache(2)
+        dcache.insert(desc(1))
+        dcache.insert(desc(2))
+        dcache.peek(1)  # no LFU promotion: 1 and 2 tie, 1 is older
+        evicted = dcache.insert(desc(3))
+        assert [d.object_id for d in evicted] == [1]
+
+    def test_reinsert_existing_replaces_without_eviction(self):
+        dcache = DescriptorCache(1)
+        dcache.insert(desc(1, size=10))
+        replacement = desc(1, size=20)
+        assert dcache.insert(replacement) == []
+        assert dcache.peek(1) is replacement
+
+    def test_remove(self):
+        dcache = DescriptorCache(2)
+        d = desc(5)
+        dcache.insert(d)
+        assert dcache.remove(5) is d
+        assert dcache.remove(5) is None
+        assert len(dcache) == 0
+
+    def test_capacity_never_exceeded(self):
+        dcache = DescriptorCache(3)
+        for i in range(20):
+            dcache.insert(desc(i))
+            dcache.check_invariants()
+        assert len(dcache) == 3
+
+    def test_miss_returns_none(self):
+        dcache = DescriptorCache(2)
+        assert dcache.get(42) is None
+        assert dcache.peek(42) is None

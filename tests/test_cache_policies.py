@@ -1,0 +1,187 @@
+"""Tests for the LRU / LFU / NCL caches and the shared byte accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import CacheTooSmallError
+from repro.cache.descriptors import ObjectDescriptor
+from repro.cache.lfu import LFUCache
+from repro.cache.lru import LRUCache
+from repro.cache.ncl import NCLCache
+
+
+def desc(object_id: int, size: int, penalty: float = 1.0) -> ObjectDescriptor:
+    return ObjectDescriptor(object_id, size, miss_penalty=penalty)
+
+
+class TestBaseCacheAccounting:
+    def test_insert_and_lookup(self):
+        cache = LRUCache(100)
+        assert cache.insert(desc(1, 40), now=0.0) == []
+        assert 1 in cache
+        assert cache.used_bytes == 40
+        assert cache.free_bytes == 60
+
+    def test_duplicate_insert_is_noop(self):
+        cache = LRUCache(100)
+        cache.insert(desc(1, 40), now=0.0)
+        assert cache.insert(desc(1, 40), now=1.0) == []
+        assert cache.used_bytes == 40
+
+    def test_oversized_object_raises(self):
+        cache = LRUCache(100)
+        with pytest.raises(CacheTooSmallError):
+            cache.insert(desc(1, 101), now=0.0)
+
+    def test_remove_returns_entry_and_frees_space(self):
+        cache = LRUCache(100)
+        cache.insert(desc(1, 40), now=0.0)
+        entry = cache.remove(1)
+        assert entry is not None and entry.object_id == 1
+        assert cache.used_bytes == 0
+        assert cache.remove(1) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_invariants_after_churn(self):
+        cache = LRUCache(100)
+        for i in range(50):
+            cache.insert(desc(i, 10 + (i % 17)), now=float(i))
+            cache.check_invariants()
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(100)
+        cache.insert(desc(1, 50), now=0.0)
+        cache.insert(desc(2, 50), now=1.0)
+        cache.access(1, now=2.0)  # 2 is now LRU
+        cache.insert(desc(3, 50), now=3.0)
+        assert 1 in cache and 3 in cache
+        assert 2 not in cache
+
+    def test_evicts_multiple_when_needed(self):
+        cache = LRUCache(100)
+        cache.insert(desc(1, 40), now=0.0)
+        cache.insert(desc(2, 40), now=1.0)
+        evicted = cache.insert(desc(3, 90), now=2.0)
+        assert {e.object_id for e in evicted} == {1, 2}
+        assert cache.used_bytes == 90
+
+    def test_access_refreshes_recency(self):
+        cache = LRUCache(100)
+        cache.insert(desc(1, 30), now=0.0)
+        cache.insert(desc(2, 30), now=1.0)
+        cache.access(1, now=2.0)
+        assert cache.recency_order() == [2, 1]
+
+    def test_miss_returns_none(self):
+        cache = LRUCache(100)
+        assert cache.access(9, now=0.0) is None
+
+
+class TestLFUCache:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(100)
+        cache.insert(desc(1, 50), now=0.0)
+        cache.insert(desc(2, 50), now=1.0)
+        cache.access(1, now=2.0)
+        cache.access(1, now=3.0)
+        cache.insert(desc(3, 50), now=4.0)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_tie_broken_by_lru(self):
+        cache = LFUCache(100)
+        cache.insert(desc(1, 50), now=0.0)
+        cache.insert(desc(2, 50), now=1.0)
+        cache.access(1, now=2.0)
+        cache.access(2, now=3.0)  # equal counts; 1 older
+        cache.insert(desc(3, 50), now=4.0)
+        assert 1 not in cache and 2 in cache
+
+    def test_hit_count_tracking(self):
+        cache = LFUCache(100)
+        cache.insert(desc(7, 10), now=0.0)
+        assert cache.hit_count(7) == 1
+        cache.access(7, now=1.0)
+        cache.access(7, now=2.0)
+        assert cache.hit_count(7) == 3
+
+
+class TestNCLCache:
+    def test_evicts_smallest_ncl_first(self):
+        cache = NCLCache(100)
+        # NCL = f * m / s; fabricate penalties so object 1 is cheapest.
+        d1 = desc(1, 50, penalty=0.1)
+        d2 = desc(2, 50, penalty=100.0)
+        d1.record_access(0.0)
+        d2.record_access(0.0)
+        cache.insert(d1, now=0.0)
+        cache.insert(d2, now=0.0)
+        cache.insert(desc(3, 50, penalty=1.0), now=1.0)
+        assert 1 not in cache and 2 in cache
+
+    def test_eviction_order_sorted_by_key(self):
+        cache = NCLCache(1000)
+        for i, penalty in enumerate([5.0, 1.0, 3.0]):
+            d = desc(i, 10, penalty=penalty)
+            d.record_access(0.0)
+            cache.insert(d, now=0.0)
+        assert cache.eviction_order() == [1, 2, 0]
+
+    def test_set_miss_penalty_reorders(self):
+        cache = NCLCache(1000)
+        for i, penalty in enumerate([1.0, 2.0]):
+            d = desc(i, 10, penalty=penalty)
+            d.record_access(0.0)
+            cache.insert(d, now=0.0)
+        assert cache.eviction_order() == [0, 1]
+        cache.set_miss_penalty(0, 50.0, now=1.0)
+        assert cache.eviction_order() == [1, 0]
+
+    def test_record_access_raises_on_missing(self):
+        cache = NCLCache(100)
+        with pytest.raises(KeyError):
+            cache.record_access(1, now=0.0)
+
+    def test_cost_loss_zero_when_fits(self):
+        cache = NCLCache(100)
+        assert cache.cost_loss(1, 50, now=0.0) == 0.0
+
+    def test_cost_loss_zero_when_already_cached(self):
+        cache = NCLCache(100)
+        cache.insert(desc(1, 80), now=0.0)
+        assert cache.cost_loss(1, 80, now=1.0) == 0.0
+
+    def test_cost_loss_none_when_oversized(self):
+        cache = NCLCache(100)
+        assert cache.cost_loss(1, 200, now=0.0) is None
+
+    def test_cost_loss_sums_victim_fm(self):
+        cache = NCLCache(100)
+        d1 = desc(1, 60, penalty=2.0)
+        d1.record_access(0.0)
+        f1 = d1.frequency(0.0)
+        cache.insert(d1, now=0.0)
+        loss = cache.cost_loss(2, 80, now=0.0)
+        assert loss == pytest.approx(f1 * 2.0)
+
+    def test_cost_loss_does_not_mutate(self):
+        cache = NCLCache(100)
+        cache.insert(desc(1, 60), now=0.0)
+        cache.cost_loss(2, 80, now=0.0)
+        assert 1 in cache
+        cache.check_invariants()
+
+    def test_invariants_after_heavy_churn(self):
+        cache = NCLCache(500)
+        for i in range(200):
+            d = desc(i, 20 + (i * 7) % 90, penalty=float((i * 13) % 11))
+            d.record_access(float(i))
+            cache.insert(d, now=float(i))
+            if i % 3 == 0 and (i - 1) in cache:
+                cache.set_miss_penalty(i - 1, float(i % 29), now=float(i))
+            cache.check_invariants()

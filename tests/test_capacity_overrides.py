@@ -1,0 +1,110 @@
+"""Tests for heterogeneous per-node cache capacities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coordinated import CoordinatedScheme
+from repro.costs.model import LatencyCostModel
+from repro.schemes.lru_everywhere import LRUEverywhereScheme
+from repro.sim.architecture import (
+    build_hierarchical_architecture,
+    level_capacity_overrides,
+)
+from repro.sim.factory import build_scheme
+from repro.topology.builder import build_chain
+from repro.topology.tree import TreeConfig, build_tree_topology
+
+
+@pytest.fixture
+def costs():
+    return LatencyCostModel(build_chain([1.0] * 3), avg_size=100.0)
+
+
+class TestCapacityFor:
+    def test_default_is_uniform(self, costs):
+        scheme = LRUEverywhereScheme(costs, 500)
+        assert scheme.capacity_for(0) == 500
+        assert scheme.capacity_for(2) == 500
+
+    def test_overrides_apply_per_node(self, costs):
+        scheme = LRUEverywhereScheme(
+            costs, 500, capacity_overrides={1: 100, 2: 900}
+        )
+        assert scheme.capacity_for(0) == 500
+        assert scheme.capacity_for(1) == 100
+        assert scheme.capacity_for(2) == 900
+        assert scheme.cache_at(1).capacity_bytes == 100
+        assert scheme.cache_at(2).capacity_bytes == 900
+
+    def test_negative_override_rejected(self, costs):
+        with pytest.raises(ValueError):
+            LRUEverywhereScheme(costs, 500, capacity_overrides={0: -1})
+
+    def test_coordinated_respects_overrides(self, costs):
+        scheme = CoordinatedScheme(
+            costs, 500, dcache_entries=4, capacity_overrides={0: 50}
+        )
+        assert scheme.cache_at(0).capacity_bytes == 50
+        assert scheme.cache_at(1).capacity_bytes == 500
+
+    def test_factory_passes_overrides(self, costs):
+        for name in ("lru", "modulo", "lnc-r", "coordinated", "lfu", "gds",
+                     "admission-lru"):
+            scheme = build_scheme(
+                name, costs, 500, 4, capacity_overrides={0: 123}
+            )
+            assert scheme.cache_at(0).capacity_bytes == 123
+
+    def test_zero_capacity_node_never_caches(self, costs):
+        scheme = LRUEverywhereScheme(costs, 500, capacity_overrides={0: 0})
+        outcome = scheme.process_request([0, 1, 2, 3], 7, 100, now=0.0)
+        assert 0 not in outcome.inserted_nodes
+        assert 1 in outcome.inserted_nodes
+
+
+class TestLevelCapacityOverrides:
+    def test_budget_preserved(self):
+        topo = build_tree_topology(TreeConfig(include_server_node=False))
+        overrides = level_capacity_overrides(
+            topo.network, base_capacity=1000, level_multipliers={0: 2.0}
+        )
+        assert len(overrides) == topo.network.num_nodes
+        total = sum(overrides.values())
+        budget = 1000 * topo.network.num_nodes
+        assert abs(total - budget) <= topo.network.num_nodes  # int flooring
+
+    def test_multiplied_levels_get_more(self):
+        topo = build_tree_topology(TreeConfig(include_server_node=False))
+        overrides = level_capacity_overrides(
+            topo.network, 1000, level_multipliers={3: 4.0}
+        )
+        root_capacity = overrides[topo.root]
+        leaf_capacity = overrides[topo.leaves[0]]
+        assert root_capacity == pytest.approx(4 * leaf_capacity, rel=0.01)
+
+    def test_validation(self):
+        topo = build_tree_topology(TreeConfig(depth=2, fanout=2))
+        with pytest.raises(ValueError):
+            level_capacity_overrides(topo.network, -1, {})
+        with pytest.raises(ValueError):
+            level_capacity_overrides(topo.network, 10, {0: -2.0})
+
+    def test_all_zero_multipliers(self):
+        topo = build_tree_topology(TreeConfig(depth=2, fanout=2))
+        overrides = level_capacity_overrides(
+            topo.network, 10, {lvl: 0.0 for lvl in range(3)}
+        )
+        assert all(v == 0 for v in overrides.values())
+
+    def test_end_to_end_with_architecture(self):
+        arch = build_hierarchical_architecture(num_clients=5, num_servers=1)
+        overrides = level_capacity_overrides(
+            arch.network, 10_000, level_multipliers={0: 3.0}
+        )
+        cost = LatencyCostModel(arch.network, 1000.0)
+        scheme = build_scheme(
+            "coordinated", cost, 10_000, 8, capacity_overrides=overrides
+        )
+        leaf = next(iter(arch.client_nodes.values()))
+        assert scheme.cache_at(leaf).capacity_bytes == overrides[leaf]

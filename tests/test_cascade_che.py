@@ -1,0 +1,102 @@
+"""Tests for the cascaded (tree) Che approximation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.che import (
+    cascade_byte_hit_ratio,
+    cascade_lru_hit_ratios,
+    expected_byte_hit_ratio,
+)
+
+
+class TestCascadeLRUHitRatios:
+    def test_shape_and_bounds(self):
+        rates = 1.0 / np.arange(1, 31)
+        sizes = np.full(30, 10.0)
+        hit = cascade_lru_hit_ratios(rates, sizes, 60.0, fanouts=[3, 3])
+        assert hit.shape == (3, 30)
+        assert ((hit >= 0) & (hit <= 1)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cascade_lru_hit_ratios([1.0], [1.0], 10.0, fanouts=[0])
+
+    def test_single_level_matches_plain_che(self):
+        """With no fanouts the cascade is one cache seeing full demand."""
+        rates = 1.0 / np.arange(1, 51)
+        sizes = np.full(50, 10.0)
+        cascade = cascade_byte_hit_ratio(rates, sizes, 100.0, fanouts=[])
+        plain = expected_byte_hit_ratio(rates, sizes, 100.0)
+        assert cascade == pytest.approx(plain)
+
+    def test_upper_levels_catch_less_popular_mass(self):
+        """Leaves absorb the head; upper levels see flattened demand."""
+        rates = 1.0 / np.arange(1, 101) ** 0.8
+        sizes = np.full(100, 10.0)
+        hit = cascade_lru_hit_ratios(rates, sizes, 200.0, fanouts=[3, 3])
+        # The hottest object hits hard at the leaves; its residual miss
+        # stream upward is tiny relative to colder objects.
+        assert hit[0, 0] > 0.9
+        # Overall coverage exceeds any single level's coverage.
+        rates_arr = rates / rates.sum()
+        overall = cascade_byte_hit_ratio(rates, sizes, 200.0, fanouts=[3, 3])
+        single = expected_byte_hit_ratio(rates, sizes, 200.0)
+        assert overall > single * 0.99
+
+    def test_matches_simulated_lru_tree(self):
+        """Cascade Che vs a simulated LRU-everywhere cache hierarchy."""
+        from repro.costs.model import LatencyCostModel
+        from repro.schemes.lru_everywhere import LRUEverywhereScheme
+        from repro.sim.architecture import build_hierarchical_architecture
+        from repro.sim.engine import SimulationEngine
+        from repro.topology.tree import TreeConfig
+        from repro.workload.catalog import SizeDistribution
+        from repro.workload.generator import (
+            BoeingLikeTraceGenerator,
+            WorkloadConfig,
+        )
+        from repro.workload.zipf import ZipfSampler
+
+        workload = WorkloadConfig(
+            num_objects=200,
+            num_servers=1,
+            num_clients=27,
+            num_requests=60_000,
+            zipf_theta=0.8,
+            seed=19,
+            # Bounded sizes keep every object cacheable (Che's regime).
+            size_distribution=SizeDistribution(
+                tail_fraction=0.0, body_median=2048, body_sigma=0.5,
+                max_size=8192,
+            ),
+        )
+        generator = BoeingLikeTraceGenerator(workload)
+        trace = generator.generate()
+        catalog = generator.catalog
+        arch = build_hierarchical_architecture(
+            workload.num_clients, workload.num_servers,
+            tree_config=TreeConfig(depth=3, fanout=3), seed=1,
+        )
+        cost = LatencyCostModel(arch.network, catalog.mean_size)
+        capacity = int(0.05 * catalog.total_bytes)
+        scheme = LRUEverywhereScheme(cost, capacity_bytes=capacity)
+        result = SimulationEngine(arch, cost, scheme, warmup_fraction=0.5).run(trace)
+        simulated = result.summary.byte_hit_ratio
+
+        sampler = ZipfSampler(workload.num_objects, workload.zipf_theta)
+        rng = np.random.default_rng(workload.seed + 1)
+        rank_to_object = rng.permutation(workload.num_objects)
+        rates = np.zeros(workload.num_objects)
+        for rank in range(workload.num_objects):
+            rates[rank_to_object[rank]] = (
+                sampler.probability(rank) * workload.request_rate
+            )
+        # Clients attach to leaves non-uniformly (random), so the even-
+        # split assumption is approximate -- hence the loose tolerance.
+        theory = cascade_byte_hit_ratio(
+            rates, catalog.sizes.astype(float), capacity, fanouts=[3, 3]
+        )
+        assert simulated == pytest.approx(theory, abs=0.12)

@@ -1,0 +1,60 @@
+"""Tests for ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.charts import render_ascii_chart
+
+
+@pytest.fixture
+def two_series():
+    return {
+        "lru": [(0.001, 10.0), (0.01, 8.0), (0.1, 5.0)],
+        "coordinated": [(0.001, 9.0), (0.01, 5.0), (0.1, 2.0)],
+    }
+
+
+class TestRenderAsciiChart:
+    def test_contains_title_axis_and_legend(self, two_series):
+        chart = render_ascii_chart(two_series, title="Figure X")
+        assert chart.splitlines()[0] == "Figure X"
+        assert "o=coordinated" in chart
+        assert "x=lru" in chart
+        assert "relative cache size" in chart
+
+    def test_y_range_labels(self, two_series):
+        chart = render_ascii_chart(two_series)
+        assert "10" in chart  # max
+        assert "2" in chart  # min
+
+    def test_x_range_labels(self, two_series):
+        chart = render_ascii_chart(two_series)
+        assert "0.001" in chart
+        assert "0.1" in chart
+
+    def test_marker_positions_reflect_ordering(self, two_series):
+        """The coordinated marker ends up below lru at the right edge."""
+        chart = render_ascii_chart(two_series, width=30, height=10)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        coord_row = next(i for i, r in enumerate(rows) if "o" in r and r.rstrip().endswith("o"))
+        lru_row = next(i for i, r in enumerate(rows) if r.rstrip().endswith("x"))
+        assert coord_row > lru_row  # lower on screen = smaller latency
+
+    def test_flat_series_does_not_crash(self):
+        chart = render_ascii_chart({"flat": [(0.01, 1.0), (0.1, 1.0)]})
+        assert "flat" in chart
+
+    def test_single_point(self):
+        chart = render_ascii_chart({"one": [(0.05, 3.0)]})
+        assert "o=one" in chart
+
+    def test_validation(self, two_series):
+        with pytest.raises(ValueError):
+            render_ascii_chart({})
+        with pytest.raises(ValueError):
+            render_ascii_chart({"s": []})
+        with pytest.raises(ValueError):
+            render_ascii_chart({"s": [(0.0, 1.0)]})
+        with pytest.raises(ValueError):
+            render_ascii_chart(two_series, width=5)

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.arch == "en-route"
+        assert args.scale == "small"
+        assert "coordinated" in args.schemes
+
+    def test_csv_parsing(self):
+        args = build_parser().parse_args(
+            ["sweep", "--sizes", "0.01,0.1", "--schemes", "lru, coordinated"]
+        )
+        assert args.sizes == [0.01, 0.1]
+        assert args.schemes == ["lru", "coordinated"]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Number of WAN nodes" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--arch",
+                "hierarchical",
+                "--schemes",
+                "lru",
+                "--sizes",
+                "0.05",
+                "--scale",
+                "small",
+                "--metrics",
+                "latency,byte_hit_ratio",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lru" in out
+        assert "byte_hit_ratio" in out
+
+    def test_sweep_rejects_unknown_scheme(self, capsys):
+        code = main(["sweep", "--schemes", "bogus", "--sizes", "0.05"])
+        assert code == 2
+        assert "unknown schemes" in capsys.readouterr().err
+
+    def test_sweep_chart_and_save(self, capsys, tmp_path):
+        out_path = tmp_path / "points.json"
+        code = main(
+            [
+                "sweep",
+                "--arch",
+                "hierarchical",
+                "--schemes",
+                "lru",
+                "--sizes",
+                "0.02,0.1",
+                "--metrics",
+                "latency",
+                "--chart",
+                "--save",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relative cache size (log scale)" in out
+        assert out_path.exists()
+        from repro.experiments.results_io import load_points_json
+
+        assert len(load_points_json(out_path)) == 2
+
+    def test_analyze_and_replay(self, capsys, tmp_path):
+        from repro.workload.generator import (
+            BoeingLikeTraceGenerator,
+            WorkloadConfig,
+        )
+        from repro.workload.trace import write_trace_csv
+
+        workload = WorkloadConfig(
+            num_objects=60,
+            num_servers=4,
+            num_clients=8,
+            num_requests=2_000,
+            seed=4,
+        )
+        trace = BoeingLikeTraceGenerator(workload).generate()
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "zipf theta" in out
+        assert "requests          2000" in out
+
+        assert main(
+            ["replay", str(path), "--arch", "hierarchical",
+             "--scheme", "lru", "--size", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "byte hit ratio" in out
+        assert "latency p50/p90/p99" in out
+
+    def test_replay_rejects_unknown_scheme(self, capsys, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("time,client_id,object_id,server_id,size\n0.0,0,0,0,10\n")
+        assert main(["replay", str(path), "--scheme", "bogus"]) == 2
+
+    def test_radius_ablation(self, capsys):
+        code = main(
+            [
+                "radius",
+                "--arch",
+                "hierarchical",
+                "--radii",
+                "1,4",
+                "--size",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modulo(r=1)" in out
+        assert "modulo(r=4)" in out

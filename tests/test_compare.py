@@ -1,0 +1,102 @@
+"""Tests for result-set comparison (regression guarding)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.compare import compare_points
+from repro.experiments.sweeps import SweepPoint
+from repro.metrics.collector import MetricsSummary
+
+
+def summary(latency=1.0, byte_hit=0.5):
+    return MetricsSummary(
+        requests=100,
+        mean_latency=latency,
+        mean_response_ratio=latency / 1000,
+        byte_hit_ratio=byte_hit,
+        hit_ratio=byte_hit,
+        mean_traffic_byte_hops=1e5,
+        mean_hops=5.0,
+        mean_read_load=100.0,
+        mean_write_load=50.0,
+        latency_percentiles=(latency, latency, latency),
+    )
+
+
+def point(scheme="lru", size=0.01, latency=1.0, byte_hit=0.5):
+    return SweepPoint(
+        architecture="en-route",
+        scheme=scheme,
+        relative_cache_size=size,
+        summary=summary(latency, byte_hit),
+    )
+
+
+class TestComparePoints:
+    def test_identical_sets_are_ok(self):
+        points = [point(), point(scheme="coordinated", latency=0.5)]
+        report = compare_points(points, points)
+        assert report.ok
+        assert report.matched_points == 2
+        assert "OK" in report.format()
+
+    def test_within_tolerance_passes(self):
+        base = [point(latency=1.0)]
+        cand = [point(latency=1.01)]
+        assert compare_points(base, cand, relative_tolerance=0.02).ok
+
+    def test_drift_detected(self):
+        base = [point(latency=1.0)]
+        cand = [point(latency=1.20)]
+        report = compare_points(base, cand, relative_tolerance=0.02)
+        assert not report.ok
+        drift = report.drifts[0]
+        assert drift.metric == "latency"
+        assert drift.relative_change == pytest.approx(0.20)
+        assert "DRIFT" in report.format()
+
+    def test_missing_and_extra_points(self):
+        base = [point(scheme="lru"), point(scheme="coordinated")]
+        cand = [point(scheme="lru"), point(scheme="gdsp")]
+        report = compare_points(base, cand)
+        assert ("coordinated", 0.01) in report.missing_in_candidate
+        assert ("gdsp", 0.01) in report.extra_in_candidate
+        assert not report.ok  # missing points fail the comparison
+
+    def test_extra_alone_does_not_fail(self):
+        base = [point()]
+        cand = [point(), point(scheme="gdsp")]
+        assert compare_points(base, cand).ok
+
+    def test_zero_baseline_requires_exact(self):
+        base = [point(byte_hit=0.0)]
+        good = [point(byte_hit=0.0)]
+        bad = [point(byte_hit=0.001)]
+        assert compare_points(base, good, metrics=["byte_hit_ratio"]).ok
+        assert not compare_points(base, bad, metrics=["byte_hit_ratio"]).ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_points([], [], relative_tolerance=-1)
+        with pytest.raises(ValueError):
+            compare_points([], [], metrics=["nope"])
+
+
+class TestCompareCLI:
+    def test_cli_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.experiments.results_io import save_points_json
+
+        base_path = tmp_path / "base.json"
+        cand_path = tmp_path / "cand.json"
+        save_points_json([point(latency=1.0)], base_path)
+        save_points_json([point(latency=1.0)], cand_path)
+        assert main(["compare", str(base_path), str(cand_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        save_points_json([point(latency=2.0)], cand_path)
+        assert main(["compare", str(base_path), str(cand_path)]) == 1
+        assert "DRIFT" in capsys.readouterr().out

@@ -1,0 +1,62 @@
+"""Tests for the cost models (paper's generic c(u, v, O))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.model import (
+    BandwidthCostModel,
+    HopCostModel,
+    LatencyCostModel,
+)
+from repro.topology.builder import build_chain
+
+
+@pytest.fixture
+def chain():
+    return build_chain([0.5, 1.5])
+
+
+class TestLatencyCostModel:
+    def test_scales_with_object_size(self, chain):
+        model = LatencyCostModel(chain, avg_size=100.0)
+        assert model.link_cost(0, 1, 100) == pytest.approx(0.5)
+        assert model.link_cost(0, 1, 200) == pytest.approx(1.0)
+        assert model.link_cost(0, 1, 50) == pytest.approx(0.25)
+
+    def test_path_cost_sums_links(self, chain):
+        model = LatencyCostModel(chain, avg_size=100.0)
+        assert model.path_cost([0, 1, 2], 100) == pytest.approx(2.0)
+
+    def test_trivial_path_is_free(self, chain):
+        model = LatencyCostModel(chain, avg_size=100.0)
+        assert model.path_cost([0], 100) == 0.0
+        assert model.path_cost([], 100) == 0.0
+
+    def test_rejects_nonpositive_avg_size(self, chain):
+        with pytest.raises(ValueError):
+            LatencyCostModel(chain, avg_size=0.0)
+
+    def test_unknown_link_raises(self, chain):
+        model = LatencyCostModel(chain, avg_size=100.0)
+        with pytest.raises(KeyError):
+            model.link_cost(0, 2, 100)
+
+
+class TestHopCostModel:
+    def test_unit_cost_per_link(self, chain):
+        model = HopCostModel(chain)
+        assert model.link_cost(0, 1, 12345) == 1.0
+        assert model.path_cost([0, 1, 2], 7) == 2.0
+
+    def test_validates_link(self, chain):
+        with pytest.raises(KeyError):
+            HopCostModel(chain).link_cost(0, 2, 1)
+
+
+class TestBandwidthCostModel:
+    def test_bytes_per_link(self, chain):
+        model = BandwidthCostModel(chain)
+        assert model.link_cost(0, 1, 500) == 500.0
+        # byte x hops over the path
+        assert model.path_cost([0, 1, 2], 500) == 1000.0

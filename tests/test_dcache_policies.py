@@ -1,0 +1,83 @@
+"""Tests for the d-cache's LRU policy variant (paper section 2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.dcache import DescriptorCache
+from repro.cache.descriptors import ObjectDescriptor
+
+
+def desc(object_id: int) -> ObjectDescriptor:
+    return ObjectDescriptor(object_id, size=100)
+
+
+class TestLRUPolicy:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            DescriptorCache(4, policy="fifo")
+
+    def test_evicts_least_recently_referenced(self):
+        dcache = DescriptorCache(2, policy="lru")
+        dcache.insert(desc(1))
+        dcache.insert(desc(2))
+        dcache.get(1)  # 2 becomes LRU
+        evicted = dcache.insert(desc(3))
+        assert [d.object_id for d in evicted] == [2]
+        assert 1 in dcache and 3 in dcache
+
+    def test_peek_does_not_refresh_recency(self):
+        dcache = DescriptorCache(2, policy="lru")
+        dcache.insert(desc(1))
+        dcache.insert(desc(2))
+        dcache.peek(1)
+        evicted = dcache.insert(desc(3))
+        assert [d.object_id for d in evicted] == [1]
+
+    def test_remove_and_reinsert(self):
+        dcache = DescriptorCache(2, policy="lru")
+        dcache.insert(desc(1))
+        assert dcache.remove(1).object_id == 1
+        dcache.insert(desc(1))
+        assert 1 in dcache
+        dcache.check_invariants()
+
+    def test_policies_diverge_on_frequency_skew(self):
+        """LFU protects a hot descriptor that LRU would age out."""
+        lfu = DescriptorCache(2, policy="lfu")
+        lru = DescriptorCache(2, policy="lru")
+        for cache in (lfu, lru):
+            cache.insert(desc(1))
+            for _ in range(5):
+                cache.get(1)  # object 1 is hot
+            cache.insert(desc(2))
+            cache.get(2)
+            cache.get(2)
+        # One more recent but colder insert after touching 2:
+        lfu.get(2)
+        lru.get(2)
+        lfu.insert(desc(3))
+        lru.insert(desc(3))
+        assert 1 in lfu  # protected by its reference count
+        assert 1 not in lru  # aged out by recency
+
+    def test_invariants_under_churn(self):
+        for policy in ("lfu", "lru"):
+            dcache = DescriptorCache(3, policy=policy)
+            for i in range(40):
+                dcache.insert(desc(i))
+                if i % 2 == 0:
+                    dcache.get(i)
+                dcache.check_invariants()
+
+
+class TestSchemesAcceptPolicy:
+    def test_factory_passes_dcache_policy(self, chain_costs):
+        from repro.sim.factory import build_scheme
+
+        scheme = build_scheme(
+            "coordinated", chain_costs, 1000, 8, dcache_policy="lru"
+        )
+        assert scheme.node_state(0).dcache.policy == "lru"
+        scheme2 = build_scheme("lnc-r", chain_costs, 1000, 8)
+        assert scheme2.node_state(0).dcache.policy == "lfu"

@@ -1,0 +1,163 @@
+"""Tests for the experiment harness (sweeps, tables, presets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import (
+    DEFAULT_CACHE_SIZES,
+    SMALL_SCALE,
+    STANDARD_SCALE,
+    build_architecture,
+)
+from repro.experiments.sweeps import (
+    run_cache_size_sweep,
+    run_modulo_radius_sweep,
+    run_single,
+)
+from repro.experiments.tables import (
+    figure_series,
+    format_sweep_table,
+    format_table1,
+    metric_value,
+    topology_characteristics,
+)
+from repro.sim.config import SimulationConfig
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def mini_setup():
+    workload = WorkloadConfig(
+        num_objects=60,
+        num_servers=4,
+        num_clients=8,
+        num_requests=1_500,
+        zipf_theta=0.8,
+        seed=5,
+    )
+    generator = BoeingLikeTraceGenerator(workload)
+    trace = generator.generate()
+    arch = build_architecture("hierarchical", workload, seed=0)
+    return arch, trace, generator.catalog
+
+
+class TestPresets:
+    def test_default_cache_sizes_span_paper_range(self):
+        assert DEFAULT_CACHE_SIZES[0] == 0.001
+        assert DEFAULT_CACHE_SIZES[-1] == 0.1
+
+    def test_preset_modifiers(self):
+        seeded = SMALL_SCALE.with_seed(42)
+        assert seeded.workload.seed == 42
+        assert seeded.workload.num_objects == SMALL_SCALE.workload.num_objects
+        thetaed = STANDARD_SCALE.with_theta(0.6)
+        assert thetaed.workload.zipf_theta == 0.6
+
+    def test_build_architecture_names(self):
+        workload = SMALL_SCALE.workload
+        assert build_architecture("en-route", workload).name == "en-route"
+        assert build_architecture("hierarchical", workload).name == "hierarchical"
+        with pytest.raises(ValueError):
+            build_architecture("mesh", workload)
+
+
+class TestSweeps:
+    def test_run_single_point(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        point = run_single(
+            arch, trace, catalog, "lru", SimulationConfig(relative_cache_size=0.05)
+        )
+        assert point.scheme == "lru"
+        assert point.relative_cache_size == 0.05
+        assert point.summary.requests > 0
+
+    def test_cache_size_sweep_covers_grid(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        points = run_cache_size_sweep(
+            arch,
+            trace,
+            catalog,
+            scheme_names=["lru", "coordinated"],
+            cache_sizes=[0.02, 0.1],
+        )
+        assert len(points) == 4
+        assert {p.scheme for p in points} == {"lru", "coordinated"}
+        assert {p.relative_cache_size for p in points} == {0.02, 0.1}
+
+    def test_sweep_passes_scheme_params(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        points = run_cache_size_sweep(
+            arch,
+            trace,
+            catalog,
+            scheme_names=["modulo"],
+            cache_sizes=[0.05],
+            scheme_params={"modulo": {"radius": 2}},
+        )
+        assert points[0].scheme == "modulo(r=2)"
+
+    def test_modulo_radius_sweep(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        points = run_modulo_radius_sweep(
+            arch, trace, catalog, radii=[1, 2, 4], relative_cache_size=0.05
+        )
+        assert [p.scheme for p in points] == [
+            "modulo(r=1)",
+            "modulo(r=2)",
+            "modulo(r=4)",
+        ]
+
+    def test_larger_cache_never_hurts_byte_hit_ratio(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        points = run_cache_size_sweep(
+            arch, trace, catalog, scheme_names=["lru"], cache_sizes=[0.01, 0.3]
+        )
+        small, large = sorted(points, key=lambda p: p.relative_cache_size)
+        assert large.summary.byte_hit_ratio >= small.summary.byte_hit_ratio
+
+
+class TestTables:
+    def test_table1_characteristics(self):
+        arch = build_architecture(
+            "en-route",
+            WorkloadConfig(
+                num_objects=50, num_servers=5, num_clients=10, num_requests=10
+            ),
+            seed=0,
+        )
+        chars = topology_characteristics(arch)
+        assert chars["total_nodes"] == 100
+        assert chars["wan_nodes"] == 50
+        assert chars["man_nodes"] == 50
+        assert chars["links"] == 173
+        text = format_table1(chars)
+        assert "Total number of nodes" in text
+        assert "100" in text
+
+    def test_metric_value_rejects_unknown(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        point = run_single(
+            arch, trace, catalog, "lru", SimulationConfig(relative_cache_size=0.05)
+        )
+        with pytest.raises(ValueError):
+            metric_value(point.summary, "bogus")
+
+    def test_figure_series_sorted_by_size(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        points = run_cache_size_sweep(
+            arch, trace, catalog, scheme_names=["lru"], cache_sizes=[0.1, 0.02]
+        )
+        series = figure_series(points, "latency")
+        xs = [x for x, _ in series["lru"]]
+        assert xs == sorted(xs)
+
+    def test_format_sweep_table_contains_rows(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        points = run_cache_size_sweep(
+            arch, trace, catalog, scheme_names=["lru"], cache_sizes=[0.05]
+        )
+        text = format_sweep_table(points, ["latency", "byte_hit_ratio"], title="T")
+        assert text.splitlines()[0] == "T"
+        assert "lru" in text
+        assert "latency" in text

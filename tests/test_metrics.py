@@ -1,0 +1,104 @@
+"""Tests for metric aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.schemes.base import RequestOutcome
+
+
+def outcome(path_len=4, hit=1, size=100, inserted=(), evictions=0):
+    return RequestOutcome(
+        path=list(range(path_len)),
+        hit_index=hit,
+        size=size,
+        inserted_nodes=tuple(inserted),
+        evicted_objects=evictions,
+    )
+
+
+class TestRequestOutcome:
+    def test_served_by_cache(self):
+        assert outcome(hit=1).served_by_cache
+        assert not outcome(hit=3).served_by_cache
+
+    def test_hops_and_loads(self):
+        o = outcome(hit=2, size=50, inserted=(0, 1))
+        assert o.hops == 2
+        assert o.bytes_read == 50
+        assert o.bytes_written == 100
+
+    def test_origin_hit_reads_nothing(self):
+        assert outcome(hit=3).bytes_read == 0
+
+    def test_rejects_bad_hit_index(self):
+        with pytest.raises(ValueError):
+            outcome(path_len=3, hit=3)
+
+
+class TestMetricsCollector:
+    def test_empty_summary_raises(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().summary()
+
+    def test_rejects_negative_latency(self):
+        collector = MetricsCollector()
+        with pytest.raises(ValueError):
+            collector.record(outcome(), latency=-1.0)
+
+    def test_single_request_summary(self):
+        collector = MetricsCollector()
+        collector.record(outcome(hit=2, size=100, inserted=(0,)), latency=3.0)
+        s = collector.summary()
+        assert s.requests == 1
+        assert s.mean_latency == 3.0
+        assert s.mean_response_ratio == pytest.approx(0.03)
+        assert s.byte_hit_ratio == 1.0
+        assert s.hit_ratio == 1.0
+        assert s.mean_traffic_byte_hops == 200.0
+        assert s.mean_hops == 2.0
+        assert s.mean_read_load == 100.0
+        assert s.mean_write_load == 100.0
+        assert s.mean_cache_load == 200.0
+        assert s.read_load_share == pytest.approx(0.5)
+
+    def test_mixed_hits_and_misses(self):
+        collector = MetricsCollector()
+        collector.record(outcome(hit=1, size=100), latency=1.0)  # cache hit
+        collector.record(outcome(hit=3, size=300), latency=3.0)  # origin
+        s = collector.summary()
+        assert s.requests == 2
+        assert s.mean_latency == 2.0
+        assert s.byte_hit_ratio == pytest.approx(100 / 400)
+        assert s.hit_ratio == 0.5
+        assert s.mean_hops == 2.0
+
+    def test_read_load_share_zero_when_no_load(self):
+        collector = MetricsCollector()
+        collector.record(outcome(hit=3, size=10), latency=1.0)
+        assert collector.summary().read_load_share == 0.0
+
+    def test_latency_percentiles_ordering(self):
+        collector = MetricsCollector()
+        for i in range(1000):
+            collector.record(outcome(), latency=float(i))
+        p50, p90, p99 = collector.summary().latency_percentiles
+        assert p50 <= p90 <= p99
+        assert abs(p50 - 500) < 25
+        assert abs(p90 - 900) < 25
+        assert abs(p99 - 990) < 15
+
+    def test_percentiles_deterministic_across_collectors(self):
+        def build():
+            collector = MetricsCollector()
+            for i in range(20_000):
+                collector.record(outcome(), latency=float(i % 997))
+            return collector.summary().latency_percentiles
+
+        assert build() == build()
+
+    def test_single_request_percentiles(self):
+        collector = MetricsCollector()
+        collector.record(outcome(), latency=4.0)
+        assert collector.summary().latency_percentiles == (4.0, 4.0, 4.0)

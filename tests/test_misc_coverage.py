@@ -1,0 +1,136 @@
+"""Targeted tests for remaining coverage gaps across modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.model import LatencyCostModel
+from repro.experiments.charts import render_figure
+from repro.experiments.presets import build_architecture
+from repro.experiments.sweeps import run_cache_size_sweep
+from repro.experiments.tables import format_sweep_table, metric_value
+from repro.schemes.lru_everywhere import LRUEverywhereScheme
+from repro.sim.engine import SimulationEngine
+from repro.topology.builder import build_chain
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+from repro.workload.trace import Trace, TraceRecord
+from repro.workload.updates import UpdateEvent
+
+
+@pytest.fixture(scope="module")
+def sweep_points():
+    workload = WorkloadConfig(
+        num_objects=50, num_servers=3, num_clients=6, num_requests=1_000, seed=2
+    )
+    generator = BoeingLikeTraceGenerator(workload)
+    arch = build_architecture("hierarchical", workload, seed=0)
+    return run_cache_size_sweep(
+        arch,
+        generator.generate(),
+        generator.catalog,
+        scheme_names=["lru", "coordinated"],
+        cache_sizes=[0.02, 0.2],
+    )
+
+
+class TestRenderFigure:
+    def test_renders_from_sweep_points(self, sweep_points):
+        chart = render_figure(sweep_points, "latency", title="demo")
+        assert "demo" in chart
+        assert "o=coordinated" in chart
+        assert "latency" in chart
+
+    def test_unknown_metric_raises(self, sweep_points):
+        with pytest.raises(ValueError):
+            render_figure(sweep_points, "bogus")
+
+
+class TestPercentileMetrics:
+    def test_percentiles_available_as_metrics(self, sweep_points):
+        summary = sweep_points[0].summary
+        p50 = metric_value(summary, "latency_p50")
+        p90 = metric_value(summary, "latency_p90")
+        p99 = metric_value(summary, "latency_p99")
+        assert p50 <= p90 <= p99
+
+    def test_percentiles_in_tables(self, sweep_points):
+        text = format_sweep_table(sweep_points, ["latency_p50", "latency_p99"])
+        assert "latency_p50" in text
+        assert "latency_p99" in text
+
+
+class TestEngineUpdateBoundaries:
+    def _engine_and_trace(self):
+        network = build_chain([1.0, 1.0])
+        cost = LatencyCostModel(network, 100.0)
+        scheme = LRUEverywhereScheme(cost, capacity_bytes=10_000)
+
+        from repro.routing.distribution_tree import RoutingTable
+        from repro.sim.architecture import Architecture
+
+        arch = Architecture(
+            name="chain",
+            network=network,
+            routing=RoutingTable(network),
+            client_nodes={0: 0},
+            server_nodes={0: 2},
+        )
+        records = [
+            TraceRecord(1.0, 0, 7, 0, 100),
+            TraceRecord(2.0, 0, 7, 0, 100),
+            TraceRecord(3.0, 0, 7, 0, 100),
+        ]
+        return SimulationEngine(arch, cost, scheme, warmup_fraction=0.0), Trace(records)
+
+    def test_update_at_request_time_applies_first(self):
+        """An update stamped exactly at a request's time precedes it."""
+        engine, trace = self._engine_and_trace()
+        result = engine.run(trace, updates=[UpdateEvent(2.0, 7)])
+        # Request 1 caches the object; the update at t=2.0 invalidates it
+        # before the t=2.0 request, which therefore misses again.
+        assert result.updates_applied == 1
+        assert result.copies_invalidated == 2  # nodes 0 and 1
+        assert result.summary.hit_ratio == pytest.approx(1 / 3)
+
+    def test_updates_after_trace_end_never_apply(self):
+        engine, trace = self._engine_and_trace()
+        result = engine.run(trace, updates=[UpdateEvent(99.0, 7)])
+        assert result.updates_applied == 0
+
+    def test_update_for_uncached_object_is_harmless(self):
+        engine, trace = self._engine_and_trace()
+        result = engine.run(trace, updates=[UpdateEvent(1.5, 999)])
+        assert result.updates_applied == 1
+        assert result.copies_invalidated == 0
+
+
+class TestGDSInflationInScheme:
+    def test_plain_gds_serves_and_ages(self):
+        from repro.schemes.extra_baselines import GDSScheme
+
+        network = build_chain([1.0] * 2)
+        cost = LatencyCostModel(network, 100.0)
+        scheme = GDSScheme(cost, capacity_bytes=250, popularity_aware=False)
+        path = [0, 1, 2]
+        # Fill with two objects, then a parade of new ones: inflation
+        # must eventually evict even the earliest entries (no cache
+        # pollution by stale content).
+        for t, oid in enumerate([1, 2, 3, 4, 5, 6]):
+            scheme.process_request(path, oid, 100, now=float(t))
+        assert not scheme.has_object(0, 1)
+        scheme.check_invariants()
+
+
+class TestChainedPathHelpers:
+    def test_path_slices_match_cost_model(self):
+        """Latency = cost over the path prefix up to the hit node."""
+        network = build_chain([0.5, 2.0])
+        cost = LatencyCostModel(network, avg_size=100.0)
+        scheme = LRUEverywhereScheme(cost, capacity_bytes=10_000)
+        path = [0, 1, 2]
+        outcome = scheme.process_request(path, 5, 100, now=0.0)
+        assert outcome.hit_index == 2
+        assert cost.path_cost(path[: outcome.hit_index + 1], 100) == pytest.approx(2.5)
+        second = scheme.process_request(path, 5, 100, now=1.0)
+        assert second.hit_index == 0
+        assert cost.path_cost(path[:1], 100) == 0.0

@@ -1,0 +1,146 @@
+"""Tests for the heap-organized NCL cache and its equivalence to the list one."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.descriptors import ObjectDescriptor
+from repro.cache.ncl import NCLCache
+from repro.cache.ncl_heap import HeapNCLCache
+
+
+def desc(object_id: int, size: int, penalty: float, now: float) -> ObjectDescriptor:
+    d = ObjectDescriptor(object_id, size, miss_penalty=penalty)
+    d.record_access(now)
+    return d
+
+
+class TestHeapNCLCache:
+    def test_evicts_smallest_ncl(self):
+        cache = HeapNCLCache(100)
+        cache.insert(desc(1, 50, penalty=0.1, now=0.0), now=0.0)
+        cache.insert(desc(2, 50, penalty=100.0, now=0.0), now=0.0)
+        cache.insert(desc(3, 50, penalty=1.0, now=1.0), now=1.0)
+        assert 1 not in cache and 2 in cache
+
+    def test_set_miss_penalty_reorders(self):
+        cache = HeapNCLCache(1000)
+        cache.insert(desc(0, 10, penalty=1.0, now=0.0), now=0.0)
+        cache.insert(desc(1, 10, penalty=2.0, now=0.0), now=0.0)
+        assert cache.eviction_order() == [0, 1]
+        cache.set_miss_penalty(0, 50.0, now=1.0)
+        assert cache.eviction_order() == [1, 0]
+
+    def test_record_access_requires_presence(self):
+        cache = HeapNCLCache(100)
+        with pytest.raises(KeyError):
+            cache.record_access(9, now=0.0)
+        with pytest.raises(KeyError):
+            cache.set_miss_penalty(9, 1.0, now=0.0)
+
+    def test_cost_loss_semantics(self):
+        cache = HeapNCLCache(100)
+        assert cache.cost_loss(1, 200, now=0.0) is None
+        assert cache.cost_loss(1, 50, now=0.0) == 0.0
+        cache.insert(desc(1, 80, penalty=2.0, now=0.0), now=0.0)
+        assert cache.cost_loss(1, 80, now=0.0) == 0.0
+        loss = cache.cost_loss(2, 50, now=0.0)
+        entry = cache.entry(1)
+        expected = entry.descriptor.normalized_cost_loss(0.0) * 80
+        assert loss == pytest.approx(expected)
+
+    def test_select_victims_does_not_mutate(self):
+        cache = HeapNCLCache(100)
+        cache.insert(desc(1, 60, penalty=1.0, now=0.0), now=0.0)
+        victims = cache.select_victims(30, now=0.0)
+        assert [v.object_id for v in victims] == [1]
+        assert 1 in cache
+        cache.check_invariants()
+
+    def test_reinsert_does_not_resurrect_stale_entry(self):
+        """Regression: versions are globally unique, so a removed and
+        re-inserted object must not match heap entries from its earlier
+        incarnation (which would carry a stale NCL key)."""
+        cache = HeapNCLCache(1000)
+        cache.insert(desc(1, 100, penalty=50.0, now=0.0), now=0.0)  # big key
+        cache.insert(desc(2, 100, penalty=1.0, now=0.0), now=0.0)
+        cache.remove(1)
+        # Re-insert object 1 with a much smaller key than before.
+        cache.insert(desc(1, 100, penalty=0.01, now=1.0), now=1.0)
+        assert cache.eviction_order() == [1, 2]
+        cache.check_invariants()
+
+    def test_heap_compaction_under_update_storm(self):
+        cache = HeapNCLCache(10_000)
+        for i in range(20):
+            cache.insert(desc(i, 100, penalty=1.0, now=0.0), now=0.0)
+        for round_ in range(200):
+            cache.set_miss_penalty(round_ % 20, float(round_ + 1), now=1.0)
+        cache.check_invariants()
+        assert len(cache._heap) <= 8 * len(cache)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "access", "penalty"]),
+        st.integers(min_value=0, max_value=12),   # object id
+        st.integers(min_value=10, max_value=120),  # size (stable per id below)
+        st.floats(min_value=0.0, max_value=50.0),  # penalty
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestEquivalenceWithListNCL:
+    @given(ops)
+    @settings(max_examples=150, deadline=None)
+    def test_same_eviction_order_and_victims(self, operations):
+        list_cache = NCLCache(400)
+        heap_cache = HeapNCLCache(400)
+        now = 0.0
+        for op, object_id, raw_size, penalty in operations:
+            size = 10 + (object_id * 13) % 100  # stable size per object id
+            if op == "insert":
+                d1 = desc(object_id, size, penalty, now)
+                d2 = desc(object_id, size, penalty, now)
+                if object_id in list_cache:
+                    continue
+                evicted1 = list_cache.insert(d1, now)
+                evicted2 = heap_cache.insert(d2, now)
+                assert [e.object_id for e in evicted1] == [
+                    e.object_id for e in evicted2
+                ]
+            elif op == "access" and object_id in list_cache:
+                list_cache.record_access(object_id, now)
+                heap_cache.record_access(object_id, now)
+            elif op == "penalty" and object_id in list_cache:
+                list_cache.set_miss_penalty(object_id, penalty, now)
+                heap_cache.set_miss_penalty(object_id, penalty, now)
+            assert set(list_cache.object_ids()) == set(heap_cache.object_ids())
+            assert list_cache.eviction_order() == heap_cache.eviction_order()
+            list_cache.check_invariants()
+            heap_cache.check_invariants()
+            now += 1.0
+
+    @given(ops)
+    @settings(max_examples=80, deadline=None)
+    def test_same_cost_loss(self, operations):
+        list_cache = NCLCache(400)
+        heap_cache = HeapNCLCache(400)
+        now = 0.0
+        for op, object_id, _, penalty in operations:
+            size = 10 + (object_id * 13) % 100
+            if op == "insert" and object_id not in list_cache:
+                list_cache.insert(desc(object_id, size, penalty, now), now)
+                heap_cache.insert(desc(object_id, size, penalty, now), now)
+            now += 1.0
+        for probe_size in (5, 150, 390, 500):
+            a = list_cache.cost_loss(999, probe_size, now)
+            b = heap_cache.cost_loss(999, probe_size, now)
+            if a is None or b is None:
+                assert a == b
+            else:
+                assert a == pytest.approx(b)

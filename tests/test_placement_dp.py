@@ -1,0 +1,226 @@
+"""Tests for the k-optimization dynamic program (paper section 2.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import (
+    PlacementProblem,
+    brute_force_placement,
+    enforce_monotone_frequencies,
+    solve_placement,
+)
+
+
+def make_problem(freqs, penalties, losses) -> PlacementProblem:
+    return PlacementProblem(tuple(freqs), tuple(penalties), tuple(losses))
+
+
+class TestProblemValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_problem([], [], [])
+
+    def test_rejects_misaligned_lengths(self):
+        with pytest.raises(ValueError):
+            make_problem([1.0, 0.5], [1.0], [0.0, 0.0])
+
+    def test_rejects_increasing_frequencies(self):
+        with pytest.raises(ValueError, match="non-increasing"):
+            make_problem([1.0, 2.0], [1.0, 1.0], [0.0, 0.0])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            make_problem([-1.0], [1.0], [0.0])
+        with pytest.raises(ValueError):
+            make_problem([1.0], [-1.0], [0.0])
+        with pytest.raises(ValueError):
+            make_problem([1.0], [1.0], [-0.1])
+
+    def test_objective_rejects_unsorted_indices(self):
+        problem = make_problem([2.0, 1.0], [1.0, 1.0], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            problem.objective([1, 0])
+
+    def test_objective_rejects_duplicates(self):
+        problem = make_problem([2.0, 1.0], [1.0, 1.0], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            problem.objective([0, 0])
+
+    def test_objective_rejects_out_of_range(self):
+        problem = make_problem([2.0, 1.0], [1.0, 1.0], [0.0, 0.0])
+        with pytest.raises(IndexError):
+            problem.objective([2])
+
+
+class TestObjective:
+    def test_empty_selection_is_zero(self):
+        problem = make_problem([2.0, 1.0], [1.0, 1.0], [0.5, 0.5])
+        assert problem.objective([]) == 0.0
+
+    def test_single_node_formula(self):
+        # Delta-cost({i}) = f_i * m_i - l_i (f_{r+1} = 0).
+        problem = make_problem([3.0, 2.0], [1.5, 4.0], [0.5, 1.0])
+        assert problem.objective([0]) == pytest.approx(3.0 * 1.5 - 0.5)
+        assert problem.objective([1]) == pytest.approx(2.0 * 4.0 - 1.0)
+
+    def test_two_node_caching_dependency(self):
+        # Caching downstream shields the upstream copy: the upstream term
+        # uses (f_v1 - f_v2), not f_v1.
+        problem = make_problem([3.0, 2.0], [1.0, 2.0], [0.0, 0.0])
+        expected = (3.0 - 2.0) * 1.0 + 2.0 * 2.0
+        assert problem.objective([0, 1]) == pytest.approx(expected)
+
+
+class TestSolvePlacement:
+    def test_all_losses_prohibitive_yields_empty(self):
+        problem = make_problem([1.0, 0.5], [1.0, 1.0], [10.0, 10.0])
+        solution = solve_placement(problem)
+        assert solution.indices == ()
+        assert solution.gain == 0.0
+
+    def test_single_beneficial_node(self):
+        problem = make_problem([2.0], [3.0], [1.0])
+        solution = solve_placement(problem)
+        assert solution.indices == (0,)
+        assert solution.gain == pytest.approx(5.0)
+
+    def test_prefers_high_gain_node(self):
+        # Node 1 alone gives 2*5-0=10; node 0 alone 3*1=3; both:
+        # (3-2)*1 + 2*5 = 11.
+        problem = make_problem([3.0, 2.0], [1.0, 5.0], [0.0, 0.0])
+        solution = solve_placement(problem)
+        assert solution.indices == (0, 1)
+        assert solution.gain == pytest.approx(11.0)
+
+    def test_skips_locally_harmful_node(self):
+        # Theorem 2: a node with f*m < l can never be in the optimum.
+        problem = make_problem([3.0, 2.0, 1.0], [1.0, 1.0, 4.0], [0.0, 5.0, 0.0])
+        solution = solve_placement(problem)
+        assert 1 not in solution.indices
+
+    def test_zero_frequencies_yield_empty(self):
+        problem = make_problem([0.0, 0.0], [5.0, 5.0], [0.0, 0.0])
+        solution = solve_placement(problem)
+        assert solution.indices == ()
+
+    def test_free_caching_everywhere_when_lossless(self):
+        # With zero losses and penalties growing towards the client,
+        # caching at every node is uniquely optimal: each downstream copy
+        # adds (f_i - f_{i+1}) * m_i > 0 on top of shielding upstream ones.
+        problem = make_problem(
+            [4.0, 3.0, 2.0, 1.0], [1.0, 2.0, 3.0, 4.0], [0.0] * 4
+        )
+        solution = solve_placement(problem)
+        assert solution.indices == (0, 1, 2, 3)
+        assert solution.gain == pytest.approx(1 * 1 + 1 * 2 + 1 * 3 + 1 * 4)
+
+    def test_gain_matches_objective_of_indices(self):
+        problem = make_problem(
+            [5.0, 4.0, 2.5, 1.0], [0.5, 1.0, 2.0, 4.0], [0.6, 0.3, 1.5, 0.2]
+        )
+        solution = solve_placement(problem)
+        assert solution.gain == pytest.approx(problem.objective(solution.indices))
+
+    def test_matches_brute_force_on_fixed_cases(self):
+        cases = [
+            ([1.0], [1.0], [0.5]),
+            ([2.0, 2.0], [1.0, 1.0], [0.0, 3.0]),
+            ([9.0, 7.0, 7.0, 3.0, 1.0], [1, 2, 1, 5, 9], [2, 0, 3, 4, 1]),
+            ([5.0, 5.0, 5.0], [2.0, 2.0, 2.0], [1.0, 1.0, 1.0]),
+        ]
+        for freqs, penalties, losses in cases:
+            problem = make_problem(
+                freqs, [float(p) for p in penalties], [float(l) for l in losses]
+            )
+            dp = solve_placement(problem)
+            bf = brute_force_placement(problem)
+            assert dp.gain == pytest.approx(bf.gain), (freqs, penalties, losses)
+
+    def test_indices_strictly_increasing(self):
+        problem = make_problem(
+            [8.0, 6.0, 5.0, 2.0], [1.0, 3.0, 0.5, 6.0], [0.1] * 4
+        )
+        solution = solve_placement(problem)
+        assert list(solution.indices) == sorted(set(solution.indices))
+
+
+@st.composite
+def placement_problems(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    freqs = sorted(raw, reverse=True)
+    penalties = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0), min_size=n, max_size=n
+        )
+    )
+    losses = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=200.0), min_size=n, max_size=n
+        )
+    )
+    return make_problem(freqs, penalties, losses)
+
+
+class TestDPProperties:
+    @given(placement_problems())
+    @settings(max_examples=300, deadline=None)
+    def test_dp_equals_brute_force(self, problem):
+        dp = solve_placement(problem)
+        bf = brute_force_placement(problem)
+        assert math.isclose(dp.gain, bf.gain, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(placement_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_gain_is_nonnegative_and_consistent(self, problem):
+        solution = solve_placement(problem)
+        assert solution.gain >= 0.0
+        assert math.isclose(
+            solution.gain,
+            problem.objective(solution.indices),
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+
+    @given(placement_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_theorem2_local_benefit(self, problem):
+        """Every selected node satisfies f_v * m_v >= l_v (paper Theorem 2)."""
+        solution = solve_placement(problem)
+        for index in solution.indices:
+            benefit = problem.frequencies[index] * problem.penalties[index]
+            assert benefit >= problem.losses[index] - 1e-6
+
+
+class TestEnforceMonotone:
+    def test_already_monotone_unchanged(self):
+        assert enforce_monotone_frequencies([3.0, 2.0, 1.0]) == [3.0, 2.0, 1.0]
+
+    def test_repairs_violations_with_running_max(self):
+        assert enforce_monotone_frequencies([1.0, 5.0, 2.0]) == [5.0, 5.0, 2.0]
+
+    def test_clamps_negative_to_zero(self):
+        assert enforce_monotone_frequencies([-1.0, -2.0]) == [0.0, 0.0]
+
+    def test_empty_input(self):
+        assert enforce_monotone_frequencies([]) == []
+
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=1e6), max_size=30)
+    )
+    def test_output_is_monotone_and_pointwise_ge(self, values):
+        repaired = enforce_monotone_frequencies(values)
+        assert all(a >= b for a, b in zip(repaired, repaired[1:]))
+        assert all(r >= min(v, 0.0) or r >= 0.0 for r, v in zip(repaired, values))
+        assert all(r >= v or v < 0 for r, v in zip(repaired, values))

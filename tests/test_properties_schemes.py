@@ -1,0 +1,100 @@
+"""Property-based tests: scheme invariants under random request replay.
+
+For every scheme, replaying an arbitrary request sequence over a random
+chain must preserve the core invariants of cascaded caching:
+
+* no cache ever exceeds its byte capacity (and byte accounting balances);
+* the reported hit index is the lowest node holding the object at request
+  time, and the object genuinely was there;
+* an object is never stored twice at one node, nor in both a node's main
+  cache and d-cache;
+* outcome accounting (reads/writes/evictions) is internally consistent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coordinated import CoordinatedScheme
+from repro.costs.model import LatencyCostModel
+from repro.schemes.lncr import LNCRScheme
+from repro.schemes.lru_everywhere import LRUEverywhereScheme
+from repro.schemes.modulo import ModuloScheme
+from repro.topology.builder import build_chain
+
+
+def _make_scheme(name, cost_model, capacity):
+    if name == "lru":
+        return LRUEverywhereScheme(cost_model, capacity)
+    if name == "modulo":
+        return ModuloScheme(cost_model, capacity, radius=2)
+    if name == "lnc-r":
+        return LNCRScheme(cost_model, capacity, dcache_entries=8)
+    return CoordinatedScheme(cost_model, capacity, dcache_entries=8)
+
+
+requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),   # object id
+        st.integers(min_value=1, max_value=400),  # size
+        st.integers(min_value=0, max_value=4),    # requester position
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@st.composite
+def replay_cases(draw):
+    scheme_name = draw(st.sampled_from(["lru", "modulo", "lnc-r", "coordinated"]))
+    capacity = draw(st.integers(min_value=0, max_value=1200))
+    reqs = draw(requests)
+    return scheme_name, capacity, reqs
+
+
+class TestSchemeInvariants:
+    @given(replay_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_replay_preserves_invariants(self, case):
+        scheme_name, capacity, reqs = case
+        network = build_chain([1.0] * 5)
+        cost_model = LatencyCostModel(network, avg_size=100.0)
+        scheme = _make_scheme(scheme_name, cost_model, capacity)
+        # Object sizes must be stable per object id: derive size from id.
+        now = 0.0
+        for object_id, raw_size, start in reqs:
+            size = 1 + (object_id * 37 + raw_size) % 400
+            path = list(range(start, 6))
+            # Lowest copy before serving must match hit_index.
+            expected_hit = len(path) - 1
+            for i, node in enumerate(path[:-1]):
+                if scheme.has_object(node, object_id):
+                    expected_hit = i
+                    break
+            outcome = scheme.process_request(path, object_id, size, now)
+            assert outcome.hit_index == expected_hit
+            # Inserted nodes now hold the object; never the origin node.
+            for node in outcome.inserted_nodes:
+                assert node in path[: outcome.hit_index]
+                assert scheme.has_object(node, object_id)
+            assert outcome.bytes_written == size * len(outcome.inserted_nodes)
+            assert outcome.evicted_objects >= 0
+            scheme.check_invariants()
+            now += 1.0
+
+    @given(replay_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_cached_bytes_bounded_by_total_capacity(self, case):
+        scheme_name, capacity, reqs = case
+        network = build_chain([1.0] * 5)
+        cost_model = LatencyCostModel(network, avg_size=100.0)
+        scheme = _make_scheme(scheme_name, cost_model, capacity)
+        now = 0.0
+        for object_id, raw_size, start in reqs:
+            size = 1 + (object_id * 37 + raw_size) % 400
+            scheme.process_request(list(range(start, 6)), object_id, size, now)
+            now += 1.0
+        assert scheme.total_cached_bytes() <= capacity * 5
+        for cache in scheme.caches().values():
+            assert cache.used_bytes <= cache.capacity_bytes

@@ -1,0 +1,71 @@
+"""Tests for coordination-protocol overhead accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coordinated import CoordinatedScheme
+from repro.core.piggyback import ProtocolStats
+from repro.costs.model import LatencyCostModel
+from repro.topology.builder import build_chain
+
+PATH = [0, 1, 2, 3]
+
+
+@pytest.fixture
+def scheme():
+    network = build_chain([1.0] * 3)
+    cost = LatencyCostModel(network, 100.0)
+    return CoordinatedScheme(cost, capacity_bytes=1000, dcache_entries=8)
+
+
+class TestProtocolStats:
+    def test_overhead_bytes_formula(self):
+        stats = ProtocolStats(
+            requests=10,
+            reports=7,
+            no_descriptor_tags=3,
+            decisions=2,
+            responses_with_accumulator=5,
+        )
+        assert stats.overhead_bytes(
+            report_bytes=10, tag_bytes=1, decision_bytes=2, accumulator_bytes=4
+        ) == 7 * 10 + 3 * 1 + 2 * 2 + 5 * 4
+
+    def test_fresh_scheme_counts_tags(self, scheme):
+        scheme.process_request(PATH, 7, 100, now=0.0)
+        stats = scheme.protocol_stats
+        assert stats.requests == 1
+        # No node knew the object: all three intermediate caches tag.
+        assert stats.no_descriptor_tags == 3
+        assert stats.reports == 0
+        assert stats.decisions == 0
+        assert stats.responses_with_accumulator == 1
+
+    def test_reports_counted_once_descriptors_exist(self, scheme):
+        scheme.process_request(PATH, 7, 100, now=0.0)
+        scheme.process_request(PATH, 7, 100, now=10.0)
+        stats = scheme.protocol_stats
+        assert stats.requests == 2
+        assert stats.reports == 3  # second pass: every node reports
+        assert stats.no_descriptor_tags == 3  # only from the first pass
+
+    def test_local_hit_carries_no_accumulator(self, scheme):
+        # Warm until cached at the client node, then a hit at index 0
+        # ships no response accumulator (no links traversed).
+        for t in range(6):
+            scheme.process_request(PATH, 7, 100, now=float(t * 10))
+        if scheme.has_object(0, 7):
+            before = scheme.protocol_stats.responses_with_accumulator
+            scheme.process_request(PATH, 7, 100, now=100.0)
+            assert scheme.protocol_stats.responses_with_accumulator == before
+
+    def test_overhead_small_relative_to_object_bytes(self, scheme):
+        """The paper's overhead claim on a micro-scale replay."""
+        moved = 0
+        for t in range(200):
+            object_id = t % 7
+            outcome = scheme.process_request(PATH, object_id, 5000, float(t))
+            moved += outcome.size * max(outcome.hops, 1)
+        overhead = scheme.protocol_stats.overhead_bytes()
+        assert overhead < 0.05 * moved

@@ -1,0 +1,71 @@
+"""Tests for replication-density instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.model import LatencyCostModel
+from repro.metrics.replication import (
+    copies_per_object,
+    density_by_popularity,
+    occupancy_by_level,
+)
+from repro.schemes.lru_everywhere import LRUEverywhereScheme
+from repro.topology.builder import build_chain
+from repro.topology.tree import TreeConfig, build_tree_topology
+
+
+@pytest.fixture
+def chain_scheme():
+    network = build_chain([1.0] * 3)
+    cost = LatencyCostModel(network, 100.0)
+    return LRUEverywhereScheme(cost, capacity_bytes=1000)
+
+
+class TestCopiesPerObject:
+    def test_counts_copies_across_nodes(self, chain_scheme):
+        chain_scheme.process_request([0, 1, 2, 3], 7, 100, now=0.0)
+        counts = copies_per_object(chain_scheme)
+        assert counts == {7: 3}
+
+    def test_empty_scheme(self, chain_scheme):
+        assert copies_per_object(chain_scheme) == {}
+
+
+class TestDensityByPopularity:
+    def test_bucket_means(self, chain_scheme):
+        chain_scheme.process_request([0, 1, 2, 3], 1, 100, now=0.0)  # 3 copies
+        ranking = [1, 2]  # object 2 never requested
+        means = density_by_popularity(chain_scheme, ranking, buckets=2)
+        assert means == [3.0, 0.0]
+
+    def test_single_bucket_average(self, chain_scheme):
+        chain_scheme.process_request([0, 1, 2, 3], 1, 100, now=0.0)
+        means = density_by_popularity(chain_scheme, [1, 2], buckets=1)
+        assert means == [1.5]
+
+    def test_validation(self, chain_scheme):
+        with pytest.raises(ValueError):
+            density_by_popularity(chain_scheme, [1], buckets=0)
+        with pytest.raises(ValueError):
+            density_by_popularity(chain_scheme, [], buckets=2)
+
+    def test_more_buckets_than_objects(self, chain_scheme):
+        chain_scheme.process_request([0, 1, 2, 3], 1, 100, now=0.0)
+        means = density_by_popularity(chain_scheme, [1], buckets=4)
+        assert len(means) == 4
+        assert means[-1] == 3.0  # the single object lands in one bucket
+
+
+class TestOccupancyByLevel:
+    def test_levels_reported(self):
+        topo = build_tree_topology(TreeConfig(depth=2, fanout=2))
+        cost = LatencyCostModel(topo.network, 100.0)
+        scheme = LRUEverywhereScheme(cost, capacity_bytes=200)
+        # Path: leaf (level 0) -> root (level 1) -> server (level 2).
+        leaf = topo.leaves[0]
+        scheme.process_request([leaf, topo.root, topo.server_node], 5, 100, 0.0)
+        occupancy = occupancy_by_level(scheme, topo.network)
+        assert occupancy[0] == pytest.approx(0.5)
+        assert occupancy[1] == pytest.approx(0.5)
+        assert 2 not in occupancy  # server node has no materialized cache

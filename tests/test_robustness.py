@@ -1,0 +1,72 @@
+"""Tests for the multi-seed robustness runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import ExperimentPreset
+from repro.experiments.robustness import run_robustness
+from repro.workload.generator import WorkloadConfig
+
+PRESET = ExperimentPreset(
+    name="mini",
+    workload=WorkloadConfig(
+        num_objects=80,
+        num_servers=4,
+        num_clients=10,
+        num_requests=2_500,
+        zipf_theta=0.8,
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_robustness(
+        PRESET,
+        "hierarchical",
+        scheme_names=("lru", "coordinated"),
+        seeds=(1, 2, 3),
+        relative_cache_size=0.05,
+    )
+
+
+class TestRunRobustness:
+    def test_sample_shape(self, result):
+        assert result.num_seeds == 3
+        assert set(result.samples) == {"lru", "coordinated"}
+        assert all(len(v) == 3 for v in result.samples.values())
+
+    def test_statistics(self, result):
+        for scheme in ("lru", "coordinated"):
+            assert result.mean(scheme) > 0
+            assert result.std(scheme) >= 0
+
+    def test_wins_counting(self, result):
+        wins = result.wins("coordinated", "lru")
+        losses = result.wins("lru", "coordinated")
+        assert wins + losses <= 3
+        assert wins >= 2  # coordinated should win on most seeds
+
+    def test_format_table(self, result):
+        text = result.format_table()
+        assert "latency on hierarchical over 3 seeds" in text
+        assert "coordinated" in text
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            run_robustness(
+                PRESET, "hierarchical", ("lru",), seeds=(),
+                relative_cache_size=0.05,
+            )
+
+    def test_different_metrics(self):
+        result = run_robustness(
+            PRESET,
+            "hierarchical",
+            scheme_names=("lru",),
+            seeds=(4,),
+            relative_cache_size=0.05,
+            metric="byte_hit_ratio",
+        )
+        assert 0 <= result.mean("lru") <= 1

@@ -1,0 +1,112 @@
+"""Tests for Dijkstra and distribution trees."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.routing.distribution_tree import DistributionTree, RoutingTable
+from repro.routing.shortest_path import dijkstra
+from repro.topology.builder import build_chain, build_star
+from repro.topology.graph import Network, NodeKind
+from repro.topology.tiers import TiersConfig, TiersTopologyGenerator
+
+
+class TestDijkstra:
+    def test_chain_distances(self):
+        net = build_chain([1.0, 2.0, 3.0])
+        dist, parent = dijkstra(net, 0)
+        assert dist == [0.0, 1.0, 3.0, 6.0]
+        assert parent == [-1, 0, 1, 2]
+
+    def test_picks_shorter_of_two_routes(self):
+        net = Network()
+        for _ in range(3):
+            net.add_node(NodeKind.MAN)
+        net.add_link(0, 1, 10.0)
+        net.add_link(0, 2, 1.0)
+        net.add_link(2, 1, 1.0)
+        dist, parent = dijkstra(net, 0)
+        assert dist[1] == pytest.approx(2.0)
+        assert parent[1] == 2
+
+    def test_unreachable_nodes_are_inf(self):
+        net = Network()
+        net.add_node(NodeKind.MAN)
+        net.add_node(NodeKind.MAN)
+        dist, parent = dijkstra(net, 0)
+        assert math.isinf(dist[1])
+        assert parent[1] == -1
+
+    def test_unknown_source_raises(self):
+        net = build_chain([1.0])
+        with pytest.raises(KeyError):
+            dijkstra(net, 9)
+
+
+class TestDistributionTree:
+    def test_path_to_root(self):
+        net = build_chain([1.0, 1.0, 1.0])
+        tree = DistributionTree(net, root=3)
+        assert tree.path_to_root(0) == [0, 1, 2, 3]
+        assert tree.path_to_root(3) == [3]
+        assert tree.depth(0) == 3
+        assert tree.depth(3) == 0
+
+    def test_distance_matches_delay_sum(self):
+        net = build_chain([1.0, 2.0, 4.0])
+        tree = DistributionTree(net, root=3)
+        assert tree.distance(0) == pytest.approx(7.0)
+
+    def test_path_memoization_returns_same_object(self):
+        net = build_chain([1.0, 1.0])
+        tree = DistributionTree(net, root=2)
+        assert tree.path_to_root(0) is tree.path_to_root(0)
+
+    def test_unreachable_raises(self):
+        net = Network()
+        net.add_node(NodeKind.MAN)
+        net.add_node(NodeKind.MAN)
+        tree = DistributionTree(net, root=0)
+        assert not tree.is_reachable(1)
+        with pytest.raises(ValueError):
+            tree.path_to_root(1)
+
+    def test_paths_form_tree(self):
+        """Every node has a single parent: paths are suffix-consistent."""
+        net = TiersTopologyGenerator(TiersConfig(seed=4)).generate()
+        tree = DistributionTree(net, root=0)
+        for node in net.nodes():
+            path = tree.path_to_root(node)
+            assert path[0] == node
+            assert path[-1] == 0
+            # Consecutive path nodes must be linked.
+            for u, v in zip(path, path[1:]):
+                assert net.has_link(u, v)
+            # The parent's path is this path minus the first hop.
+            if len(path) > 1:
+                assert tree.path_to_root(path[1]) == path[1:]
+
+
+class TestRoutingTable:
+    def test_trees_are_memoized_by_root(self):
+        net = build_chain([1.0, 1.0])
+        table = RoutingTable(net)
+        assert table.tree(2) is table.tree(2)
+
+    def test_request_path(self):
+        net = build_star([1.0, 2.0])
+        table = RoutingTable(net)
+        assert table.request_path(1, 2) == [1, 0, 2]
+
+    def test_mean_path_hops(self):
+        net = build_chain([1.0, 1.0, 1.0])
+        table = RoutingTable(net)
+        # Clients at 0 and 1, server at 3: depths 3 and 2.
+        assert table.mean_path_hops([0, 1], [3]) == pytest.approx(2.5)
+
+    def test_mean_path_hops_requires_populations(self):
+        table = RoutingTable(build_chain([1.0]))
+        with pytest.raises(ValueError):
+            table.mean_path_hops([], [0])

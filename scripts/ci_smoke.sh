@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# CI smoke job: lint (when ruff is available) + the tier-1 test command.
+#
+# Usage: sh scripts/ci_smoke.sh
+#
+# The ruff configuration lives in pyproject.toml ([tool.ruff]); install
+# it with `pip install -e .[lint]`.  Environments without ruff (e.g. the
+# hermetic reproduction container) skip the lint step with a notice and
+# still gate on the tier-1 pytest run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests scripts benchmarks
+else
+    echo "== ruff not installed; skipping lint (pip install -e .[lint]) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q

@@ -11,9 +11,14 @@ writes, into an output directory:
   points for later ``cascade-repro compare`` regression checks;
 * ``charts.txt`` -- ASCII renderings of the headline figure panels.
 
+Each sweep streams its finished points to ``<out>/<name>_checkpoint.jsonl``;
+re-running with ``--resume`` after an interruption re-executes only the
+missing grid points.  Per-point run records (duration, throughput, worker
+id) land in ``<out>/<name>_run_records.json``.
+
 Usage:
     python scripts/reproduce.py --out results [--scale standard]
-        [--seed 1] [--workers 4]
+        [--seed 1] [--workers 4] [--resume] [--progress]
 """
 
 from __future__ import annotations
@@ -30,7 +35,7 @@ from repro.experiments.presets import (
     build_architecture,
 )
 from repro.experiments.charts import render_figure
-from repro.experiments.results_io import save_points_json
+from repro.experiments.results_io import save_points_json, save_run_records
 from repro.experiments.sweeps import run_cache_size_sweep, run_modulo_radius_sweep
 from repro.experiments.tables import (
     format_sweep_table,
@@ -47,6 +52,16 @@ def main() -> int:
     parser.add_argument("--scale", choices=sorted(_SCALES), default="small")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip sweep points already in the output checkpoints",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per finished sweep point",
+    )
     args = parser.parse_args()
 
     out = Path(args.out)
@@ -79,6 +94,13 @@ def main() -> int:
         )
         start = time.time()
         print(f"\nrunning {arch_name} sweep ...", flush=True)
+        records: list = []
+
+        def on_progress(event) -> None:
+            records.append(event.record)
+            if args.progress:
+                print(f"  {event.format()}", flush=True)
+
         points = run_cache_size_sweep(
             architecture,
             trace,
@@ -87,8 +109,15 @@ def main() -> int:
             cache_sizes=DEFAULT_CACHE_SIZES,
             scheme_params={"modulo": {"radius": 4}},
             workers=args.workers,
+            checkpoint_path=out / f"{filename}_checkpoint.jsonl",
+            resume=args.resume,
+            progress=on_progress,
         )
         elapsed = time.time() - start
+        save_run_records(records, out / f"{filename}_run_records.json")
+        reused = sum(1 for r in records if r.reused)
+        if reused:
+            print(f"  ({reused} of {len(records)} points reused from checkpoint)")
         text = format_sweep_table(
             points,
             [
@@ -118,6 +147,9 @@ def main() -> int:
         points = run_modulo_radius_sweep(
             architecture, trace, catalog, radii=(1, 2, 3, 4, 5, 6),
             relative_cache_size=0.03,
+            workers=args.workers,
+            checkpoint_path=out / f"radius_{arch_name}_checkpoint.jsonl",
+            resume=args.resume,
         )
         radius_texts.append(format_sweep_table(
             points,

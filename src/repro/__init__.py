@@ -60,8 +60,21 @@ from repro.experiments.tables import (
     topology_characteristics,
 )
 from repro.experiments.compare import compare_points
-from repro.experiments.results_io import load_points_json, save_points_json
+from repro.experiments.results_io import (
+    load_checkpoint,
+    load_points_json,
+    load_run_records,
+    save_points_json,
+    save_run_records,
+)
 from repro.experiments.robustness import RobustnessResult, run_robustness
+from repro.experiments.runner import (
+    GridResult,
+    GridTask,
+    ProgressEvent,
+    RunRecord,
+    run_grid,
+)
 from repro.metrics.collector import MetricsSummary
 from repro.metrics.replication import (
     copies_per_object,
@@ -87,6 +100,8 @@ __all__ = [
     "CoordinatedScheme",
     "DEFAULT_CACHE_SIZES",
     "ExperimentPreset",
+    "GridResult",
+    "GridTask",
     "LNCRScheme",
     "LRUEverywhereScheme",
     "LatencyCostModel",
@@ -95,6 +110,8 @@ __all__ = [
     "PAPER_SCALE",
     "PlacementProblem",
     "PlacementSolution",
+    "ProgressEvent",
+    "RunRecord",
     "SCHEME_NAMES",
     "SMALL_SCALE",
     "STANDARD_SCALE",
@@ -112,12 +129,16 @@ __all__ = [
     "density_by_popularity",
     "expected_byte_hit_ratio",
     "greedy_static_plan",
+    "load_checkpoint",
     "load_points_json",
+    "load_run_records",
     "lru_hit_ratios",
     "occupancy_by_level",
     "optimal_tree_placement",
+    "run_grid",
     "run_robustness",
     "save_points_json",
+    "save_run_records",
     "build_enroute_architecture",
     "build_hierarchical_architecture",
     "build_scheme",

@@ -9,7 +9,13 @@ from repro.cache.descriptors import ObjectDescriptor
 
 
 class CacheTooSmallError(Exception):
-    """Raised when an object exceeds the cache's total capacity."""
+    """Raised when an insertion cannot be accommodated.
+
+    Covers both an object larger than the cache's total capacity and the
+    rarer case where the policy's victim selection cannot free enough
+    space (e.g. every large-enough entry is excluded from eviction).
+    Callers treat it as "do not cache here"; the cache is left unchanged.
+    """
 
 
 class CacheEntry:
@@ -34,7 +40,8 @@ class Cache(abc.ABC):
 
     Subclasses implement the replacement policy through
     :meth:`select_victims`.  Insertions that need space call it and evict
-    the returned victims; objects larger than the whole cache raise
+    the returned victims; infeasible insertions (object larger than the
+    whole cache, or victim selection unable to free enough space) raise
     :class:`CacheTooSmallError` (callers treat that as "do not cache").
     """
 
@@ -102,7 +109,11 @@ class Cache(abc.ABC):
         """Insert an object copy, evicting victims as needed.
 
         Returns the evicted entries (empty when none were needed).  If the
-        object is already present this is a no-op returning ``[]``.
+        object is already present this is a no-op returning ``[]``.  When
+        the object cannot be accommodated -- larger than the whole cache,
+        or victim selection cannot free enough space -- the insertion is
+        refused with :class:`CacheTooSmallError` and the cache is left
+        untouched (no partial eviction).
         """
         object_id = descriptor.object_id
         if object_id in self._entries:
@@ -118,9 +129,11 @@ class Cache(abc.ABC):
             victims = self.select_victims(needed, now, exclude=object_id)
             freed = sum(v.size for v in victims)
             if freed < needed:
-                raise AssertionError(
-                    "select_victims freed too little space "
-                    f"({freed} < {needed})"
+                # Infeasible eviction: refuse gracefully before touching
+                # any entry, so the caller can simply not cache here.
+                raise CacheTooSmallError(
+                    f"cannot make room for object {object_id}: victims free "
+                    f"{freed} B of the {needed} B needed"
                 )
             for victim in victims:
                 self._remove_entry(victim)

@@ -109,13 +109,16 @@ class NCLCache(Cache):
             return 0.0
         loss = 0.0
         freed = 0
-        for key, object_id in self._order:
-            entry = self._entries[object_id]
+        # The loop variable must not be named ``object_id``: it would
+        # shadow the parameter, which is still meaningful after the loop.
+        for key, victim_id in self._order:
+            entry = self._entries[victim_id]
             loss += key * entry.size  # key * size == f * m
             freed += entry.size
             if freed >= needed:
                 return loss
-        return None  # cannot free enough even evicting everything
+        # Even a full purge cannot make room for ``object_id``.
+        return None
 
     def on_insert(self, entry: CacheEntry, now: float) -> None:
         self._insert_key(

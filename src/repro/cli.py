@@ -31,7 +31,7 @@ from repro.experiments.presets import (
     STANDARD_SCALE,
     build_architecture,
 )
-from repro.experiments.results_io import save_points_json
+from repro.experiments.results_io import save_points_json, save_run_records
 from repro.experiments.sweeps import run_cache_size_sweep, run_modulo_radius_sweep
 from repro.experiments.tables import (
     format_sweep_table,
@@ -82,6 +82,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_grid_args(parser: argparse.ArgumentParser) -> None:
+    """Execution-layer flags shared by the runner-backed grid commands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the grid",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL checkpoint file streaming finished points",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points already present in --checkpoint",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per finished grid point",
+    )
+
+
 def _preset(args: argparse.Namespace):
     preset = _SCALES[args.scale].with_seed(args.seed)
     if args.theta is not None:
@@ -97,15 +122,58 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _grid_observer(args: argparse.Namespace):
+    """Progress printer + record collector for runner-backed commands.
+
+    Returns ``(progress_callback, records)``: the callback prints one
+    line per finished point when ``--progress`` is set, and always
+    accumulates the per-point run records so they can be persisted next
+    to the sweep results.
+    """
+    records: list = []
+
+    def on_progress(event) -> None:
+        records.append(event.record)
+        if args.progress:
+            print(f"  {event.format()}", flush=True)
+
+    return on_progress, records
+
+
+def _report_grid(records, save: str | None) -> None:
+    """Print the grid's observability summary; persist records if saving."""
+    executed = [r for r in records if not r.reused]
+    reused = len(records) - len(executed)
+    busy = sum(r.duration_seconds for r in executed)
+    line = f"\n{len(executed)} points executed ({busy:.1f}s simulated)"
+    if reused:
+        line += f", {reused} reused from checkpoint"
+    print(line)
+    if save:
+        records_path = str(save) + ".records.json"
+        save_run_records(records, records_path)
+        print(f"run records written to {records_path}")
+
+
+def _check_resume(args: argparse.Namespace) -> bool:
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return False
+    return True
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     preset = _preset(args)
     unknown = set(args.schemes) - set(SCHEME_NAMES)
     if unknown:
         print(f"unknown schemes: {sorted(unknown)}", file=sys.stderr)
         return 2
+    if not _check_resume(args):
+        return 2
     generator = preset.generator()
     trace = generator.generate()
     arch = build_architecture(args.arch, preset.workload, seed=args.seed)
+    on_progress, records = _grid_observer(args)
     points = run_cache_size_sweep(
         arch,
         trace,
@@ -114,6 +182,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_sizes=args.sizes,
         scheme_params={"modulo": {"radius": args.radius}},
         workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        progress=on_progress,
     )
     print(
         format_sweep_table(
@@ -129,20 +200,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.save:
         save_points_json(points, args.save)
         print(f"\nsaved {len(points)} points to {args.save}")
+    _report_grid(records, args.save)
     return 0
 
 
 def _cmd_radius(args: argparse.Namespace) -> int:
+    if not _check_resume(args):
+        return 2
     preset = _preset(args)
     generator = preset.generator()
     trace = generator.generate()
     arch = build_architecture(args.arch, preset.workload, seed=args.seed)
+    on_progress, records = _grid_observer(args)
     points = run_modulo_radius_sweep(
         arch,
         trace,
         generator.catalog,
         radii=args.radii,
         relative_cache_size=args.size,
+        dcache_ratio=args.dcache_ratio,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        progress=on_progress,
     )
     print(
         format_sweep_table(
@@ -151,6 +231,7 @@ def _cmd_radius(args: argparse.Namespace) -> int:
             title=f"MODULO radius ablation on {args.arch} (cache {args.size:.1%})",
         )
     )
+    _report_grid(records, None)
     return 0
 
 
@@ -280,12 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=list(_DEFAULT_METRICS),
         help="comma-separated metric names",
     )
-    sweep.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="process-pool size for the (scheme, size) grid",
-    )
+    _add_grid_args(sweep)
     sweep.add_argument(
         "--chart",
         action="store_true",
@@ -305,10 +381,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     radius.add_argument("--size", type=float, default=0.03)
     radius.add_argument(
+        "--dcache-ratio",
+        type=float,
+        default=3.0,
+        help="d-cache size as a multiple of the main cache's object count",
+    )
+    radius.add_argument(
         "--metrics",
         type=_csv_strs,
         default=["latency", "byte_hit_ratio", "cache_load"],
     )
+    _add_grid_args(radius)
     radius.set_defaults(func=_cmd_radius)
 
     analyze = sub.add_parser("analyze", help="statistics of a trace CSV")

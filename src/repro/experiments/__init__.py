@@ -8,8 +8,21 @@ from repro.experiments.presets import (
     STANDARD_SCALE,
 )
 from repro.experiments.charts import render_ascii_chart, render_figure
-from repro.experiments.results_io import load_points_json, save_points_json
+from repro.experiments.results_io import (
+    load_checkpoint,
+    load_points_json,
+    load_run_records,
+    save_points_json,
+    save_run_records,
+)
 from repro.experiments.robustness import RobustnessResult, run_robustness
+from repro.experiments.runner import (
+    GridResult,
+    GridTask,
+    ProgressEvent,
+    RunRecord,
+    run_grid,
+)
 from repro.experiments.sweeps import (
     SweepPoint,
     run_cache_size_sweep,
@@ -26,20 +39,28 @@ from repro.experiments.tables import (
 __all__ = [
     "DEFAULT_CACHE_SIZES",
     "ExperimentPreset",
+    "GridResult",
+    "GridTask",
     "PAPER_SCALE",
+    "ProgressEvent",
     "RobustnessResult",
+    "RunRecord",
     "SMALL_SCALE",
     "STANDARD_SCALE",
     "SweepPoint",
     "figure_series",
     "format_sweep_table",
     "format_table1",
+    "load_checkpoint",
     "load_points_json",
+    "load_run_records",
     "render_ascii_chart",
     "render_figure",
     "run_cache_size_sweep",
+    "run_grid",
     "run_modulo_radius_sweep",
     "run_robustness",
+    "save_run_records",
     "run_single",
     "save_points_json",
     "topology_characteristics",

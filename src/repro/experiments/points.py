@@ -1,0 +1,25 @@
+"""The sweep-point result type shared by the experiment layers.
+
+Lives in its own leaf module so the serialization layer
+(:mod:`repro.experiments.results_io`), the execution layer
+(:mod:`repro.experiments.runner`) and the sweep front-ends
+(:mod:`repro.experiments.sweeps`) can all depend on it without import
+cycles.  Most code imports it from :mod:`repro.experiments.sweeps`,
+which re-exports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.collector import MetricsSummary
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (scheme, cache size) measurement."""
+
+    architecture: str
+    scheme: str
+    relative_cache_size: float
+    summary: MetricsSummary

@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.experiments.presets import ExperimentPreset, build_architecture
-from repro.experiments.sweeps import run_single
+from repro.experiments.runner import GridTask, run_grid
 from repro.experiments.tables import metric_value
 from repro.sim.config import SimulationConfig
 
@@ -68,9 +68,15 @@ def run_robustness(
     relative_cache_size: float,
     metric: str = "latency",
     scheme_params: Dict[str, Dict] | None = None,
+    workers: int = 1,
 ) -> RobustnessResult:
     """Replay the comparison once per seed; every seed re-randomizes
-    the trace, the topology and the client/server attachment."""
+    the trace, the topology and the client/server attachment.
+
+    ``workers > 1`` runs each seed's scheme grid on the process-pool
+    runner (one pool per seed, since trace and topology change with the
+    seed); results are identical to the sequential run.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
     params = scheme_params or {}
@@ -83,15 +89,14 @@ def run_robustness(
         architecture = build_architecture(
             architecture_name, seeded.workload, seed=seed
         )
-        for name in scheme_names:
-            point = run_single(
-                architecture,
-                trace,
-                generator.catalog,
-                name,
-                config,
-                **params.get(name, {}),
-            )
+        tasks = [
+            GridTask(scheme=name, config=config, params=params.get(name, {}))
+            for name in scheme_names
+        ]
+        result = run_grid(
+            architecture, trace, generator.catalog, tasks, workers=workers
+        )
+        for name, point in zip(scheme_names, result.points):
             samples.setdefault(name, []).append(
                 metric_value(point.summary, metric)
             )

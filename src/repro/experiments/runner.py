@@ -1,0 +1,318 @@
+"""Execution layer for experiment grids.
+
+The figure-regenerating sweeps are embarrassingly parallel grids of
+(scheme, configuration) points over one shared trace and architecture.
+This module runs such grids fast, resumably and observably:
+
+* **Per-worker state reuse.**  With ``workers > 1`` the architecture,
+  trace and catalog are shipped to each worker process exactly **once**
+  through the pool initializer; the per-point work items crossing the
+  pipe afterwards are tiny :class:`GridTask` tuples.  (The previous
+  design re-pickled the full trace for every grid point.)
+
+* **Checkpointing.**  With a ``checkpoint_path``, every completed point
+  is appended to a JSONL checkpoint the moment it finishes (see
+  :mod:`repro.experiments.results_io`).  A killed sweep restarted with
+  ``resume=True`` loads the checkpoint and re-executes only the missing
+  points.
+
+* **Observability.**  Each point produces a :class:`RunRecord` (scheme,
+  size, wall-clock duration, throughput, worker id) and fires a
+  :class:`ProgressEvent` through the optional ``progress`` callback, so
+  long grids report liveness and leave a structured account of where the
+  time went.
+
+:func:`run_grid` is the engine; the public sweep fronts in
+:mod:`repro.experiments.sweeps` and the multi-seed harness in
+:mod:`repro.experiments.robustness` are built on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.costs.model import LatencyCostModel
+from repro.experiments.points import SweepPoint
+from repro.experiments.results_io import CheckpointWriter, load_checkpoint
+from repro.sim.architecture import Architecture
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import build_scheme
+from repro.workload.catalog import ObjectCatalog
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One grid point: a scheme name, a config and extra scheme params.
+
+    Deliberately tiny -- this is all that crosses the process-pool pipe
+    per point; the heavy shared state travels via the pool initializer.
+    """
+
+    scheme: str
+    config: SimulationConfig
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def key(self, architecture_name: str) -> str:
+        """Stable checkpoint identity of this point on one architecture."""
+        return json.dumps(
+            {
+                "architecture": architecture_name,
+                "scheme": self.scheme,
+                "relative_cache_size": self.config.relative_cache_size,
+                "dcache_ratio": self.config.dcache_ratio,
+                "warmup_fraction": self.config.warmup_fraction,
+                "params": {k: self.params[k] for k in sorted(self.params)},
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Observability record of one executed (or reused) grid point."""
+
+    key: str
+    scheme: str
+    relative_cache_size: float
+    duration_seconds: float
+    requests: int
+    requests_per_second: float
+    worker: int
+    reused: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "scheme": self.scheme,
+            "relative_cache_size": self.relative_cache_size,
+            "duration_seconds": self.duration_seconds,
+            "requests": self.requests,
+            "requests_per_second": self.requests_per_second,
+            "worker": self.worker,
+            "reused": self.reused,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict, *, reused: bool | None = None) -> "RunRecord":
+        return cls(
+            key=raw.get("key", ""),
+            scheme=raw.get("scheme", ""),
+            relative_cache_size=float(raw.get("relative_cache_size", 0.0)),
+            duration_seconds=float(raw.get("duration_seconds", 0.0)),
+            requests=int(raw.get("requests", 0)),
+            requests_per_second=float(raw.get("requests_per_second", 0.0)),
+            worker=int(raw.get("worker", 0)),
+            reused=raw.get("reused", False) if reused is None else reused,
+        )
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Fired through the ``progress`` callback once per finished point."""
+
+    completed: int
+    total: int
+    record: RunRecord
+
+    @property
+    def reused(self) -> bool:
+        return self.record.reused
+
+    def format(self) -> str:
+        """One human-readable progress line (used by the CLI)."""
+        status = "reused" if self.record.reused else (
+            f"{self.record.duration_seconds:.1f}s, "
+            f"{self.record.requests_per_second:,.0f} req/s"
+        )
+        return (
+            f"[{self.completed}/{self.total}] {self.record.scheme} "
+            f"@ {self.record.relative_cache_size:g} ({status})"
+        )
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Everything :func:`run_grid` produces for one grid."""
+
+    points: List[SweepPoint]
+    records: List[RunRecord]
+
+    @property
+    def executed_count(self) -> int:
+        return sum(1 for r in self.records if not r.reused)
+
+    @property
+    def reused_count(self) -> int:
+        return sum(1 for r in self.records if r.reused)
+
+    @property
+    def total_duration_seconds(self) -> float:
+        """Summed single-point wall-clock time (CPU-side, not elapsed)."""
+        return sum(r.duration_seconds for r in self.records if not r.reused)
+
+
+def execute_point(
+    architecture: Architecture,
+    trace: Trace,
+    catalog: ObjectCatalog,
+    task: GridTask,
+) -> Tuple[SweepPoint, RunRecord]:
+    """Run one grid point in this process; returns its point and record."""
+    config = task.config
+    cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
+    capacity = config.capacity_bytes(catalog.total_bytes)
+    dcache_entries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
+    scheme = build_scheme(
+        task.scheme, cost_model, capacity, dcache_entries, **task.params
+    )
+    engine = SimulationEngine(
+        architecture, cost_model, scheme, warmup_fraction=config.warmup_fraction
+    )
+    result = engine.run(trace)
+    point = SweepPoint(
+        architecture=architecture.name,
+        scheme=scheme.name,
+        relative_cache_size=config.relative_cache_size,
+        summary=result.summary,
+    )
+    record = RunRecord(
+        key=task.key(architecture.name),
+        scheme=scheme.name,
+        relative_cache_size=config.relative_cache_size,
+        duration_seconds=result.duration_seconds,
+        requests=result.requests_total,
+        requests_per_second=result.requests_per_second,
+        worker=os.getpid(),
+    )
+    return point, record
+
+
+# -- process-pool plumbing --------------------------------------------------
+
+# Shared state installed once per worker process by the pool initializer;
+# the per-task payload is then just the GridTask itself.
+_WORKER_STATE: Optional[Tuple[Architecture, Trace, ObjectCatalog]] = None
+
+
+def _init_worker(
+    architecture: Architecture, trace: Trace, catalog: ObjectCatalog
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (architecture, trace, catalog)
+
+
+def _run_pooled(task: GridTask) -> Tuple[SweepPoint, RunRecord]:
+    if _WORKER_STATE is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker used without initializer")
+    architecture, trace, catalog = _WORKER_STATE
+    return execute_point(architecture, trace, catalog, task)
+
+
+def run_grid(
+    architecture: Architecture,
+    trace: Trace,
+    catalog: ObjectCatalog,
+    tasks: Sequence[GridTask],
+    workers: int = 1,
+    checkpoint_path: str | Path | None = None,
+    resume: bool = False,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+) -> GridResult:
+    """Execute a grid of tasks; returns points in task order.
+
+    ``workers > 1`` fans the grid out over a process pool whose workers
+    receive the (architecture, trace, catalog) state once, at pool
+    start-up.  Points are independent and fully deterministic, so the
+    result is identical to the sequential run regardless of worker count
+    or completion order.
+
+    ``checkpoint_path`` streams every finished point to a JSONL file;
+    with ``resume=True`` points already present there are *not*
+    re-executed -- their stored summaries are returned (records flagged
+    ``reused=True``) and only the missing grid points run.  Without
+    ``resume`` an existing checkpoint is overwritten.
+
+    ``progress`` receives one :class:`ProgressEvent` per finished point
+    (reused points first, then live completions as they land).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    tasks = list(tasks)
+    keys = [task.key(architecture.name) for task in tasks]
+    if len(set(keys)) != len(keys):
+        duplicates = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(f"duplicate grid tasks: {duplicates[:3]}")
+
+    done: Dict[str, Tuple[SweepPoint, dict]] = {}
+    if resume and checkpoint_path is not None:
+        done = load_checkpoint(checkpoint_path)
+
+    points: List[Optional[SweepPoint]] = [None] * len(tasks)
+    records: List[Optional[RunRecord]] = [None] * len(tasks)
+    total = len(tasks)
+    completed = 0
+
+    # Reused points surface first, in task order.
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        if key in done:
+            point, raw_record = done[key]
+            points[index] = point
+            records[index] = RunRecord.from_dict(
+                {**raw_record, "key": key}, reused=True
+            )
+            completed += 1
+            if progress is not None:
+                progress(ProgressEvent(completed, total, records[index]))
+        else:
+            pending.append(index)
+
+    writer = (
+        CheckpointWriter(checkpoint_path, resume=resume)
+        if checkpoint_path is not None
+        else None
+    )
+    try:
+        def finish(index: int, point: SweepPoint, record: RunRecord) -> None:
+            nonlocal completed
+            points[index] = point
+            records[index] = record
+            completed += 1
+            if writer is not None:
+                writer.write(keys[index], point, record.to_dict())
+            if progress is not None:
+                progress(ProgressEvent(completed, total, record))
+
+        if workers == 1 or len(pending) <= 1:
+            for index in pending:
+                point, record = execute_point(
+                    architecture, trace, catalog, tasks[index]
+                )
+                finish(index, point, record)
+        else:
+            pool_size = min(workers, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=pool_size,
+                initializer=_init_worker,
+                initargs=(architecture, trace, catalog),
+            ) as executor:
+                futures = {
+                    executor.submit(_run_pooled, tasks[index]): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    point, record = future.result()
+                    finish(futures[future], point, record)
+    finally:
+        if writer is not None:
+            writer.close()
+
+    assert all(p is not None for p in points)
+    return GridResult(points=list(points), records=list(records))

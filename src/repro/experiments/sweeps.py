@@ -5,32 +5,36 @@ one trace against every (scheme, relative cache size) combination on one
 architecture and returns the resulting metric summaries.
 ``run_modulo_radius_sweep`` backs the cache-radius ablation discussed in
 sections 4.1-4.2.
+
+Both are thin fronts over :func:`repro.experiments.runner.run_grid`,
+which provides process-pool parallelism with per-worker state reuse,
+checkpoint/resume, and per-point run records (see
+:mod:`repro.experiments.runner`).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.costs.model import LatencyCostModel
-from repro.metrics.collector import MetricsSummary
+from repro.experiments.points import SweepPoint
+from repro.experiments.runner import (
+    GridTask,
+    ProgressEvent,
+    execute_point,
+    run_grid,
+)
 from repro.sim.architecture import Architecture
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import SimulationEngine
-from repro.sim.factory import build_scheme
 from repro.workload.catalog import ObjectCatalog
 from repro.workload.trace import Trace
 
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One (scheme, cache size) measurement."""
-
-    architecture: str
-    scheme: str
-    relative_cache_size: float
-    summary: MetricsSummary
+__all__ = [
+    "SweepPoint",
+    "run_single",
+    "run_cache_size_sweep",
+    "run_modulo_radius_sweep",
+]
 
 
 def run_single(
@@ -42,30 +46,13 @@ def run_single(
     **scheme_params,
 ) -> SweepPoint:
     """Run one scheme at one cache size and return its sweep point."""
-    cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
-    capacity = config.capacity_bytes(catalog.total_bytes)
-    dcache_entries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
-    scheme = build_scheme(
-        scheme_name, cost_model, capacity, dcache_entries, **scheme_params
+    point, _ = execute_point(
+        architecture,
+        trace,
+        catalog,
+        GridTask(scheme=scheme_name, config=config, params=dict(scheme_params)),
     )
-    engine = SimulationEngine(
-        architecture, cost_model, scheme, warmup_fraction=config.warmup_fraction
-    )
-    result = engine.run(trace)
-    return SweepPoint(
-        architecture=architecture.name,
-        scheme=scheme.name,
-        relative_cache_size=config.relative_cache_size,
-        summary=result.summary,
-    )
-
-
-def _sweep_task(
-    args: Tuple[Architecture, Trace, ObjectCatalog, str, SimulationConfig, Dict]
-) -> SweepPoint:
-    """Module-level task wrapper so ProcessPoolExecutor can pickle it."""
-    architecture, trace, catalog, name, config, params = args
-    return run_single(architecture, trace, catalog, name, config, **params)
+    return point
 
 
 def run_cache_size_sweep(
@@ -78,6 +65,9 @@ def run_cache_size_sweep(
     warmup_fraction: float = 0.5,
     scheme_params: Dict[str, Dict] | None = None,
     workers: int = 1,
+    checkpoint_path: str | Path | None = None,
+    resume: bool = False,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> List[SweepPoint]:
     """Sweep relative cache size for several schemes over one trace.
 
@@ -88,11 +78,14 @@ def run_cache_size_sweep(
     ``workers > 1`` fans the (scheme, size) grid out over a process pool;
     points are independent, so results are identical to the sequential
     run (and returned in the same deterministic order) at a fraction of
-    the wall-clock time.  Each worker receives its own copy of the
-    architecture and trace, so prefer it for grids, not single points.
+    the wall-clock time.  The shared trace/architecture state is shipped
+    to each worker once, at pool start-up.
+
+    ``checkpoint_path`` streams finished points to a JSONL checkpoint;
+    pass ``resume=True`` to skip points already recorded there (the
+    recovery path after a killed sweep).  ``progress`` receives one
+    :class:`~repro.experiments.runner.ProgressEvent` per finished point.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
     params = scheme_params or {}
     tasks = []
     for size in cache_sizes:
@@ -103,12 +96,19 @@ def run_cache_size_sweep(
         )
         for name in scheme_names:
             tasks.append(
-                (architecture, trace, catalog, name, config, params.get(name, {}))
+                GridTask(scheme=name, config=config, params=params.get(name, {}))
             )
-    if workers == 1:
-        return [_sweep_task(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(_sweep_task, tasks))
+    result = run_grid(
+        architecture,
+        trace,
+        catalog,
+        tasks,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        progress=progress,
+    )
+    return result.points
 
 
 def run_modulo_radius_sweep(
@@ -117,14 +117,37 @@ def run_modulo_radius_sweep(
     catalog: ObjectCatalog,
     radii: Iterable[int],
     relative_cache_size: float,
+    dcache_ratio: float = 3.0,
     warmup_fraction: float = 0.5,
+    workers: int = 1,
+    checkpoint_path: str | Path | None = None,
+    resume: bool = False,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> List[SweepPoint]:
-    """The MODULO cache-radius ablation (paper sections 4.1-4.2)."""
+    """The MODULO cache-radius ablation (paper sections 4.1-4.2).
+
+    ``dcache_ratio`` is threaded through for parity with
+    :func:`run_cache_size_sweep` (MODULO itself holds no descriptors, but
+    the config is part of each point's checkpoint identity); parallelism,
+    checkpoint/resume and progress reporting follow the same contract.
+    """
     config = SimulationConfig(
         relative_cache_size=relative_cache_size,
+        dcache_ratio=dcache_ratio,
         warmup_fraction=warmup_fraction,
     )
-    return [
-        run_single(architecture, trace, catalog, "modulo", config, radius=radius)
+    tasks = [
+        GridTask(scheme="modulo", config=config, params={"radius": radius})
         for radius in radii
     ]
+    result = run_grid(
+        architecture,
+        trace,
+        catalog,
+        tasks,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        progress=progress,
+    )
+    return result.points

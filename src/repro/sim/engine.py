@@ -10,8 +10,9 @@ the remainder.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.costs.model import CostModel
 from repro.metrics.collector import MetricsCollector, MetricsSummary
@@ -28,6 +29,11 @@ class SimulationResult:
     ``updates_applied`` / ``copies_invalidated`` are zero unless an update
     stream was supplied (the coherency extension, see
     :mod:`repro.workload.updates`).
+
+    ``duration_seconds`` is the wall-clock time of the replay and
+    ``requests_per_second`` the resulting throughput (whole trace,
+    warm-up included) -- the run-observability signals the experiment
+    runner aggregates across a grid.
     """
 
     architecture: str
@@ -37,6 +43,8 @@ class SimulationResult:
     summary: MetricsSummary
     updates_applied: int = 0
     copies_invalidated: int = 0
+    duration_seconds: float = 0.0
+    requests_per_second: float = 0.0
 
 
 class SimulationEngine:
@@ -61,6 +69,8 @@ class SimulationEngine:
         trace: Trace,
         updates: Sequence[UpdateEvent] = (),
         interval_collector=None,
+        progress_every: int = 0,
+        progress_callback: Optional[Callable[[int, int], None]] = None,
     ) -> SimulationResult:
         """Replay the trace; returns metrics over the measurement window.
 
@@ -73,10 +83,21 @@ class SimulationEngine:
         :class:`~repro.metrics.timeseries.IntervalMetricsCollector`)
         additionally receives *every* outcome, warm-up included, so
         convergence and transient behavior can be observed over time.
+
+        ``progress_callback`` (with ``progress_every > 0``) is invoked as
+        ``callback(requests_processed, requests_total)`` after every
+        ``progress_every`` requests and once at the end of the replay, so
+        long runs can report liveness without measurable overhead.
         """
         if len(trace) == 0:
             raise ValueError("cannot simulate an empty trace")
+        if progress_every < 0:
+            raise ValueError("progress_every must be non-negative")
+        report_progress = (
+            progress_callback if progress_every > 0 else None
+        )
         warmup_end, total = trace.split_warmup(self.warmup_fraction)
+        started = time.perf_counter()
         collector = MetricsCollector()
         request_path = self.architecture.request_path
         process = self.scheme.process_request
@@ -103,6 +124,11 @@ class SimulationEngine:
                     collector.record(outcome, latency)
                 if interval_collector is not None:
                     interval_collector.record(outcome, latency, record.time)
+            if report_progress is not None and (index + 1) % progress_every == 0:
+                report_progress(index + 1, total)
+        duration = time.perf_counter() - started
+        if report_progress is not None and total % progress_every != 0:
+            report_progress(total, total)
         return SimulationResult(
             architecture=self.architecture.name,
             scheme=self.scheme.name,
@@ -111,4 +137,6 @@ class SimulationEngine:
             summary=collector.summary(),
             updates_applied=updates_applied,
             copies_invalidated=copies_invalidated,
+            duration_seconds=duration,
+            requests_per_second=total / duration if duration > 0 else 0.0,
         )

@@ -1,0 +1,133 @@
+"""Regression tests for the NCL cost_loss shadowing fix and for graceful
+refusal of infeasible insertions (never a bare AssertionError)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.base import CacheTooSmallError
+from repro.cache.descriptors import ObjectDescriptor
+from repro.cache.gds import GDSCache
+from repro.cache.lfu import LFUCache
+from repro.cache.lru import LRUCache
+from repro.cache.ncl import NCLCache
+from repro.cache.ncl_heap import HeapNCLCache
+
+ALL_CACHE_TYPES = [LRUCache, LFUCache, NCLCache, HeapNCLCache, GDSCache]
+
+
+def desc(object_id: int, size: int, penalty: float = 1.0) -> ObjectDescriptor:
+    return ObjectDescriptor(object_id, size, miss_penalty=penalty)
+
+
+class TestCostLossRegression:
+    """cost_loss must not let its victim loop clobber the parameter."""
+
+    def _loaded_cache(self) -> NCLCache:
+        cache = NCLCache(100)
+        for object_id, size, penalty in ((1, 40, 1.0), (2, 30, 2.0), (3, 30, 3.0)):
+            d = desc(object_id, size, penalty)
+            d.record_access(0.0)
+            cache.insert(d, now=0.0)
+        return cache
+
+    def test_greedy_prefix_loss_matches_manual_sum(self):
+        cache = self._loaded_cache()
+        # Needs 50 B; free 0 B.  Greedy prefix over ascending NCL.
+        order = cache.eviction_order()
+        expected = 0.0
+        freed = 0
+        for victim in order:
+            entry = cache.entry(victim)
+            expected += entry.descriptor.cost_rate(1.0)
+            freed += entry.size
+            if freed >= 50:
+                break
+        assert cache.cost_loss(99, 50, now=1.0) == pytest.approx(expected)
+
+    def test_loop_does_not_clobber_parameter(self):
+        cache = self._loaded_cache()
+        # Same call repeated must be pure: identical result, no reordering.
+        before = cache.eviction_order()
+        first = cache.cost_loss(99, 50, now=1.0)
+        second = cache.cost_loss(99, 50, now=1.0)
+        assert first == second
+        assert cache.eviction_order() == before
+
+    def test_infeasible_returns_none_for_uncached_object(self):
+        cache = self._loaded_cache()
+        # 100 B capacity entirely full; asking for a 100 B object is
+        # feasible (purge everything), anything above capacity is None.
+        assert cache.cost_loss(99, 100, now=1.0) is not None
+        assert cache.cost_loss(99, 101, now=1.0) is None
+        # A *cached* object costs nothing regardless of the loop's state.
+        assert cache.cost_loss(1, 40, now=1.0) == 0.0
+
+    def test_list_and_heap_agree(self):
+        for needed in (10, 35, 60, 100):
+            caches = []
+            for cache_type in (NCLCache, HeapNCLCache):
+                cache = cache_type(100)
+                for object_id, size, penalty in (
+                    (1, 40, 1.0),
+                    (2, 30, 2.0),
+                    (3, 30, 3.0),
+                ):
+                    d = desc(object_id, size, penalty)
+                    d.record_access(0.0)
+                    cache.insert(d, now=0.0)
+                caches.append(cache)
+            assert caches[0].cost_loss(99, needed, now=1.0) == pytest.approx(
+                caches[1].cost_loss(99, needed, now=1.0)
+            )
+
+
+class _StingyCache(LRUCache):
+    """Pathological policy whose victim selection frees too little."""
+
+    def select_victims(self, needed_bytes, now, exclude=None):
+        victims = super().select_victims(needed_bytes, now, exclude)
+        return victims[:1] if victims else []
+
+
+class TestInfeasibleEvictionRefusal:
+    def test_insufficient_victims_refuse_cleanly(self):
+        cache = _StingyCache(100)
+        cache.insert(desc(1, 30), now=0.0)
+        cache.insert(desc(2, 30), now=1.0)
+        cache.insert(desc(3, 30), now=2.0)
+        with pytest.raises(CacheTooSmallError):
+            cache.insert(desc(4, 80), now=3.0)
+        # Refusal must leave the cache untouched: no partial eviction.
+        assert sorted(cache.object_ids()) == [1, 2, 3]
+        assert cache.used_bytes == 90
+        cache.check_invariants()
+
+    @pytest.mark.parametrize("cache_type", ALL_CACHE_TYPES)
+    def test_insert_never_raises_assertion_error(self, cache_type):
+        """Property: random churn either caches or refuses -- never asserts."""
+        rng = random.Random(0xCAFE)
+        cache = cache_type(500)
+        now = 0.0
+        for step in range(600):
+            now += 1.0
+            object_id = rng.randrange(40)
+            size = rng.choice((10, 60, 180, 450, 501, 700))
+            try:
+                if object_id in cache:
+                    cache.access(object_id, now)
+                else:
+                    d = desc(object_id, size, penalty=rng.uniform(0.1, 5.0))
+                    d.record_access(now)
+                    cache.insert(d, now)
+            except CacheTooSmallError:
+                # With well-behaved policies, only an oversize object is
+                # refused; the cache must be left consistent either way.
+                assert size > cache.capacity_bytes
+            except AssertionError as error:  # pragma: no cover - regression
+                pytest.fail(f"insert raised AssertionError: {error}")
+            if step % 50 == 0:
+                cache.check_invariants()
+        cache.check_invariants()

@@ -1,0 +1,208 @@
+"""Tests for the experiment-grid execution layer (repro.experiments.runner)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.presets import build_architecture
+from repro.experiments.results_io import (
+    load_checkpoint,
+    load_run_records,
+    save_run_records,
+)
+from repro.experiments.runner import GridTask, run_grid
+from repro.experiments.sweeps import (
+    run_cache_size_sweep,
+    run_modulo_radius_sweep,
+)
+from repro.sim.config import SimulationConfig
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+
+SCHEMES = ["lru", "coordinated"]
+SIZES = [0.01, 0.03, 0.1, 0.3]
+
+
+@pytest.fixture(scope="module")
+def mini_setup():
+    workload = WorkloadConfig(
+        num_objects=50,
+        num_servers=4,
+        num_clients=8,
+        num_requests=800,
+        zipf_theta=0.8,
+        seed=7,
+    )
+    generator = BoeingLikeTraceGenerator(workload)
+    trace = generator.generate()
+    arch = build_architecture("hierarchical", workload, seed=0)
+    return arch, trace, generator.catalog
+
+
+def _sweep(mini_setup, **kwargs):
+    arch, trace, catalog = mini_setup
+    return run_cache_size_sweep(
+        arch, trace, catalog, scheme_names=SCHEMES, cache_sizes=SIZES, **kwargs
+    )
+
+
+class TestParallelParity:
+    def test_workers4_matches_sequential(self, mini_setup):
+        """Acceptance: 2 schemes x 4 sizes, workers=4 == sequential run."""
+        sequential = _sweep(mini_setup)
+        parallel = _sweep(mini_setup, workers=4)
+        assert parallel == sequential
+        assert len(parallel) == len(SCHEMES) * len(SIZES)
+
+    def test_rejects_nonpositive_workers(self, mini_setup):
+        with pytest.raises(ValueError):
+            _sweep(mini_setup, workers=0)
+
+
+class TestCheckpointResume:
+    def test_killed_then_resumed_runs_only_missing_points(
+        self, mini_setup, tmp_path
+    ):
+        """A resumed sweep must re-execute exactly the missing points."""
+        arch, trace, catalog = mini_setup
+        checkpoint = tmp_path / "sweep.jsonl"
+
+        # Simulate a sweep killed after finishing the 4 lru points.
+        partial = run_cache_size_sweep(
+            arch,
+            trace,
+            catalog,
+            scheme_names=["lru"],
+            cache_sizes=SIZES,
+            checkpoint_path=checkpoint,
+        )
+        assert len(load_checkpoint(checkpoint)) == len(SIZES)
+
+        events = []
+        resumed = _sweep(
+            mini_setup,
+            checkpoint_path=checkpoint,
+            resume=True,
+            progress=events.append,
+        )
+        # Executed tasks counted via the checkpoint file: the resumed run
+        # appended only the coordinated points.
+        assert len(load_checkpoint(checkpoint)) == len(SCHEMES) * len(SIZES)
+        executed = [e for e in events if not e.record.reused]
+        reused = [e for e in events if e.record.reused]
+        assert len(executed) == len(SIZES)  # only the missing scheme ran
+        assert len(reused) == len(SIZES)
+        assert all(e.record.scheme == "coordinated" for e in executed)
+
+        # Reused summaries are bit-identical to a fresh sequential run.
+        assert resumed == _sweep(mini_setup)
+        assert [p for p in resumed if p.scheme == "lru"] == partial
+
+    def test_without_resume_checkpoint_is_overwritten(self, mini_setup, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        _sweep(mini_setup, checkpoint_path=checkpoint)
+        events = []
+        _sweep(mini_setup, checkpoint_path=checkpoint, progress=events.append)
+        assert all(not e.record.reused for e in events)
+        assert len(load_checkpoint(checkpoint)) == len(SCHEMES) * len(SIZES)
+
+    def test_truncated_trailing_line_is_ignored(self, mini_setup, tmp_path):
+        """A line cut short by a kill re-executes; intact lines are kept."""
+        checkpoint = tmp_path / "sweep.jsonl"
+        _sweep(mini_setup, checkpoint_path=checkpoint)
+        lines = checkpoint.read_text().splitlines()
+        checkpoint.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+        done = load_checkpoint(checkpoint)
+        assert len(done) == len(SCHEMES) * len(SIZES) - 1
+
+        events = []
+        points = _sweep(
+            mini_setup,
+            checkpoint_path=checkpoint,
+            resume=True,
+            progress=events.append,
+        )
+        assert sum(1 for e in events if not e.record.reused) == 1
+        assert points == _sweep(mini_setup)
+
+
+class TestObservability:
+    def test_progress_events_cover_the_grid(self, mini_setup):
+        events = []
+        _sweep(mini_setup, progress=events.append)
+        total = len(SCHEMES) * len(SIZES)
+        assert [e.completed for e in events] == list(range(1, total + 1))
+        assert all(e.total == total for e in events)
+        assert all("req/s" in e.format() for e in events)
+
+    def test_run_records_carry_timing_and_worker(self, mini_setup, tmp_path):
+        events = []
+        _sweep(mini_setup, progress=events.append)
+        records = [e.record for e in events]
+        assert all(r.duration_seconds > 0 for r in records)
+        assert all(r.requests_per_second > 0 for r in records)
+        assert all(r.worker > 0 for r in records)
+        assert all(r.requests == 800 for r in records)
+
+        path = tmp_path / "records.json"
+        save_run_records(records, path)
+        loaded = load_run_records(path)
+        assert len(loaded) == len(records)
+        assert loaded[0]["scheme"] == records[0].scheme
+        assert loaded[0]["duration_seconds"] == records[0].duration_seconds
+
+    def test_parallel_run_uses_multiple_workers(self, mini_setup):
+        events = []
+        _sweep(mini_setup, workers=4, progress=events.append)
+        workers = {e.record.worker for e in events}
+        assert len(workers) > 1  # the grid really fanned out
+
+
+class TestRunGrid:
+    def test_duplicate_tasks_rejected(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        config = SimulationConfig(relative_cache_size=0.05)
+        task = GridTask(scheme="lru", config=config)
+        with pytest.raises(ValueError, match="duplicate"):
+            run_grid(arch, trace, catalog, [task, task])
+
+    def test_task_key_is_stable_and_param_sensitive(self, mini_setup):
+        arch, _, _ = mini_setup
+        config = SimulationConfig(relative_cache_size=0.05)
+        a = GridTask(scheme="modulo", config=config, params={"radius": 2})
+        b = GridTask(scheme="modulo", config=config, params={"radius": 4})
+        assert a.key(arch.name) != b.key(arch.name)
+        assert a.key(arch.name) == GridTask(
+            scheme="modulo", config=config, params={"radius": 2}
+        ).key(arch.name)
+
+
+class TestModuloRadiusSweep:
+    def test_dcache_ratio_threaded_into_point_identity(
+        self, mini_setup, tmp_path
+    ):
+        """dcache_ratio reaches the runner config (parity with size sweep)."""
+        arch, trace, catalog = mini_setup
+        checkpoint = tmp_path / "radius.jsonl"
+        points = run_modulo_radius_sweep(
+            arch,
+            trace,
+            catalog,
+            radii=[1, 2],
+            relative_cache_size=0.05,
+            dcache_ratio=5.0,
+            checkpoint_path=checkpoint,
+        )
+        assert [p.scheme for p in points] == ["modulo(r=1)", "modulo(r=2)"]
+        keys = [json.loads(k) for k in load_checkpoint(checkpoint)]
+        assert all(k["dcache_ratio"] == 5.0 for k in keys)
+
+    def test_parallel_matches_sequential(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        kwargs = dict(radii=[1, 2, 4], relative_cache_size=0.05)
+        assert run_modulo_radius_sweep(
+            arch, trace, catalog, workers=3, **kwargs
+        ) == run_modulo_radius_sweep(arch, trace, catalog, **kwargs)

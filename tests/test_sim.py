@@ -174,3 +174,39 @@ class TestSimulationEngine:
         result = engine.run(trace)
         assert result.summary.byte_hit_ratio == 0.0
         assert result.summary.mean_hops == pytest.approx(4.0)
+
+    def test_run_reports_timing_and_throughput(self, tiny_workload):
+        arch, trace, catalog, cost = self._setup(tiny_workload)
+        scheme = LRUEverywhereScheme(cost, capacity_bytes=50_000)
+        engine = SimulationEngine(arch, cost, scheme)
+        result = engine.run(trace)
+        assert result.duration_seconds > 0
+        assert result.requests_per_second == pytest.approx(
+            result.requests_total / result.duration_seconds
+        )
+
+    def test_progress_callback_fires_every_n_requests(self, tiny_workload):
+        arch, trace, catalog, cost = self._setup(tiny_workload)
+        scheme = LRUEverywhereScheme(cost, capacity_bytes=50_000)
+        engine = SimulationEngine(arch, cost, scheme)
+        calls = []
+        engine.run(
+            trace,
+            progress_every=100,
+            progress_callback=lambda done, total: calls.append((done, total)),
+        )
+        total = len(trace)
+        expected = [(i, total) for i in range(100, total + 1, 100)]
+        if total % 100 != 0:
+            expected.append((total, total))
+        assert calls == expected
+
+    def test_progress_callback_ignored_without_interval(self, tiny_workload):
+        arch, trace, catalog, cost = self._setup(tiny_workload)
+        scheme = LRUEverywhereScheme(cost, capacity_bytes=50_000)
+        engine = SimulationEngine(arch, cost, scheme)
+        calls = []
+        engine.run(trace, progress_callback=lambda d, t: calls.append(d))
+        assert calls == []
+        with pytest.raises(ValueError):
+            engine.run(trace, progress_every=-1)

@@ -20,3 +20,10 @@ fi
 
 echo "== tier-1 tests =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+
+echo "== audited simulation smoke =="
+# Every shipped scheme under the full correctness audit layer (runtime
+# invariants, differential oracles, shadow replay); exits non-zero on
+# any violation.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro sim --audit \
+    --scale small --schemes lru,lnc-r,coordinated

@@ -95,10 +95,16 @@ class NCLCache(Cache):
     def cost_loss(self, object_id: int, size: int, now: float) -> Optional[float]:
         """Cost loss ``l`` of making room for an object (no mutation).
 
-        Sums ``f(O_i) * m(O_i)`` over the greedy victim prefix.  Returns 0
-        when the object already fits (or is already cached), and ``None``
-        when the object cannot fit at all (larger than capacity) -- callers
-        treat ``None`` as "node cannot cache this object".
+        Sums each victim's *current* ``f(O_i) * m(O_i)`` at ``now`` over
+        the greedy victim prefix; the prefix itself follows the same
+        lazily refreshed key order as :meth:`select_victims`, so the
+        reported ``l`` prices exactly the eviction that would happen.
+        (Summing the stale sorted keys instead would inflate the
+        piggybacked ``l_i`` for aged victims and bias the placement DP
+        against caching.)  Returns 0 when the object already fits (or is
+        already cached), and ``None`` when the object cannot fit at all
+        (larger than capacity) -- callers treat ``None`` as "node cannot
+        cache this object".
         """
         if size > self.capacity_bytes:
             return None
@@ -111,9 +117,9 @@ class NCLCache(Cache):
         freed = 0
         # The loop variable must not be named ``object_id``: it would
         # shadow the parameter, which is still meaningful after the loop.
-        for key, victim_id in self._order:
+        for _, victim_id in self._order:
             entry = self._entries[victim_id]
-            loss += key * entry.size  # key * size == f * m
+            loss += entry.descriptor.cost_rate(now)
             freed += entry.size
             if freed >= needed:
                 return loss
@@ -137,7 +143,11 @@ class NCLCache(Cache):
         if len(self._order) != len(self._entries) or len(self._keys) != len(self._entries):
             raise AssertionError("NCL key bookkeeping drift")
         if any(
-            self._order[i][0] > self._order[i + 1][0]
+            self._order[i] > self._order[i + 1]
             for i in range(len(self._order) - 1)
         ):
             raise AssertionError("NCL order list not sorted")
+        if {oid for _, oid in self._order} != set(self._entries):
+            raise AssertionError("NCL order list does not match entries")
+        if any(self._keys.get(oid) != key for key, oid in self._order):
+            raise AssertionError("NCL order keys disagree with key map")

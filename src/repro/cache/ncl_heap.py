@@ -110,9 +110,11 @@ class HeapNCLCache(Cache):
     def cost_loss(self, object_id: int, size: int, now: float) -> Optional[float]:
         """Cost loss ``l`` of making room for an object (no mutation).
 
-        Uses the NCL keys recorded at the victims' last refresh -- the
-        same staleness semantics as :class:`repro.cache.ncl.NCLCache`, so
-        the two structures stay decision-identical.
+        Victim order follows the NCL keys recorded at the victims' last
+        refresh, but each victim's loss contribution is its *current*
+        ``f(O_i) * m(O_i)`` at ``now`` -- the same semantics as
+        :class:`repro.cache.ncl.NCLCache`, so the two structures stay
+        decision-identical.
         """
         if size > self.capacity_bytes:
             return None
@@ -130,12 +132,12 @@ class HeapNCLCache(Cache):
             popped.append(item)
             if not self._is_live(item):
                 continue
-            key, victim_id, _ = item
+            _, victim_id, _ = item
             if victim_id in seen:
                 continue
             seen.add(victim_id)
             entry = self._entries[victim_id]
-            loss += key * entry.size  # key * size == f * m at last refresh
+            loss += entry.descriptor.cost_rate(now)
             freed += entry.size
         for item in popped:
             if self._is_live(item):

@@ -9,6 +9,10 @@ Subcommands:
 * ``analyze`` -- workload statistics and Zipf fit of a trace CSV.
 * ``replay``  -- replay a trace CSV against one scheme on one
   architecture and print its metrics.
+* ``sim``     -- run each scheme once at one cache size; with
+  ``--audit`` the run executes under the full correctness audit layer
+  (invariant sweeps, differential oracles, shadow replay).
+* ``audit-selftest`` -- prove the audit layer detects seeded mutations.
 
 Examples::
 
@@ -16,6 +20,7 @@ Examples::
     cascade-repro sweep --arch en-route --schemes lru,coordinated \
         --sizes 0.01,0.1 --scale small
     cascade-repro radius --arch hierarchical --radii 1,2,4 --size 0.03
+    cascade-repro sim --audit --scale small
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from repro.experiments.tables import (
     topology_characteristics,
 )
 from repro.sim.factory import SCHEME_NAMES
+from repro.verify.violations import AuditViolation
 
 _SCALES = {"small": SMALL_SCALE, "standard": STANDARD_SCALE}
 _DEFAULT_METRICS = (
@@ -105,6 +111,12 @@ def _add_grid_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print one line per finished grid point",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run every point under the correctness audit layer "
+        "(violations are reported and fail the command)",
+    )
 
 
 def _preset(args: argparse.Namespace):
@@ -140,8 +152,12 @@ def _grid_observer(args: argparse.Namespace):
     return on_progress, records
 
 
-def _report_grid(records, save: str | None) -> None:
-    """Print the grid's observability summary; persist records if saving."""
+def _report_grid(records, save: str | None, audited: bool = False) -> int:
+    """Print the grid's observability summary; persist records if saving.
+
+    Returns the number of audit violations across the grid (always 0
+    for unaudited runs), so commands can fail loudly on a dirty audit.
+    """
     executed = [r for r in records if not r.reused]
     reused = len(records) - len(executed)
     busy = sum(r.duration_seconds for r in executed)
@@ -149,10 +165,23 @@ def _report_grid(records, save: str | None) -> None:
     if reused:
         line += f", {reused} reused from checkpoint"
     print(line)
+    violations = 0
+    if audited:
+        checks = sum(r.audit_checks for r in records)
+        violations = sum(len(r.audit_violations) for r in records)
+        if violations:
+            print(f"AUDIT: {checks} checks, {violations} VIOLATIONS:")
+            for record in records:
+                for raw in record.audit_violations:
+                    violation = AuditViolation.from_dict(raw)
+                    print(f"  {record.scheme}: {violation.format()}")
+        else:
+            print(f"audit: {checks} checks across the grid, no violations")
     if save:
         records_path = str(save) + ".records.json"
         save_run_records(records, records_path)
         print(f"run records written to {records_path}")
+    return violations
 
 
 def _check_resume(args: argparse.Namespace) -> bool:
@@ -185,6 +214,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         progress=on_progress,
+        audit=args.audit,
     )
     print(
         format_sweep_table(
@@ -200,8 +230,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.save:
         save_points_json(points, args.save)
         print(f"\nsaved {len(points)} points to {args.save}")
-    _report_grid(records, args.save)
-    return 0
+    violations = _report_grid(records, args.save, audited=args.audit)
+    return 1 if violations else 0
 
 
 def _cmd_radius(args: argparse.Namespace) -> int:
@@ -223,6 +253,7 @@ def _cmd_radius(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         resume=args.resume,
         progress=on_progress,
+        audit=args.audit,
     )
     print(
         format_sweep_table(
@@ -231,8 +262,8 @@ def _cmd_radius(args: argparse.Namespace) -> int:
             title=f"MODULO radius ablation on {args.arch} (cache {args.size:.1%})",
         )
     )
-    _report_grid(records, None)
-    return 0
+    violations = _report_grid(records, None, audited=args.audit)
+    return 1 if violations else 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -326,6 +357,77 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     print(f"  mean hops         {s.mean_hops:.3f}")
     print(f"  cache load/req    {s.mean_cache_load:.0f} B")
     return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import GridTask, execute_point
+    from repro.sim.config import SimulationConfig
+    from repro.verify.auditor import AuditConfig
+
+    preset = _preset(args)
+    unknown = set(args.schemes) - set(SCHEME_NAMES)
+    if unknown:
+        print(f"unknown schemes: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    generator = preset.generator()
+    trace = generator.generate()
+    arch = build_architecture(args.arch, preset.workload, seed=args.seed)
+    audit: bool | AuditConfig = False
+    if args.audit:
+        # Collecting mode so one bad scheme does not hide the others'
+        # violations; shadow replay on -- sim is the thorough front.
+        audit = AuditConfig(
+            audit_every=args.audit_every,
+            shadow_replay=True,
+            strict=False,
+        )
+    config = SimulationConfig(
+        relative_cache_size=args.size, dcache_ratio=args.dcache_ratio
+    )
+    header = f"{args.arch} ({preset.name} scale, seed {args.seed}), " \
+             f"cache {args.size:.2%}"
+    if args.audit:
+        header += f", audited every {args.audit_every} requests"
+    print(header)
+    total_violations = 0
+    for name in args.schemes:
+        task = GridTask(scheme=name, config=config, params={})
+        point, record = execute_point(
+            arch, trace, generator.catalog, task, audit=audit
+        )
+        s = point.summary
+        line = (
+            f"  {name:14s} latency {s.mean_latency:8.5f}  "
+            f"byte-hit {s.byte_hit_ratio:.4f}  hops {s.mean_hops:.3f}"
+        )
+        if args.audit:
+            if record.audit_violations:
+                line += (
+                    f"  [{record.audit_checks} checks, "
+                    f"{len(record.audit_violations)} VIOLATIONS]"
+                )
+            else:
+                line += f"  [{record.audit_checks} checks, audit ok]"
+        print(line, flush=True)
+        for raw in record.audit_violations:
+            print(f"    {AuditViolation.from_dict(raw).format()}")
+        total_violations += len(record.audit_violations)
+    if args.audit:
+        verdict = (
+            "audit clean: no violations"
+            if not total_violations
+            else f"audit FAILED: {total_violations} violations"
+        )
+        print(verdict)
+    return 1 if total_violations else 0
+
+
+def _cmd_audit_selftest(args: argparse.Namespace) -> int:
+    from repro.verify.selftest import run_selftest
+
+    report = run_selftest()
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -426,6 +528,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--seed", type=int, default=0)
     replay.set_defaults(func=_cmd_replay)
+
+    sim = sub.add_parser(
+        "sim", help="run each scheme once (with optional --audit)"
+    )
+    _add_common(sim)
+    sim.add_argument(
+        "--schemes",
+        type=_csv_strs,
+        default=list(SCHEME_NAMES),
+        help="comma-separated scheme names",
+    )
+    sim.add_argument(
+        "--size", type=float, default=0.03, help="relative cache size"
+    )
+    sim.add_argument(
+        "--dcache-ratio",
+        type=float,
+        default=3.0,
+        help="d-cache size as a multiple of the main cache's object count",
+    )
+    sim.add_argument(
+        "--audit",
+        action="store_true",
+        help="run under the full correctness audit layer "
+        "(invariant sweeps, differential oracles, shadow replay)",
+    )
+    sim.add_argument(
+        "--audit-every",
+        type=int,
+        default=1000,
+        help="requests between periodic invariant sweeps",
+    )
+    sim.set_defaults(func=_cmd_sim)
+
+    selftest = sub.add_parser(
+        "audit-selftest",
+        help="prove the audit layer detects seeded mutations",
+    )
+    selftest.set_defaults(func=_cmd_audit_selftest)
 
     return parser
 

@@ -28,7 +28,7 @@ request/response pair, as in the paper.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.piggyback import (
     NodeReport,
@@ -38,6 +38,7 @@ from repro.core.piggyback import (
 )
 from repro.core.placement import (
     PlacementProblem,
+    PlacementSolution,
     enforce_monotone_frequencies,
     solve_placement,
 )
@@ -53,6 +54,16 @@ class CoordinatedScheme(DescriptorSchemeBase):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.protocol_stats = ProtocolStats()
+        # Audit seam: when set, every solved placement problem and its
+        # solution are reported here (see repro.verify.oracles).  Purely
+        # observational -- must never influence the decision.
+        self.placement_observer: Optional[
+            Callable[[PlacementProblem, PlacementSolution], None]
+        ] = None
+
+    def _solve(self, problem: PlacementProblem) -> PlacementSolution:
+        """Solver seam (overridden by the audit self-test's mutants)."""
+        return solve_placement(problem)
 
     # -- protocol phases -------------------------------------------------------
 
@@ -112,7 +123,9 @@ class CoordinatedScheme(DescriptorSchemeBase):
             penalties=tuple(r.miss_penalty for r in candidates),
             losses=tuple(r.cost_loss for r in candidates),
         )
-        solution = solve_placement(problem)
+        solution = self._solve(problem)
+        if self.placement_observer is not None:
+            self.placement_observer(problem, solution)
         chosen = frozenset(candidates[i].node for i in solution.indices)
         return ResponseEnvelope(
             object_id=envelope.object_id,

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
 
@@ -54,14 +56,41 @@ def point_from_dict(raw: dict) -> SweepPoint:
     )
 
 
+def _dump_json_atomic(document: dict, path: str | Path) -> None:
+    """Write a JSON document crash-safely.
+
+    Serializes into a temporary file in the destination directory and
+    renames it over the target with ``os.replace``, so an interrupt (or a
+    serialization error) mid-write can never destroy an existing file --
+    readers see either the old complete document or the new one.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(document, f, indent=2)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_points_json(points: Sequence[SweepPoint], path: str | Path) -> None:
-    """Write sweep points (with full metric summaries) to a JSON file."""
+    """Write sweep points (with full metric summaries) to a JSON file.
+
+    The write is atomic (temp file + rename): a crash mid-write leaves
+    any previous results file intact instead of a truncated document.
+    """
     document = {
         "schema_version": _SCHEMA_VERSION,
         "points": [point_to_dict(p) for p in points],
     }
-    with open(path, "w") as f:
-        json.dump(document, f, indent=2)
+    _dump_json_atomic(document, path)
 
 
 def load_points_json(path: str | Path) -> List[SweepPoint]:
@@ -112,8 +141,9 @@ class CheckpointWriter:
 def load_checkpoint(path: str | Path) -> Dict[str, Tuple[SweepPoint, dict]]:
     """Read a checkpoint file into ``{key: (point, record)}``.
 
-    Unparseable lines -- typically a single truncated trailing line left
-    by a killed run -- are skipped: their points re-execute on resume.
+    Malformed lines -- a truncated trailing line left by a killed run,
+    a line missing its ``"key"`` or ``"point"``, non-JSON garbage -- are
+    all skipped the same way: their points simply re-execute on resume.
     A later line for the same key wins (harmless duplicate work).
     """
     done: Dict[str, Tuple[SweepPoint, dict]] = {}
@@ -129,13 +159,19 @@ def load_checkpoint(path: str | Path) -> Dict[str, Tuple[SweepPoint, dict]]:
                 raw = json.loads(line)
             except json.JSONDecodeError:
                 continue
+            if not isinstance(raw, dict):
+                continue
             if raw.get("schema_version") != _CHECKPOINT_SCHEMA_VERSION:
+                continue
+            key = raw.get("key")
+            if not isinstance(key, str):
                 continue
             try:
                 point = point_from_dict(raw["point"])
             except (KeyError, TypeError):
                 continue
-            done[raw["key"]] = (point, dict(raw.get("record", {})))
+            record = raw.get("record")
+            done[key] = (point, dict(record) if isinstance(record, dict) else {})
     return done
 
 
@@ -146,15 +182,15 @@ def save_run_records(records: Sequence, path: str | Path) -> None:
     """Write per-point run records (the observability sidecar) as JSON.
 
     Accepts dataclass instances (e.g. the runner's ``RunRecord``) or
-    plain dictionaries.
+    plain dictionaries.  Like :func:`save_points_json` the write is
+    atomic, so an interrupt cannot destroy an existing sidecar.
     """
     rows = [
         dataclasses.asdict(r) if dataclasses.is_dataclass(r) else dict(r)
         for r in records
     ]
     document = {"schema_version": _RECORDS_SCHEMA_VERSION, "records": rows}
-    with open(path, "w") as f:
-        json.dump(document, f, indent=2)
+    _dump_json_atomic(document, path)
 
 
 def load_run_records(path: str | Path) -> List[dict]:

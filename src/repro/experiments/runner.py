@@ -29,12 +29,13 @@ This module runs such grids fast, resumably and observably:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.costs.model import LatencyCostModel
 from repro.experiments.points import SweepPoint
@@ -43,6 +44,7 @@ from repro.sim.architecture import Architecture
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.factory import build_scheme
+from repro.verify.auditor import AuditConfig, Auditor
 from repro.workload.catalog import ObjectCatalog
 from repro.workload.trace import Trace
 
@@ -76,7 +78,15 @@ class GridTask:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Observability record of one executed (or reused) grid point."""
+    """Observability record of one executed (or reused) grid point.
+
+    ``audit_checks`` / ``audit_violations`` are populated only on audited
+    runs (``audit=True``): the number of audit checks executed and the
+    structured :meth:`~repro.verify.violations.AuditViolation.to_dict`
+    records of every violation found -- these land verbatim in the
+    checkpoint / run-record sidecars so a grid's correctness evidence
+    survives alongside its metrics.
+    """
 
     key: str
     scheme: str
@@ -86,6 +96,8 @@ class RunRecord:
     requests_per_second: float
     worker: int
     reused: bool = False
+    audit_checks: int = 0
+    audit_violations: Tuple[dict, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -97,10 +109,15 @@ class RunRecord:
             "requests_per_second": self.requests_per_second,
             "worker": self.worker,
             "reused": self.reused,
+            "audit_checks": self.audit_checks,
+            "audit_violations": [dict(v) for v in self.audit_violations],
         }
 
     @classmethod
     def from_dict(cls, raw: dict, *, reused: bool | None = None) -> "RunRecord":
+        violations = raw.get("audit_violations", ())
+        if not isinstance(violations, (list, tuple)):
+            violations = ()
         return cls(
             key=raw.get("key", ""),
             scheme=raw.get("scheme", ""),
@@ -110,6 +127,10 @@ class RunRecord:
             requests_per_second=float(raw.get("requests_per_second", 0.0)),
             worker=int(raw.get("worker", 0)),
             reused=raw.get("reused", False) if reused is None else reused,
+            audit_checks=int(raw.get("audit_checks", 0)),
+            audit_violations=tuple(
+                dict(v) for v in violations if isinstance(v, dict)
+            ),
         )
 
 
@@ -163,19 +184,52 @@ def execute_point(
     trace: Trace,
     catalog: ObjectCatalog,
     task: GridTask,
+    audit: Union[bool, AuditConfig] = False,
 ) -> Tuple[SweepPoint, RunRecord]:
-    """Run one grid point in this process; returns its point and record."""
+    """Run one grid point in this process; returns its point and record.
+
+    ``audit`` enables the correctness audit layer for the point: ``True``
+    uses a collecting (non-strict) :class:`~repro.verify.auditor.
+    AuditConfig`; pass a config instance for full control.  Audited
+    points run with the ``mirrored`` NCL structure (where the scheme has
+    one) so every eviction decision is differentially checked -- the
+    overlay happens *after* the checkpoint key is computed, so audited
+    and unaudited grids share checkpoint identities (and metrics, which
+    auditing never changes).
+    """
     config = task.config
+    key = task.key(architecture.name)
     cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
     capacity = config.capacity_bytes(catalog.total_bytes)
     dcache_entries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
+    params = dict(task.params)
+    auditor = None
+    if audit:
+        audit_config = (
+            audit if isinstance(audit, AuditConfig) else AuditConfig(strict=False)
+        )
+        auditor = Auditor(audit_config)
+        params.setdefault("ncl_structure", "mirrored")
     scheme = build_scheme(
-        task.scheme, cost_model, capacity, dcache_entries, **task.params
+        task.scheme, cost_model, capacity, dcache_entries, **params
     )
     engine = SimulationEngine(
         architecture, cost_model, scheme, warmup_fraction=config.warmup_fraction
     )
-    result = engine.run(trace)
+    result = engine.run(trace, auditor=auditor)
+    if auditor is not None and auditor.config.shadow_replay:
+        from repro.verify.replay import shadow_replay_violations
+
+        shadow_scheme = build_scheme(
+            task.scheme, cost_model, capacity, dcache_entries, **params
+        )
+        auditor.checks_run["shadow-replay"] = len(auditor.outcome_signatures)
+        auditor.extend(
+            shadow_replay_violations(
+                architecture, shadow_scheme, trace, auditor.outcome_signatures
+            )
+        )
+        result = dataclasses.replace(result, audit=auditor.report())
     point = SweepPoint(
         architecture=architecture.name,
         scheme=scheme.name,
@@ -183,13 +237,17 @@ def execute_point(
         summary=result.summary,
     )
     record = RunRecord(
-        key=task.key(architecture.name),
+        key=key,
         scheme=scheme.name,
         relative_cache_size=config.relative_cache_size,
         duration_seconds=result.duration_seconds,
         requests=result.requests_total,
         requests_per_second=result.requests_per_second,
         worker=os.getpid(),
+        audit_checks=result.audit.total_checks if result.audit else 0,
+        audit_violations=tuple(
+            v.to_dict() for v in (result.audit.violations if result.audit else ())
+        ),
     )
     return point, record
 
@@ -198,21 +256,26 @@ def execute_point(
 
 # Shared state installed once per worker process by the pool initializer;
 # the per-task payload is then just the GridTask itself.
-_WORKER_STATE: Optional[Tuple[Architecture, Trace, ObjectCatalog]] = None
+_WORKER_STATE: Optional[
+    Tuple[Architecture, Trace, ObjectCatalog, Union[bool, AuditConfig]]
+] = None
 
 
 def _init_worker(
-    architecture: Architecture, trace: Trace, catalog: ObjectCatalog
+    architecture: Architecture,
+    trace: Trace,
+    catalog: ObjectCatalog,
+    audit: Union[bool, AuditConfig] = False,
 ) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (architecture, trace, catalog)
+    _WORKER_STATE = (architecture, trace, catalog, audit)
 
 
 def _run_pooled(task: GridTask) -> Tuple[SweepPoint, RunRecord]:
     if _WORKER_STATE is None:  # pragma: no cover - defensive
         raise RuntimeError("worker used without initializer")
-    architecture, trace, catalog = _WORKER_STATE
-    return execute_point(architecture, trace, catalog, task)
+    architecture, trace, catalog, audit = _WORKER_STATE
+    return execute_point(architecture, trace, catalog, task, audit=audit)
 
 
 def run_grid(
@@ -224,6 +287,7 @@ def run_grid(
     checkpoint_path: str | Path | None = None,
     resume: bool = False,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    audit: Union[bool, AuditConfig] = False,
 ) -> GridResult:
     """Execute a grid of tasks; returns points in task order.
 
@@ -241,6 +305,13 @@ def run_grid(
 
     ``progress`` receives one :class:`ProgressEvent` per finished point
     (reused points first, then live completions as they land).
+
+    ``audit`` threads the correctness audit layer through every executed
+    point (see :func:`execute_point`); violations surface as structured
+    ``audit_violations`` entries on each point's :class:`RunRecord` and
+    in the checkpoint sidecar.  Reused checkpoint points are *not*
+    re-audited -- their records keep whatever audit evidence the original
+    execution stored.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -293,7 +364,7 @@ def run_grid(
         if workers == 1 or len(pending) <= 1:
             for index in pending:
                 point, record = execute_point(
-                    architecture, trace, catalog, tasks[index]
+                    architecture, trace, catalog, tasks[index], audit=audit
                 )
                 finish(index, point, record)
         else:
@@ -301,7 +372,7 @@ def run_grid(
             with ProcessPoolExecutor(
                 max_workers=pool_size,
                 initializer=_init_worker,
-                initargs=(architecture, trace, catalog),
+                initargs=(architecture, trace, catalog, audit),
             ) as executor:
                 futures = {
                     executor.submit(_run_pooled, tasks[index]): index

@@ -68,6 +68,7 @@ def run_cache_size_sweep(
     checkpoint_path: str | Path | None = None,
     resume: bool = False,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    audit: bool = False,
 ) -> List[SweepPoint]:
     """Sweep relative cache size for several schemes over one trace.
 
@@ -85,6 +86,10 @@ def run_cache_size_sweep(
     pass ``resume=True`` to skip points already recorded there (the
     recovery path after a killed sweep).  ``progress`` receives one
     :class:`~repro.experiments.runner.ProgressEvent` per finished point.
+
+    ``audit`` runs every point under the correctness audit layer (see
+    :mod:`repro.verify`); violations become structured entries on the
+    run records without changing any metric.
     """
     params = scheme_params or {}
     tasks = []
@@ -107,6 +112,7 @@ def run_cache_size_sweep(
         checkpoint_path=checkpoint_path,
         resume=resume,
         progress=progress,
+        audit=audit,
     )
     return result.points
 
@@ -123,6 +129,7 @@ def run_modulo_radius_sweep(
     checkpoint_path: str | Path | None = None,
     resume: bool = False,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    audit: bool = False,
 ) -> List[SweepPoint]:
     """The MODULO cache-radius ablation (paper sections 4.1-4.2).
 
@@ -149,5 +156,6 @@ def run_modulo_radius_sweep(
         checkpoint_path=checkpoint_path,
         resume=resume,
         progress=progress,
+        audit=audit,
     )
     return result.points

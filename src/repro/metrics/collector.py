@@ -89,6 +89,26 @@ class MetricsCollector:
     def requests(self) -> int:
         return self._requests
 
+    def totals(self) -> dict:
+        """Raw accumulator snapshot (consumed by the audit layer).
+
+        Every value is the running total exactly as accumulated, so an
+        independent replay of the same outcome stream must reproduce each
+        one bit-for-bit.
+        """
+        return {
+            "requests": self._requests,
+            "latency_sum": self._latency,
+            "response_ratio_sum": self._response_ratio,
+            "bytes_requested": self._bytes_requested,
+            "bytes_cache_served": self._bytes_cache_served,
+            "cache_hits": self._cache_hits,
+            "byte_hops": self._byte_hops,
+            "hops": self._hops,
+            "bytes_read": self._bytes_read,
+            "bytes_written": self._bytes_written,
+        }
+
     def record(self, outcome: RequestOutcome, latency: float) -> None:
         """Record one request's outcome with its modelled access latency."""
         if latency < 0:
@@ -116,8 +136,11 @@ class MetricsCollector:
             raise ValueError("no requests recorded")
         n = self._requests
         ordered = sorted(self._reservoir)
+        # Nearest-rank percentile: the smallest value with at least q*n
+        # samples at or below it, i.e. index ceil(q*n) - 1.  (Truncating
+        # q*n overshoots by one: p50 of two samples must be the smaller.)
         percentiles = tuple(
-            ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+            ordered[max(0, math.ceil(q * len(ordered)) - 1)]
             for q in (0.50, 0.90, 0.99)
         )
         return MetricsSummary(

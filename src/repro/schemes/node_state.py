@@ -17,15 +17,18 @@ from repro.cache.ncl import NCLCache
 from repro.cache.ncl_heap import HeapNCLCache
 from repro.cache.descriptors import ObjectDescriptor
 
-_NCL_STRUCTURES = ("list", "heap")
+_NCL_STRUCTURES = ("list", "heap", "mirrored")
 
 
 class DescriptorNode:
     """One node's main cache + d-cache pair.
 
     ``ncl_structure`` selects the NCL bookkeeping implementation: the
-    default bisect ``list`` or the paper's suggested lazy-deletion
-    ``heap`` (section 2.4); the two are policy-equivalent.
+    default bisect ``list``, the paper's suggested lazy-deletion ``heap``
+    (section 2.4) -- the two are policy-equivalent -- or ``mirrored``,
+    the audit layer's differential pairing that behaves exactly like
+    ``list`` while a shadow heap cross-checks every eviction decision
+    (see :mod:`repro.verify.oracles`).
     """
 
     __slots__ = ("cache", "dcache")
@@ -39,7 +42,12 @@ class DescriptorNode:
     ) -> None:
         if ncl_structure not in _NCL_STRUCTURES:
             raise ValueError(f"ncl_structure must be one of {_NCL_STRUCTURES}")
-        cache_type = NCLCache if ncl_structure == "list" else HeapNCLCache
+        if ncl_structure == "mirrored":
+            from repro.verify.oracles import MirroredNCLCache
+
+            cache_type = MirroredNCLCache
+        else:
+            cache_type = NCLCache if ncl_structure == "list" else HeapNCLCache
         self.cache = cache_type(capacity_bytes)
         self.dcache = DescriptorCache(dcache_entries, policy=dcache_policy)
 

@@ -18,6 +18,7 @@ from repro.costs.model import CostModel
 from repro.metrics.collector import MetricsCollector, MetricsSummary
 from repro.schemes.base import CachingScheme
 from repro.sim.architecture import Architecture
+from repro.verify.auditor import AuditConfig, Auditor, AuditReport
 from repro.workload.trace import Trace
 from repro.workload.updates import UpdateEvent
 
@@ -34,6 +35,9 @@ class SimulationResult:
     ``requests_per_second`` the resulting throughput (whole trace,
     warm-up included) -- the run-observability signals the experiment
     runner aggregates across a grid.
+
+    ``audit`` is ``None`` unless the run was audited (see
+    :mod:`repro.verify`); auditing never changes the metrics themselves.
     """
 
     architecture: str
@@ -45,6 +49,7 @@ class SimulationResult:
     copies_invalidated: int = 0
     duration_seconds: float = 0.0
     requests_per_second: float = 0.0
+    audit: Optional[AuditReport] = None
 
 
 class SimulationEngine:
@@ -71,6 +76,8 @@ class SimulationEngine:
         interval_collector=None,
         progress_every: int = 0,
         progress_callback: Optional[Callable[[int, int], None]] = None,
+        auditor: Optional[Auditor] = None,
+        audit_every: int = 0,
     ) -> SimulationResult:
         """Replay the trace; returns metrics over the measurement window.
 
@@ -88,11 +95,25 @@ class SimulationEngine:
         ``callback(requests_processed, requests_total)`` after every
         ``progress_every`` requests and once at the end of the replay, so
         long runs can report liveness without measurable overhead.
+
+        ``auditor`` (or the shorthand ``audit_every=N``, which builds a
+        strict :class:`~repro.verify.auditor.Auditor` sweeping every N
+        requests) turns the replay into an audited run: the auditor
+        observes every outcome, sweeps invariants periodically and once
+        at the end, and its report lands in ``SimulationResult.audit``.
+        Auditing is observational only -- metrics are bit-identical with
+        and without it.
         """
         if len(trace) == 0:
             raise ValueError("cannot simulate an empty trace")
         if progress_every < 0:
             raise ValueError("progress_every must be non-negative")
+        if audit_every < 0:
+            raise ValueError("audit_every must be non-negative")
+        if auditor is None and audit_every > 0:
+            auditor = Auditor(AuditConfig(audit_every=audit_every))
+        if auditor is not None:
+            auditor.attach(self.scheme)
         report_progress = (
             progress_callback if progress_every > 0 else None
         )
@@ -105,6 +126,7 @@ class SimulationEngine:
         update_index = 0
         updates_applied = 0
         copies_invalidated = 0
+        sweep_every = auditor.config.audit_every if auditor is not None else 0
         for index, record in enumerate(trace):
             while (
                 update_index < len(updates)
@@ -118,17 +140,28 @@ class SimulationEngine:
                 update_index += 1
             path = request_path(record.client_id, record.server_id)
             outcome = process(path, record.object_id, record.size, record.time)
+            if auditor is not None:
+                auditor.observe_outcome(index, outcome)
             if index >= warmup_end or interval_collector is not None:
                 latency = path_cost(path[: outcome.hit_index + 1], record.size)
                 if index >= warmup_end:
                     collector.record(outcome, latency)
+                    if auditor is not None:
+                        auditor.observe_measured(outcome, latency)
                 if interval_collector is not None:
                     interval_collector.record(outcome, latency, record.time)
+            if auditor is not None and (index + 1) % sweep_every == 0:
+                auditor.audit_now(self.scheme, collector, index)
             if report_progress is not None and (index + 1) % progress_every == 0:
                 report_progress(index + 1, total)
         duration = time.perf_counter() - started
         if report_progress is not None and total % progress_every != 0:
             report_progress(total, total)
+        audit = (
+            auditor.finalize(self.scheme, collector, total - 1)
+            if auditor is not None
+            else None
+        )
         return SimulationResult(
             architecture=self.architecture.name,
             scheme=self.scheme.name,
@@ -139,4 +172,5 @@ class SimulationEngine:
             copies_invalidated=copies_invalidated,
             duration_seconds=duration,
             requests_per_second=total / duration if duration > 0 else 0.0,
+            audit=audit,
         )

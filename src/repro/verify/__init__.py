@@ -1,0 +1,41 @@
+"""Opt-in correctness audit layer (runtime invariants + differential oracles).
+
+The reproduction's headline numbers rest on delicate bookkeeping --
+piggybacked ``(f_i, m_i, l_i)`` reports, the placement DP, descriptor
+migration between cache and d-cache -- and that bug class corrupts
+silently: runs complete, metrics just drift.  This package catches it:
+
+* :mod:`repro.verify.invariants` -- cross-layer accounting identities
+  plus an independent re-accumulation of the metrics collector's books;
+* :mod:`repro.verify.oracles` -- differential oracles: list-NCL vs a
+  shadow heap-NCL, and the placement DP vs the exhaustive reference on
+  real piggybacked problems;
+* :mod:`repro.verify.auditor` -- the driver the simulation engine calls
+  (``SimulationEngine.run(audit_every=N)`` / ``auditor=...``);
+* :mod:`repro.verify.replay` -- shadow-replay harness and the
+  ``audited_run`` front used by the experiment runner and the CLI;
+* :mod:`repro.verify.metamorphic` -- known-effect transformations
+  (delay scaling, zero capacity);
+* :mod:`repro.verify.selftest` -- seeded mutations proving the layer
+  actually detects deliberately broken schemes.
+
+``replay``, ``metamorphic`` and ``selftest`` import the simulation
+engine and are therefore *not* re-exported here (the engine itself
+imports :mod:`repro.verify.auditor`); import them as submodules.
+"""
+
+from repro.verify.auditor import AuditConfig, AuditReport, Auditor
+from repro.verify.invariants import OutcomeLedger
+from repro.verify.oracles import MirroredNCLCache, PlacementOracle
+from repro.verify.violations import AuditFailure, AuditViolation
+
+__all__ = [
+    "AuditConfig",
+    "AuditFailure",
+    "AuditReport",
+    "AuditViolation",
+    "Auditor",
+    "MirroredNCLCache",
+    "OutcomeLedger",
+    "PlacementOracle",
+]

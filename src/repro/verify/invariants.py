@@ -1,0 +1,167 @@
+"""Cross-layer accounting identities checked during an audited run.
+
+Two families live here:
+
+* **Cache accounting** (:func:`cache_accounting_violations`) -- for every
+  materialized node cache, recompute the identities the cache claims to
+  maintain from its public surface: ``used_bytes`` equals the sum of the
+  entry sizes, usage never exceeds capacity, and the policy's own
+  ``check_invariants`` (NCL order totals matching entries, d-cache
+  bookkeeping, heap liveness) passes.
+
+* **Collector identity** (:class:`OutcomeLedger`) -- an independent
+  second set of books.  The ledger receives exactly the outcome stream
+  the :class:`~repro.metrics.collector.MetricsCollector` records and
+  re-derives every byte/hit/hop total with the same arithmetic; at audit
+  points the two must agree bit-for-bit.  Any divergence means either
+  the collector or the outcome construction mis-accounts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.verify.violations import AuditViolation
+
+# Floating-point totals are accumulated in the same order by both sets of
+# books, so they should agree exactly; the tiny tolerance only forgives
+# non-associative reordering a future vectorized collector might do.
+_REL_TOL = 1e-12
+
+
+def cache_accounting_violations(scheme, request_index: int = -1) -> List[AuditViolation]:
+    """Recompute per-cache byte accounting across a scheme's nodes."""
+    violations: List[AuditViolation] = []
+    for node, cache in scheme.caches().items():
+        actual = sum(
+            cache.entry(object_id).size for object_id in cache.object_ids()
+        )
+        if actual != cache.used_bytes:
+            violations.append(
+                AuditViolation(
+                    check="cache-accounting",
+                    detail=(
+                        f"node {node}: used_bytes={cache.used_bytes} but "
+                        f"entries sum to {actual}"
+                    ),
+                    request_index=request_index,
+                )
+            )
+        if cache.used_bytes > cache.capacity_bytes:
+            violations.append(
+                AuditViolation(
+                    check="cache-capacity",
+                    detail=(
+                        f"node {node}: used_bytes={cache.used_bytes} exceeds "
+                        f"capacity {cache.capacity_bytes}"
+                    ),
+                    request_index=request_index,
+                )
+            )
+    return violations
+
+
+def scheme_invariant_violations(scheme, request_index: int = -1) -> List[AuditViolation]:
+    """Run the scheme's own invariant sweep, converting raises to records."""
+    try:
+        scheme.check_invariants()
+    except AssertionError as error:
+        return [
+            AuditViolation(
+                check="scheme-invariants",
+                detail=str(error),
+                request_index=request_index,
+            )
+        ]
+    return []
+
+
+class OutcomeLedger:
+    """Independent re-accumulation of the collector's outcome stream.
+
+    Mirrors :meth:`repro.metrics.collector.MetricsCollector.record`
+    term for term (same order, same arithmetic) without sharing any code
+    path with it, so the comparison is a genuine double-entry check
+    rather than the collector agreeing with itself.
+    """
+
+    __slots__ = (
+        "requests",
+        "latency_sum",
+        "response_ratio_sum",
+        "bytes_requested",
+        "bytes_cache_served",
+        "cache_hits",
+        "byte_hops",
+        "hops",
+        "bytes_read",
+        "bytes_written",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.latency_sum = 0.0
+        self.response_ratio_sum = 0.0
+        self.bytes_requested = 0
+        self.bytes_cache_served = 0
+        self.cache_hits = 0
+        self.byte_hops = 0.0
+        self.hops = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def record(self, outcome, latency: float) -> None:
+        self.requests += 1
+        self.latency_sum += latency
+        self.response_ratio_sum += latency / outcome.size
+        self.bytes_requested += outcome.size
+        if outcome.served_by_cache:
+            self.bytes_cache_served += outcome.size
+            self.cache_hits += 1
+        self.byte_hops += outcome.size * outcome.hops
+        self.hops += outcome.hops
+        self.bytes_read += outcome.bytes_read
+        self.bytes_written += outcome.bytes_written
+
+    def totals(self) -> dict:
+        return {
+            "requests": self.requests,
+            "latency_sum": self.latency_sum,
+            "response_ratio_sum": self.response_ratio_sum,
+            "bytes_requested": self.bytes_requested,
+            "bytes_cache_served": self.bytes_cache_served,
+            "cache_hits": self.cache_hits,
+            "byte_hops": self.byte_hops,
+            "hops": self.hops,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    def violations_against(
+        self, collector, request_index: int = -1
+    ) -> List[AuditViolation]:
+        """Compare the ledger's books against the collector's totals."""
+        violations: List[AuditViolation] = []
+        theirs = collector.totals()
+        for name, expected in self.totals().items():
+            observed = theirs.get(name)
+            if isinstance(expected, float):
+                same = (
+                    observed is not None
+                    and math.isclose(observed, expected, rel_tol=_REL_TOL)
+                )
+            else:
+                same = observed == expected
+            if not same:
+                violations.append(
+                    AuditViolation(
+                        check="collector-identity",
+                        detail=(
+                            f"{name}: collector={observed!r} but replayed "
+                            f"outcomes give {expected!r}"
+                        ),
+                        request_index=request_index,
+                    )
+                )
+        return violations

@@ -1,0 +1,148 @@
+"""Metamorphic relations: transformed inputs with predictable outputs.
+
+No oracle knows the *absolute* correct mean latency of a run, but some
+transformations have exactly known effects, and violations expose real
+bugs in the cost accounting:
+
+* **Delay scaling** -- multiplying every link cost by a constant k
+  (implemented by shrinking :class:`LatencyCostModel`'s reference object
+  size, which scales each ``c(u, v, O)`` by exactly k) must scale every
+  latency-denominated metric by exactly k and leave all caching
+  decisions, hit ratios and hop counts untouched.  k is a power of two
+  so the scaling commutes with IEEE-754 rounding and the relation holds
+  bit-for-bit, not just approximately.
+
+* **Zero capacity** -- a scheme given capacity 0 at every node must
+  degenerate to the no-cache baseline: every request served by the
+  origin, zero cache bytes moved, and latencies equal to the full-path
+  costs computed analytically from the trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.costs.model import LatencyCostModel
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import build_scheme
+from repro.verify.violations import AuditViolation
+
+_EXACT_REL_TOL = 1e-12
+
+
+def _violation(check: str, detail: str) -> AuditViolation:
+    return AuditViolation(check=check, detail=detail)
+
+
+def latency_scaling_violations(
+    architecture,
+    trace,
+    catalog,
+    scheme_name: str,
+    factor: float = 2.0,
+    capacity_bytes: int | None = None,
+    dcache_entries: int = 64,
+    warmup_fraction: float = 0.5,
+    **scheme_params,
+) -> List[AuditViolation]:
+    """Check that scaling all link delays by ``factor`` scales latency.
+
+    ``factor`` should be a power of two for the relation to be exact
+    (see module docstring).  Decision invariance is asserted through the
+    hit ratios and hop counts, which must not move at all.
+    """
+    if capacity_bytes is None:
+        capacity_bytes = max(1, int(0.03 * catalog.total_bytes))
+    summaries = []
+    for avg_size in (catalog.mean_size, catalog.mean_size / factor):
+        cost_model = LatencyCostModel(architecture.network, avg_size)
+        scheme = build_scheme(
+            scheme_name, cost_model, capacity_bytes, dcache_entries,
+            **scheme_params,
+        )
+        engine = SimulationEngine(
+            architecture, cost_model, scheme, warmup_fraction=warmup_fraction
+        )
+        summaries.append(engine.run(trace).summary)
+    base, scaled = summaries
+    violations: List[AuditViolation] = []
+    for metric in ("hit_ratio", "byte_hit_ratio", "mean_hops",
+                   "mean_read_load", "mean_write_load"):
+        if getattr(base, metric) != getattr(scaled, metric):
+            violations.append(_violation(
+                "metamorphic-scaling",
+                f"{scheme_name}: {metric} changed under delay scaling "
+                f"({getattr(base, metric)!r} -> {getattr(scaled, metric)!r}); "
+                f"caching decisions are not scale-invariant",
+            ))
+    for metric in ("mean_latency", "mean_response_ratio"):
+        expected = factor * getattr(base, metric)
+        observed = getattr(scaled, metric)
+        if not math.isclose(observed, expected, rel_tol=_EXACT_REL_TOL):
+            violations.append(_violation(
+                "metamorphic-scaling",
+                f"{scheme_name}: {metric} scaled to {observed!r}, expected "
+                f"{factor} x {getattr(base, metric)!r} = {expected!r}",
+            ))
+    return violations
+
+
+def zero_capacity_violations(
+    architecture,
+    trace,
+    catalog,
+    scheme_name: str,
+    warmup_fraction: float = 0.5,
+    **scheme_params,
+) -> List[AuditViolation]:
+    """Check that capacity 0 degenerates to the no-cache baseline."""
+    cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
+    scheme = build_scheme(scheme_name, cost_model, 0, 1, **scheme_params)
+    engine = SimulationEngine(
+        architecture, cost_model, scheme, warmup_fraction=warmup_fraction
+    )
+    summary = engine.run(trace).summary
+
+    # Analytic no-cache replay of the measurement window, accumulated in
+    # the same order as the collector so float sums match exactly.
+    warmup_end, _ = trace.split_warmup(warmup_fraction)
+    requests = 0
+    latency_sum = 0.0
+    hops_sum = 0
+    for index, record in enumerate(trace):
+        if index < warmup_end:
+            continue
+        path = architecture.request_path(record.client_id, record.server_id)
+        requests += 1
+        latency_sum += cost_model.path_cost(path, record.size)
+        hops_sum += len(path) - 1
+
+    violations: List[AuditViolation] = []
+    name = scheme.name
+
+    def expect(metric: str, observed, expected, exact: bool = True) -> None:
+        same = (
+            observed == expected
+            if exact
+            else math.isclose(observed, expected, rel_tol=_EXACT_REL_TOL)
+        )
+        if not same:
+            violations.append(_violation(
+                "metamorphic-zero-capacity",
+                f"{name}: {metric} = {observed!r} with capacity 0, but the "
+                f"no-cache baseline gives {expected!r}",
+            ))
+
+    expect("requests", summary.requests, requests)
+    expect("hit_ratio", summary.hit_ratio, 0.0)
+    expect("byte_hit_ratio", summary.byte_hit_ratio, 0.0)
+    expect("mean_read_load", summary.mean_read_load, 0.0)
+    expect("mean_write_load", summary.mean_write_load, 0.0)
+    if requests:
+        expect("mean_hops", summary.mean_hops, hops_sum / requests, exact=False)
+        expect(
+            "mean_latency", summary.mean_latency, latency_sum / requests,
+            exact=False,
+        )
+    return violations

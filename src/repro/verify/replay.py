@@ -1,0 +1,108 @@
+"""Shadow-replay harness: re-run the trace, expect identical outcomes.
+
+The simulator is deterministic by design: one (architecture, scheme
+configuration, trace) triple must always produce the same outcome
+sequence.  Hidden mutable state -- module globals, class-level counters,
+iteration over unordered containers -- silently breaks that and with it
+every A/B comparison the reproduction rests on.
+
+During an audited primary run the :class:`~repro.verify.auditor.Auditor`
+samples outcome signatures; :func:`shadow_replay_violations` then
+replays the same trace on a *fresh* scheme instance and compares the
+sampled subsequence.  :func:`audited_run` packages the whole protocol
+(build scheme, audited engine run, optional shadow replay) for the
+experiment runner, the CLI and the self-test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.verify.auditor import AuditConfig, Auditor, AuditReport, outcome_signature
+from repro.verify.violations import AuditViolation
+
+
+def shadow_replay_violations(
+    architecture,
+    scheme,
+    trace,
+    reference: Dict[int, tuple],
+    updates: Sequence = (),
+) -> List[AuditViolation]:
+    """Re-run the trace on a fresh scheme; compare sampled outcomes.
+
+    ``reference`` maps request indices to the primary run's sampled
+    :func:`~repro.verify.auditor.outcome_signature` fingerprints.  The
+    replay applies the same update stream the primary run saw.
+    """
+    violations: List[AuditViolation] = []
+    request_path = architecture.request_path
+    update_index = 0
+    for index, record in enumerate(trace):
+        while (
+            update_index < len(updates)
+            and updates[update_index].time <= record.time
+        ):
+            scheme.invalidate_object(updates[update_index].object_id)
+            update_index += 1
+        path = request_path(record.client_id, record.server_id)
+        outcome = scheme.process_request(
+            path, record.object_id, record.size, record.time
+        )
+        expected = reference.get(index)
+        if expected is None:
+            continue
+        observed = outcome_signature(outcome)
+        if observed != expected:
+            violations.append(
+                AuditViolation(
+                    check="shadow-replay",
+                    detail=(
+                        f"replay diverged: primary saw "
+                        f"(hit_index, inserted, evictions, size)={expected} "
+                        f"but shadow saw {observed}"
+                    ),
+                    request_index=index,
+                )
+            )
+    return violations
+
+
+def audited_run(
+    architecture,
+    cost_model,
+    scheme_factory: Callable[[], object],
+    trace,
+    config: AuditConfig | None = None,
+    warmup_fraction: float = 0.5,
+    updates: Sequence = (),
+) -> Tuple[SimulationResult, AuditReport]:
+    """One fully audited simulation: engine run + optional shadow replay.
+
+    ``scheme_factory`` must build a *fresh* scheme per call -- the shadow
+    replay depends on starting from identical empty state.  Returns the
+    simulation result (whose ``audit`` field carries the final report)
+    and the report itself.
+    """
+    config = config or AuditConfig()
+    auditor = Auditor(config)
+    scheme = scheme_factory()
+    engine = SimulationEngine(
+        architecture, cost_model, scheme, warmup_fraction=warmup_fraction
+    )
+    result = engine.run(trace, updates=updates, auditor=auditor)
+    if config.shadow_replay:
+        auditor.checks_run["shadow-replay"] = len(auditor.outcome_signatures)
+        auditor.extend(
+            shadow_replay_violations(
+                architecture,
+                scheme_factory(),
+                trace,
+                auditor.outcome_signatures,
+                updates=updates,
+            )
+        )
+        result = dataclasses.replace(result, audit=auditor.report())
+    return result, result.audit

@@ -1,0 +1,63 @@
+"""Structured audit findings and the loud-failure exception.
+
+Every check in :mod:`repro.verify` reports problems as
+:class:`AuditViolation` records -- small, JSON-ready facts naming the
+check that fired, what it observed and (when known) the request index at
+which it observed it.  In strict mode the :class:`~repro.verify.auditor.
+Auditor` converts the first violation into an :class:`AuditFailure`
+raised out of the simulation; in collect mode violations accumulate and
+flow into the experiment runner's checkpoint / run-record sidecars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One failed correctness check.
+
+    ``check`` is a stable slug naming the identity or oracle that fired
+    (e.g. ``"cache-accounting"``, ``"placement-optimality"``,
+    ``"shadow-replay"``); ``detail`` is the human-readable evidence;
+    ``request_index`` is the 0-based trace position at the time of the
+    check, or ``-1`` when the violation is not tied to a request.
+    """
+
+    check: str
+    detail: str
+    request_index: int = -1
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "detail": self.detail,
+            "request_index": self.request_index,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "AuditViolation":
+        return cls(
+            check=str(raw.get("check", "unknown")),
+            detail=str(raw.get("detail", "")),
+            request_index=int(raw.get("request_index", -1)),
+        )
+
+    def format(self) -> str:
+        where = (
+            f" @ request {self.request_index}" if self.request_index >= 0 else ""
+        )
+        return f"[{self.check}]{where} {self.detail}"
+
+
+class AuditFailure(Exception):
+    """Raised in strict audit mode the moment a check fails.
+
+    Carries the triggering :class:`AuditViolation` so callers can log or
+    persist the structured record even when failing loudly.
+    """
+
+    def __init__(self, violation: AuditViolation) -> None:
+        super().__init__(violation.format())
+        self.violation = violation

@@ -1,0 +1,125 @@
+"""Differential tests: list-NCL, heap-NCL and the mirrored audit cache.
+
+The two NCL bookkeeping structures (bisect list, lazy-deletion heap) are
+policy-equivalent by design; these tests drive them through randomized
+operation sequences and whole simulations and require *identical*
+decisions, not merely similar metrics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.descriptors import ObjectDescriptor
+from repro.cache.ncl import NCLCache
+from repro.cache.ncl_heap import HeapNCLCache
+from repro.costs.model import LatencyCostModel
+from repro.experiments.presets import build_architecture
+from repro.schemes.lncr import LNCRScheme
+from repro.sim.engine import SimulationEngine
+from repro.verify.oracles import MirroredNCLCache
+
+
+def desc(object_id: int, size: int, penalty: float, now: float) -> ObjectDescriptor:
+    d = ObjectDescriptor(object_id, size, miss_penalty=penalty)
+    d.record_access(now)
+    return d
+
+
+# One operation: (op_kind, object_id, size_bucket, penalty, time_step)
+_OPS = st.tuples(
+    st.sampled_from(["insert", "access", "penalty"]),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=1, max_value=4),
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+)
+
+
+class TestListHeapEquivalence:
+    @given(ops=st.lists(_OPS, min_size=1, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_random_operation_sequences_agree(self, ops):
+        """List and heap caches make identical decisions op for op."""
+        list_cache = NCLCache(100)
+        heap_cache = HeapNCLCache(100)
+        now = 0.0
+        for kind, object_id, size_bucket, penalty, step in ops:
+            now += step
+            size = size_bucket * 10
+            if kind == "insert" and object_id not in list_cache:
+                evicted_list = list_cache.insert(
+                    desc(object_id, size, penalty, now), now
+                )
+                evicted_heap = heap_cache.insert(
+                    desc(object_id, size, penalty, now), now
+                )
+                assert [e.object_id for e in evicted_list] == [
+                    e.object_id for e in evicted_heap
+                ]
+            elif kind == "access" and object_id in list_cache:
+                list_cache.record_access(object_id, now)
+                heap_cache.record_access(object_id, now)
+            elif kind == "penalty" and object_id in list_cache:
+                list_cache.set_miss_penalty(object_id, penalty, now)
+                heap_cache.set_miss_penalty(object_id, penalty, now)
+            assert list_cache.used_bytes == heap_cache.used_bytes
+            assert list_cache.eviction_order() == heap_cache.eviction_order()
+            victims_list = list_cache.select_victims(40, now)
+            victims_heap = heap_cache.select_victims(40, now)
+            assert [v.object_id for v in victims_list] == [
+                v.object_id for v in victims_heap
+            ]
+        list_cache.check_invariants()
+        heap_cache.check_invariants()
+
+    def test_end_to_end_simulations_identical(self, tiny_workload, tiny_trace):
+        """A whole LNC-R simulation is bit-identical across structures."""
+        trace, catalog = tiny_trace
+        architecture = build_architecture(
+            "en-route", tiny_workload, seed=tiny_workload.seed
+        )
+        cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
+        capacity = max(1, int(0.03 * catalog.total_bytes))
+        summaries = {}
+        for structure in ("list", "heap", "mirrored"):
+            scheme = LNCRScheme(
+                cost_model, capacity, 64, ncl_structure=structure
+            )
+            engine = SimulationEngine(architecture, cost_model, scheme)
+            summaries[structure] = engine.run(trace).summary
+            if structure == "mirrored":
+                for state in scheme._nodes.values():
+                    assert state.cache.drain_divergences() == []
+        assert summaries["list"] == summaries["heap"]
+        assert summaries["list"] == summaries["mirrored"]
+
+
+class TestMirroredCache:
+    def test_behaves_exactly_like_list_cache(self):
+        mirrored = MirroredNCLCache(100)
+        plain = NCLCache(100)
+        for i, penalty in enumerate((1.0, 8.0, 0.5)):
+            mirrored.insert(desc(i, 30, penalty, float(i)), float(i))
+            plain.insert(desc(i, 30, penalty, float(i)), float(i))
+        assert mirrored.eviction_order() == plain.eviction_order()
+        assert mirrored.cost_loss(9, 50, now=3.0) == plain.cost_loss(
+            9, 50, now=3.0
+        )
+        assert mirrored.divergences == []
+        mirrored.check_invariants()
+
+    def test_detects_planted_shadow_corruption(self):
+        """A deliberately desynchronized shadow is reported, not ignored."""
+        mirrored = MirroredNCLCache(100)
+        for i, penalty in enumerate((1.0, 8.0, 0.5)):
+            mirrored.insert(desc(i, 30, penalty, float(i)), float(i))
+        # Corrupt the shadow's ordering state behind the mirror's back.
+        victim = mirrored._shadow.eviction_order()[0]
+        mirrored._shadow.set_miss_penalty(victim, 1e6, now=3.0)
+        assert mirrored.select_victims(80, now=3.0)
+        assert mirrored.divergences
+        drained = mirrored.drain_divergences()
+        assert any("select_victims" in d for d in drained)
+        assert mirrored.divergences == []

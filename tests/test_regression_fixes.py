@@ -1,0 +1,149 @@
+"""Regression tests pinning the bugfixes shipped with the audit layer.
+
+Each test encodes the *observable* symptom of a bug the correctness
+audit exposed, so a reintroduction fails loudly:
+
+* ``NCLCache.cost_loss`` summing stale sorted keys instead of each
+  victim's current ``f * m``;
+* nearest-rank percentile indexing off by one for small samples;
+* ``load_checkpoint`` crashing on a line missing its ``"key"``;
+* results/record JSON writes destroying the existing file when
+  interrupted mid-serialization.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache.descriptors import ObjectDescriptor
+from repro.cache.ncl import NCLCache
+from repro.cache.ncl_heap import HeapNCLCache
+from repro.metrics.collector import MetricsCollector
+from repro.experiments.results_io import (
+    load_checkpoint,
+    load_points_json,
+    save_points_json,
+    save_run_records,
+)
+from repro.schemes.base import RequestOutcome
+
+
+def desc(object_id: int, size: int, penalty: float, now: float) -> ObjectDescriptor:
+    d = ObjectDescriptor(object_id, size, miss_penalty=penalty)
+    d.record_access(now)
+    return d
+
+
+class TestCostLossCurrentRates:
+    @pytest.mark.parametrize("cache_type", [NCLCache, HeapNCLCache])
+    def test_cost_loss_prices_victims_at_now(self, cache_type):
+        """l = sum of victims' *current* f*m, not their stale sorted keys."""
+        cache = cache_type(100)
+        cache.insert(desc(1, 50, penalty=2.0, now=0.0), now=0.0)
+        cache.insert(desc(2, 50, penalty=3.0, now=0.0), now=0.0)
+        # What the sorted keys say right now -- the value the old bug
+        # reported.  Computed before any aging refresh happens.
+        stale = sum(
+            cache.entry(oid).descriptor.normalized_cost_loss(0.0)
+            * cache.entry(oid).size
+            for oid in cache.object_ids()
+        )
+        # Age past the estimator's refresh interval (600s): the current
+        # frequencies drop below the insertion-time keys.
+        later = 700.0
+        victims = cache.select_victims(100, now=later)
+        expected = sum(v.descriptor.cost_rate(later) for v in victims)
+        observed = cache.cost_loss(3, 100, now=later)
+        assert observed == pytest.approx(expected)
+        assert stale != pytest.approx(expected)
+
+
+class TestPercentileIndexing:
+    def test_two_samples_p50_is_smaller_value(self):
+        """Nearest-rank: p50 of {1, 9} is 1 (ceil(0.5 * 2) - 1 = index 0)."""
+        collector = MetricsCollector()
+        path = (0, 1)
+        for latency in (9.0, 1.0):
+            collector.record(
+                RequestOutcome(path=path, hit_index=1, size=10), latency
+            )
+        p50, p90, p99 = collector.summary().latency_percentiles
+        assert p50 == 1.0
+        assert p90 == 9.0
+        assert p99 == 9.0
+
+    def test_single_sample_all_percentiles(self):
+        collector = MetricsCollector()
+        collector.record(
+            RequestOutcome(path=(0, 1), hit_index=1, size=10), 4.0
+        )
+        assert collector.summary().latency_percentiles == (4.0, 4.0, 4.0)
+
+
+class TestCheckpointRobustness:
+    def test_lines_without_key_are_skipped(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps({"schema_version": 1, "point": {}}),  # no key
+                    json.dumps({"schema_version": 1, "key": 7}),  # bad type
+                    json.dumps([1, 2, 3]),  # not an object
+                    "{truncated",  # killed mid-write
+                ]
+            )
+            + "\n"
+        )
+        assert load_checkpoint(path) == {}
+
+
+class TestAtomicSaves:
+    def _sample_records(self):
+        return [
+            {
+                "key": "k",
+                "scheme": "lru",
+                "relative_cache_size": 0.03,
+                "duration_seconds": 1.0,
+                "requests": 10,
+                "requests_per_second": 10.0,
+                "worker": 1,
+                "reused": False,
+            }
+        ]
+
+    def test_failed_write_preserves_existing_file(self, tmp_path):
+        path = tmp_path / "records.json"
+        save_run_records(self._sample_records(), path)
+        original = path.read_text()
+        bad = [{"key": object()}]  # not JSON-serializable
+        with pytest.raises(TypeError):
+            save_run_records(bad, path)
+        assert path.read_text() == original
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+    def test_successful_write_round_trips(self, tmp_path, tiny_workload):
+        # save_points_json shares the same atomic writer; round-trip it.
+        from repro.experiments.presets import build_architecture
+        from repro.experiments.runner import GridTask, execute_point
+        from repro.sim.config import SimulationConfig
+        from repro.workload.generator import BoeingLikeTraceGenerator
+
+        generator = BoeingLikeTraceGenerator(tiny_workload)
+        trace = generator.generate()
+        architecture = build_architecture(
+            "en-route", tiny_workload, seed=tiny_workload.seed
+        )
+        point, _ = execute_point(
+            architecture,
+            trace,
+            generator.catalog,
+            GridTask(
+                scheme="lru", config=SimulationConfig(relative_cache_size=0.03)
+            ),
+        )
+        path = tmp_path / "points.json"
+        save_points_json([point], path)
+        assert load_points_json(path) == [point]

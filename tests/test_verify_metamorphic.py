@@ -1,0 +1,44 @@
+"""Metamorphic relations: delay scaling and the zero-capacity degeneracy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import build_architecture
+from repro.verify.metamorphic import (
+    latency_scaling_violations,
+    zero_capacity_violations,
+)
+
+
+@pytest.fixture
+def en_route(tiny_workload, tiny_trace):
+    trace, catalog = tiny_trace
+    architecture = build_architecture(
+        "en-route", tiny_workload, seed=tiny_workload.seed
+    )
+    return architecture, trace, catalog
+
+
+@pytest.mark.parametrize("scheme", ["lru", "lnc-r", "coordinated"])
+def test_latency_scales_with_link_delays(en_route, scheme):
+    architecture, trace, catalog = en_route
+    assert latency_scaling_violations(architecture, trace, catalog, scheme) == []
+
+
+@pytest.mark.parametrize("scheme", ["lru", "coordinated"])
+def test_zero_capacity_degenerates_to_no_cache(en_route, scheme):
+    architecture, trace, catalog = en_route
+    assert zero_capacity_violations(architecture, trace, catalog, scheme) == []
+
+
+def test_relations_hold_on_hierarchical_architecture(tiny_workload, tiny_trace):
+    trace, catalog = tiny_trace
+    architecture = build_architecture(
+        "hierarchical", tiny_workload, seed=tiny_workload.seed
+    )
+    assert (
+        latency_scaling_violations(architecture, trace, catalog, "coordinated")
+        == []
+    )
+    assert zero_capacity_violations(architecture, trace, catalog, "lru") == []

@@ -1,0 +1,18 @@
+"""The seeded-mutation self-test must detect every planted bug."""
+
+from __future__ import annotations
+
+from repro.verify.selftest import run_selftest
+
+
+def test_selftest_detects_all_mutants_and_clears_controls():
+    report = run_selftest()
+    assert report.ok, "\n" + report.format()
+    by_name = {case.name: case for case in report.cases}
+    # Every mutant fired its own check family...
+    for name in ("byte-leak", "descriptor-overlap", "broken-dp", "hidden-state"):
+        case = by_name[name]
+        assert case.expect_violations and case.violations, name
+    # ...and the clean controls stayed silent.
+    for name in ("control-lru", "control-lnc-r", "control-coordinated"):
+        assert by_name[name].violations == (), name

@@ -1,0 +1,98 @@
+"""Micro-benchmark: disabled instrumentation must be (nearly) free.
+
+The obs layer's design contract is zero-overhead-when-off: a run with no
+``Instruments`` bundle -- or with a bundle whose probe is disabled, which
+the engine normalizes to the same thing -- must execute the exact
+uninstrumented hot path.  The only residual cost is a handful of
+``is not None`` checks per request, so engine throughput with a disabled
+bundle must stay within 5% of the plain run.
+
+Timing is interleaved min-of-N: each variant's best-of-five replay of
+the same trace, alternating variants so drift (thermal, page cache)
+hits both equally.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.costs.model import LatencyCostModel
+from repro.obs import Instruments, Probe
+from repro.sim.architecture import build_hierarchical_architecture
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import build_scheme
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+
+ROUNDS = 5
+
+
+def _setup():
+    workload = WorkloadConfig(
+        num_objects=200,
+        num_servers=5,
+        num_clients=20,
+        num_requests=8_000,
+        seed=5,
+    )
+    generator = BoeingLikeTraceGenerator(workload)
+    trace = generator.generate()
+    arch = build_hierarchical_architecture(
+        workload.num_clients, workload.num_servers, seed=0
+    )
+    catalog = generator.catalog
+    cost = LatencyCostModel(arch.network, catalog.mean_size)
+    config = SimulationConfig(relative_cache_size=0.02)
+    capacity = config.capacity_bytes(catalog.total_bytes)
+    dentries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
+    return arch, trace, cost, capacity, dentries
+
+
+def test_micro_disabled_probe_overhead(benchmark):
+    arch, trace, cost, capacity, dentries = _setup()
+
+    def replay(instruments):
+        scheme = build_scheme("coordinated", cost, capacity, dentries)
+        engine = SimulationEngine(arch, cost, scheme, warmup_fraction=0.5)
+        started = time.perf_counter()
+        result = engine.run(trace, instruments=instruments)
+        return time.perf_counter() - started, result.summary
+
+    def disabled_bundle():
+        return Instruments(probe=Probe(lambda e: None, enabled=False))
+
+    def measure():
+        replay(None)  # warm-up (page cache, allocator)
+        plain_times, off_times = [], []
+        baseline_summary = None
+        for _ in range(ROUNDS):
+            seconds, summary = replay(None)
+            plain_times.append(seconds)
+            baseline_summary = summary
+            seconds, summary = replay(disabled_bundle())
+            off_times.append(seconds)
+            assert summary == baseline_summary  # bit-identical metrics
+        return min(plain_times), min(off_times)
+
+    def measure_with_retry():
+        # A shared box can wobble more than the 5% budget between the
+        # interleaved passes; re-measuring bounds the false-failure rate
+        # without loosening the gate itself.
+        best = None
+        for attempt in range(3):
+            plain, off = measure()
+            overhead = off / plain - 1.0
+            if best is None or overhead < best[2]:
+                best = (plain, off, overhead)
+            if overhead <= 0.05:
+                break
+        return best
+
+    plain, off, overhead = benchmark.pedantic(
+        measure_with_retry, rounds=1, iterations=1
+    )
+    print(
+        f"\nplain {plain * 1e3:.1f} ms, disabled-instruments "
+        f"{off * 1e3:.1f} ms ({overhead:+.2%} overhead)"
+    )
+    assert off <= plain * 1.05

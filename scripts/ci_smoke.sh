@@ -27,3 +27,25 @@ echo "== audited simulation smoke =="
 # any violation.
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro sim --audit \
     --scale small --schemes lru,lnc-r,coordinated
+
+echo "== instrumented simulation smoke =="
+# One coordinated run with the full observability layer on: JSONL event
+# trace, per-node stat table, phase timers, windowed time series -- then
+# the trace subcommand summarizing what the run wrote.
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR"' EXIT
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro sim \
+    --scale small --schemes coordinated --size 0.01 \
+    --trace-out "$OBS_DIR/run.jsonl" --node-stats --timers \
+    --snapshot-every 5000 --timeseries-window 60 \
+    --timeseries-out "$OBS_DIR/series.csv"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro trace \
+    "$OBS_DIR/run.jsonl"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro trace \
+    "$OBS_DIR/run.jsonl" --kinds placement --events --limit 3
+
+echo "== disabled-instrumentation overhead gate =="
+# The obs layer's zero-overhead-when-off contract: a disabled bundle
+# must stay within 5% of plain engine throughput (interleaved min-of-N).
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q \
+    benchmarks/test_micro_probe_overhead.py

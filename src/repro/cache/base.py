@@ -45,12 +45,19 @@ class Cache(abc.ABC):
     :class:`CacheTooSmallError` (callers treat that as "do not cache").
     """
 
+    #: Short replacement-policy tag stamped on eviction events by the
+    #: instrumentation layer (subclasses override).
+    policy_name: str = "cache"
+
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity_bytes = capacity_bytes
         self._entries: Dict[int, CacheEntry] = {}
         self._used = 0
+        # Instrumentation hook (see repro.obs.instruments.CacheObserver):
+        # strictly observational, None in uninstrumented runs.
+        self.observer = None
 
     # -- inspection --------------------------------------------------------
 
@@ -124,9 +131,15 @@ class Cache(abc.ABC):
                 f"{self.capacity_bytes} B"
             )
         evicted: List[CacheEntry] = []
+        observer = self.observer
         needed = descriptor.size - self.free_bytes
         if needed > 0:
-            victims = self.select_victims(needed, now, exclude=object_id)
+            if observer is None:
+                victims = self.select_victims(needed, now, exclude=object_id)
+            else:
+                victims = observer.select_victims(
+                    self, needed, now, object_id
+                )
             freed = sum(v.size for v in victims)
             if freed < needed:
                 # Infeasible eviction: refuse gracefully before touching
@@ -138,10 +151,14 @@ class Cache(abc.ABC):
             for victim in victims:
                 self._remove_entry(victim)
                 evicted.append(victim)
+            if observer is not None and evicted:
+                observer.on_evictions(self, evicted, now)
         entry = CacheEntry(descriptor)
         self._entries[object_id] = entry
         self._used += descriptor.size
         self.on_insert(entry, now)
+        if observer is not None:
+            observer.on_occupancy(self._used)
         return evicted
 
     def remove(self, object_id: int) -> Optional[CacheEntry]:
@@ -150,6 +167,8 @@ class Cache(abc.ABC):
         if entry is None:
             return None
         self._remove_entry(entry)
+        if self.observer is not None:
+            self.observer.on_invalidation(entry)
         return entry
 
     def _remove_entry(self, entry: CacheEntry) -> None:

@@ -35,6 +35,9 @@ class DescriptorCache:
             raise ValueError(f"policy must be one of {_POLICIES}")
         self.capacity = capacity
         self.policy = policy
+        # Instrumentation hook (see repro.obs.instruments.DcacheObserver):
+        # strictly observational, None in uninstrumented runs.
+        self.observer = None
         self._descriptors: Dict[int, ObjectDescriptor] = {}
         self._buckets = _FrequencyBuckets() if policy == "lfu" else None
         self._recency: "OrderedDict[int, None]" = OrderedDict()
@@ -102,6 +105,8 @@ class DescriptorCache:
             self._track_remove(victim_id)
         self._descriptors[object_id] = descriptor
         self._track_insert(object_id)
+        if evicted and self.observer is not None:
+            self.observer.on_evictions(self, evicted)
         return evicted
 
     def remove(self, object_id: int) -> Optional[ObjectDescriptor]:

@@ -24,6 +24,8 @@ from repro.cache.base import Cache, CacheEntry
 class GDSCache(Cache):
     """Cache ordered by inflated GreedyDual-Size priorities."""
 
+    policy_name = "gds"
+
     def __init__(self, capacity_bytes: int, popularity_aware: bool = True) -> None:
         super().__init__(capacity_bytes)
         self.popularity_aware = popularity_aware

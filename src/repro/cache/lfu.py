@@ -67,6 +67,8 @@ class _FrequencyBuckets:
 class LFUCache(Cache):
     """Evicts least-frequently-accessed objects first (ties: LRU)."""
 
+    policy_name = "lfu"
+
     def __init__(self, capacity_bytes: int) -> None:
         super().__init__(capacity_bytes)
         self._buckets = _FrequencyBuckets()

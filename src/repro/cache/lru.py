@@ -15,6 +15,8 @@ class LRUCache(Cache):
     (section 3.3).
     """
 
+    policy_name = "lru"
+
     def __init__(self, capacity_bytes: int) -> None:
         super().__init__(capacity_bytes)
         self._recency: "OrderedDict[int, None]" = OrderedDict()

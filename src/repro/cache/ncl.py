@@ -27,6 +27,8 @@ from repro.cache.base import Cache, CacheEntry
 class NCLCache(Cache):
     """Cache whose eviction order is ascending normalized cost loss."""
 
+    policy_name = "ncl"
+
     def __init__(self, capacity_bytes: int) -> None:
         super().__init__(capacity_bytes)
         # Sorted list of (ncl_key, object_id); one tuple per entry.

@@ -30,6 +30,8 @@ _COMPACT_FACTOR = 4
 class HeapNCLCache(Cache):
     """NCL-ordered cache backed by a lazy-deletion min-heap."""
 
+    policy_name = "ncl-heap"
+
     def __init__(self, capacity_bytes: int) -> None:
         super().__init__(capacity_bytes)
         # Heap items: (ncl, tiebreak object_id, version).  The object id

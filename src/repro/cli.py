@@ -11,7 +11,12 @@ Subcommands:
   architecture and print its metrics.
 * ``sim``     -- run each scheme once at one cache size; with
   ``--audit`` the run executes under the full correctness audit layer
-  (invariant sweeps, differential oracles, shadow replay).
+  (invariant sweeps, differential oracles, shadow replay), and the
+  instrumentation flags (``--trace-out``, ``--node-stats``,
+  ``--prom-out``, ``--timers``, ``--timeseries-window``) attach the
+  observability layer of :mod:`repro.obs`.
+* ``trace``   -- filter / summarize a JSONL event trace saved by
+  ``sim --trace-out``.
 * ``audit-selftest`` -- prove the audit layer detects seeded mutations.
 
 Examples::
@@ -21,6 +26,9 @@ Examples::
         --sizes 0.01,0.1 --scale small
     cascade-repro radius --arch hierarchical --radii 1,2,4 --size 0.03
     cascade-repro sim --audit --scale small
+    cascade-repro sim --schemes coordinated --trace-out run.jsonl \
+        --node-stats --timers
+    cascade-repro trace run.jsonl --kinds placement,eviction
 """
 
 from __future__ import annotations
@@ -116,6 +124,12 @@ def _add_grid_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run every point under the correctness audit layer "
         "(violations are reported and fail the command)",
+    )
+    parser.add_argument(
+        "--node-stats",
+        action="store_true",
+        help="attach the per-node stat registry to every executed point "
+        "(snapshots land in the run records / checkpoint sidecar)",
     )
 
 
@@ -215,6 +229,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         progress=on_progress,
         audit=args.audit,
+        node_stats=args.node_stats,
     )
     print(
         format_sweep_table(
@@ -254,6 +269,7 @@ def _cmd_radius(args: argparse.Namespace) -> int:
         resume=args.resume,
         progress=on_progress,
         audit=args.audit,
+        node_stats=args.node_stats,
     )
     print(
         format_sweep_table(
@@ -359,8 +375,68 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scheme_path(base: str, scheme: str, multi: bool) -> str:
+    """Per-scheme output path: insert ``.{scheme}`` before the suffix.
+
+    Only applied when several schemes share one ``--*-out`` flag, so a
+    single-scheme run writes exactly the path the user asked for.
+    """
+    if not multi:
+        return base
+    from pathlib import Path
+
+    path = Path(base)
+    if path.suffix:
+        return str(path.with_name(f"{path.stem}.{scheme}{path.suffix}"))
+    return f"{base}.{scheme}"
+
+
+def _build_sim_instruments(args: argparse.Namespace, scheme: str, multi: bool):
+    """The per-scheme ``Instruments`` bundle for ``repro sim`` (or None).
+
+    Returns ``(instruments, trace_writer)``; the writer must be closed
+    by the caller after the run.
+    """
+    from repro.obs import Instruments, JsonlTraceWriter, PhaseTimers, Probe
+    from repro.obs.registry import StatRegistry
+
+    writer = None
+    probe = None
+    if args.trace_out:
+        writer = JsonlTraceWriter(_scheme_path(args.trace_out, scheme, multi))
+        probe = Probe(
+            writer,
+            sample_every=args.trace_sample_every,
+            sample_rate=args.trace_sample_rate,
+            seed=args.probe_seed,
+        )
+    registry = (
+        StatRegistry()
+        if args.node_stats or args.prom_out or args.snapshot_every
+        else None
+    )
+    timers = PhaseTimers() if args.timers else None
+    if probe is None and registry is None and timers is None:
+        return None, None
+    return (
+        Instruments(
+            probe=probe,
+            registry=registry,
+            timers=timers,
+            snapshot_every=args.snapshot_every,
+        ),
+        writer,
+    )
+
+
 def _cmd_sim(args: argparse.Namespace) -> int:
     from repro.experiments.runner import GridTask, execute_point
+    from repro.metrics.timeseries import (
+        IntervalMetricsCollector,
+        series_to_csv,
+        series_to_json,
+    )
+    from repro.obs.export import format_node_stats, prometheus_text
     from repro.sim.config import SimulationConfig
     from repro.verify.auditor import AuditConfig
 
@@ -368,6 +444,9 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     unknown = set(args.schemes) - set(SCHEME_NAMES)
     if unknown:
         print(f"unknown schemes: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    if args.timeseries_out and not args.timeseries_window:
+        print("--timeseries-out requires --timeseries-window", file=sys.stderr)
         return 2
     generator = preset.generator()
     trace = generator.generate()
@@ -389,12 +468,29 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     if args.audit:
         header += f", audited every {args.audit_every} requests"
     print(header)
+    multi = len(args.schemes) > 1
     total_violations = 0
     for name in args.schemes:
         task = GridTask(scheme=name, config=config, params={})
-        point, record = execute_point(
-            arch, trace, generator.catalog, task, audit=audit
+        instruments, writer = _build_sim_instruments(args, name, multi)
+        interval = (
+            IntervalMetricsCollector(args.timeseries_window)
+            if args.timeseries_window
+            else None
         )
+        try:
+            point, record = execute_point(
+                arch,
+                trace,
+                generator.catalog,
+                task,
+                audit=audit,
+                instruments=instruments,
+                interval_collector=interval,
+            )
+        finally:
+            if writer is not None:
+                writer.close()
         s = point.summary
         line = (
             f"  {name:14s} latency {s.mean_latency:8.5f}  "
@@ -412,6 +508,31 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         for raw in record.audit_violations:
             print(f"    {AuditViolation.from_dict(raw).format()}")
         total_violations += len(record.audit_violations)
+        if writer is not None:
+            print(f"    trace: {writer.events_written} events -> {writer.path}")
+        if args.node_stats and record.node_stats is not None:
+            print(format_node_stats(record.node_stats))
+        if args.prom_out and record.node_stats is not None:
+            prom_path = _scheme_path(args.prom_out, name, multi)
+            with open(prom_path, "w") as f:
+                f.write(prometheus_text(record.node_stats))
+            print(f"    prometheus dump -> {prom_path}")
+        if args.timers and instruments is not None:
+            print(instruments.timers.format())
+        if interval is not None:
+            series = interval.series()
+            if args.timeseries_out:
+                out_path = _scheme_path(args.timeseries_out, name, multi)
+                text = (
+                    series_to_json(series)
+                    if out_path.endswith(".json")
+                    else series_to_csv(series)
+                )
+                with open(out_path, "w") as f:
+                    f.write(text)
+                print(f"    timeseries: {len(series)} windows -> {out_path}")
+            else:
+                print(series_to_csv(series), end="")
     if args.audit:
         verdict = (
             "audit clean: no violations"
@@ -420,6 +541,39 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         )
         print(verdict)
     return 1 if total_violations else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import read_trace_events, summarize_trace_events
+    from repro.obs.probe import EVENT_KINDS
+
+    kinds = args.kinds or None
+    if kinds:
+        unknown = set(kinds) - set(EVENT_KINDS)
+        if unknown:
+            print(
+                f"unknown event kinds: {sorted(unknown)} "
+                f"(valid: {', '.join(EVENT_KINDS)})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        events = read_trace_events(args.trace, kinds=kinds)
+        if args.events:
+            for shown, event in enumerate(events):
+                if args.limit and shown >= args.limit:
+                    break
+                print(json.dumps(event, separators=(",", ":")))
+            return 0
+        summary = summarize_trace_events(events)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    print(f"trace: {args.trace}")
+    print(summary.format())
+    return 0
 
 
 def _cmd_audit_selftest(args: argparse.Namespace) -> int:
@@ -560,7 +714,94 @@ def build_parser() -> argparse.ArgumentParser:
         default=1000,
         help="requests between periodic invariant sweeps",
     )
+    obs = sim.add_argument_group(
+        "instrumentation",
+        "opt-in observability (see repro.obs); with several --schemes, "
+        "output paths get a .{scheme} infix",
+    )
+    obs.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a JSONL event trace to this path",
+    )
+    obs.add_argument(
+        "--trace-sample-every",
+        type=int,
+        default=1,
+        help="keep every Nth event per kind (systematic sampling)",
+    )
+    obs.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        help="keep each event with this probability (seeded, see --probe-seed)",
+    )
+    obs.add_argument(
+        "--probe-seed",
+        type=int,
+        default=0,
+        help="seed of the probabilistic sampler (deterministic traces)",
+    )
+    obs.add_argument(
+        "--node-stats",
+        action="store_true",
+        help="print the per-node stat registry table after each run",
+    )
+    obs.add_argument(
+        "--prom-out",
+        default=None,
+        help="write the per-node counters as Prometheus text to this path",
+    )
+    obs.add_argument(
+        "--timers",
+        action="store_true",
+        help="time the routing / scheme / DP-solve / victim-selection "
+        "phases and print the profile",
+    )
+    obs.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        help="take a registry snapshot every N requests "
+        "(emitted as 'snapshot' trace events)",
+    )
+    obs.add_argument(
+        "--timeseries-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="bin outcomes into windows of this width "
+        "(prints CSV unless --timeseries-out is given)",
+    )
+    obs.add_argument(
+        "--timeseries-out",
+        default=None,
+        help="write the windowed series here (.json for JSON, else CSV)",
+    )
     sim.set_defaults(func=_cmd_sim)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="filter / summarize a saved JSONL event trace"
+    )
+    trace_cmd.add_argument("trace", help="JSONL trace path (from sim --trace-out)")
+    trace_cmd.add_argument(
+        "--kinds",
+        type=_csv_strs,
+        default=None,
+        help="comma-separated event kinds to keep",
+    )
+    trace_cmd.add_argument(
+        "--events",
+        action="store_true",
+        help="print matching events instead of the summary",
+    )
+    trace_cmd.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="with --events: stop after N events (0 = no limit)",
+    )
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     selftest = sub.add_parser(
         "audit-selftest",

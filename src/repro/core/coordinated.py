@@ -28,14 +28,20 @@ request/response pair, as in the paper.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.piggyback import (
+    ACCUMULATOR_BYTES,
+    DECISION_BYTES,
+    REPORT_BYTES,
+    TAG_BYTES,
     NodeReport,
     ProtocolStats,
     RequestEnvelope,
     ResponseEnvelope,
 )
+from repro.obs.timers import PHASE_DP_SOLVE
 from repro.core.placement import (
     PlacementProblem,
     PlacementSolution,
@@ -63,6 +69,12 @@ class CoordinatedScheme(DescriptorSchemeBase):
 
     def _solve(self, problem: PlacementProblem) -> PlacementSolution:
         """Solver seam (overridden by the audit self-test's mutants)."""
+        instruments = self._instruments
+        if instruments is not None and instruments.timers is not None:
+            started = perf_counter()
+            solution = solve_placement(problem)
+            instruments.timers.add(PHASE_DP_SOLVE, perf_counter() - started)
+            return solution
         return solve_placement(problem)
 
     # -- protocol phases -------------------------------------------------------
@@ -160,6 +172,50 @@ class CoordinatedScheme(DescriptorSchemeBase):
                 state.ensure_dcache_descriptor(object_id, size, accumulator, now)
         return inserted, evictions
 
+    def _observe_protocol(
+        self,
+        instruments,
+        path: Sequence[int],
+        hit_index: int,
+        envelope: RequestEnvelope,
+        response: ResponseEnvelope,
+        inserted: Sequence[int],
+        now: float,
+    ) -> None:
+        """Per-node piggyback byte accounting + the placement event.
+
+        Splits the exact quantities :meth:`ProtocolStats.overhead_bytes`
+        totals globally across the nodes that carried them: each report
+        (or "no descriptor" tag) is charged to the node that appended
+        it, each decision entry to the node it instructs, and the
+        response's cost accumulator to the first downstream carrier (see
+        ``docs/protocol.md``).  Purely observational.
+        """
+        registry = instruments.registry
+        if registry is not None:
+            add = registry.add_piggyback
+            for report in envelope.reports:
+                add(
+                    report.node,
+                    REPORT_BYTES if report.has_descriptor else TAG_BYTES,
+                )
+            for node in response.cache_at:
+                add(node, DECISION_BYTES)
+            if hit_index > 0:
+                add(path[hit_index - 1], ACCUMULATOR_BYTES)
+        candidates = [r.node for r in envelope.reports if r.is_candidate()]
+        if candidates:
+            self._emit_placement(
+                now,
+                envelope.object_id,
+                path,
+                hit_index,
+                candidates,
+                sorted(response.cache_at),
+                inserted,
+                gain=response.expected_gain,
+            )
+
     # -- scheme interface --------------------------------------------------------
 
     def process_request(
@@ -179,6 +235,11 @@ class CoordinatedScheme(DescriptorSchemeBase):
         stats.decisions += len(response.cache_at)
         if hit_index > 0:
             stats.responses_with_accumulator += 1
+        instruments = self._instruments
+        if instruments is not None:
+            self._observe_protocol(
+                instruments, path, hit_index, envelope, response, inserted, now
+            )
         return RequestOutcome(
             path=path,
             hit_index=hit_index,

@@ -40,6 +40,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.costs.model import LatencyCostModel
 from repro.experiments.points import SweepPoint
 from repro.experiments.results_io import CheckpointWriter, load_checkpoint
+from repro.obs.instruments import Instruments
+from repro.obs.registry import StatRegistry
 from repro.sim.architecture import Architecture
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
@@ -86,6 +88,12 @@ class RunRecord:
     records of every violation found -- these land verbatim in the
     checkpoint / run-record sidecars so a grid's correctness evidence
     survives alongside its metrics.
+
+    ``node_stats`` is ``None`` unless the point ran with the per-node
+    stat registry attached (``node_stats=True``): the final
+    ``{node: counters}`` snapshot (JSON keys, so node ids are strings),
+    persisted in the same sidecars so a grid's per-node behavior
+    survives alongside its metrics.
     """
 
     key: str
@@ -98,6 +106,7 @@ class RunRecord:
     reused: bool = False
     audit_checks: int = 0
     audit_violations: Tuple[dict, ...] = ()
+    node_stats: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -111,6 +120,7 @@ class RunRecord:
             "reused": self.reused,
             "audit_checks": self.audit_checks,
             "audit_violations": [dict(v) for v in self.audit_violations],
+            "node_stats": self.node_stats,
         }
 
     @classmethod
@@ -118,6 +128,7 @@ class RunRecord:
         violations = raw.get("audit_violations", ())
         if not isinstance(violations, (list, tuple)):
             violations = ()
+        node_stats = raw.get("node_stats")
         return cls(
             key=raw.get("key", ""),
             scheme=raw.get("scheme", ""),
@@ -131,6 +142,7 @@ class RunRecord:
             audit_violations=tuple(
                 dict(v) for v in violations if isinstance(v, dict)
             ),
+            node_stats=dict(node_stats) if isinstance(node_stats, dict) else None,
         )
 
 
@@ -185,6 +197,9 @@ def execute_point(
     catalog: ObjectCatalog,
     task: GridTask,
     audit: Union[bool, AuditConfig] = False,
+    node_stats: bool = False,
+    instruments: Optional[Instruments] = None,
+    interval_collector=None,
 ) -> Tuple[SweepPoint, RunRecord]:
     """Run one grid point in this process; returns its point and record.
 
@@ -196,6 +211,14 @@ def execute_point(
     overlay happens *after* the checkpoint key is computed, so audited
     and unaudited grids share checkpoint identities (and metrics, which
     auditing never changes).
+
+    ``node_stats`` attaches a fresh per-node stat registry (see
+    :mod:`repro.obs`) and stores its final snapshot on the record;
+    ``instruments`` passes a fully-configured bundle instead (e.g. with
+    a probe or timers -- ``node_stats`` is then implied by whether the
+    bundle carries a registry).  ``interval_collector`` is forwarded to
+    :meth:`SimulationEngine.run` verbatim.  All three are observational
+    only -- metrics and checkpoint identities are unchanged.
     """
     config = task.config
     key = task.key(architecture.name)
@@ -210,13 +233,20 @@ def execute_point(
         )
         auditor = Auditor(audit_config)
         params.setdefault("ncl_structure", "mirrored")
+    if instruments is None and node_stats:
+        instruments = Instruments(registry=StatRegistry())
     scheme = build_scheme(
         task.scheme, cost_model, capacity, dcache_entries, **params
     )
     engine = SimulationEngine(
         architecture, cost_model, scheme, warmup_fraction=config.warmup_fraction
     )
-    result = engine.run(trace, auditor=auditor)
+    result = engine.run(
+        trace,
+        auditor=auditor,
+        instruments=instruments,
+        interval_collector=interval_collector,
+    )
     if auditor is not None and auditor.config.shadow_replay:
         from repro.verify.replay import shadow_replay_violations
 
@@ -248,6 +278,11 @@ def execute_point(
         audit_violations=tuple(
             v.to_dict() for v in (result.audit.violations if result.audit else ())
         ),
+        node_stats=(
+            {str(node): stats for node, stats in result.node_stats.items()}
+            if result.node_stats is not None
+            else None
+        ),
     )
     return point, record
 
@@ -257,7 +292,7 @@ def execute_point(
 # Shared state installed once per worker process by the pool initializer;
 # the per-task payload is then just the GridTask itself.
 _WORKER_STATE: Optional[
-    Tuple[Architecture, Trace, ObjectCatalog, Union[bool, AuditConfig]]
+    Tuple[Architecture, Trace, ObjectCatalog, Union[bool, AuditConfig], bool]
 ] = None
 
 
@@ -266,16 +301,19 @@ def _init_worker(
     trace: Trace,
     catalog: ObjectCatalog,
     audit: Union[bool, AuditConfig] = False,
+    node_stats: bool = False,
 ) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (architecture, trace, catalog, audit)
+    _WORKER_STATE = (architecture, trace, catalog, audit, node_stats)
 
 
 def _run_pooled(task: GridTask) -> Tuple[SweepPoint, RunRecord]:
     if _WORKER_STATE is None:  # pragma: no cover - defensive
         raise RuntimeError("worker used without initializer")
-    architecture, trace, catalog, audit = _WORKER_STATE
-    return execute_point(architecture, trace, catalog, task, audit=audit)
+    architecture, trace, catalog, audit, node_stats = _WORKER_STATE
+    return execute_point(
+        architecture, trace, catalog, task, audit=audit, node_stats=node_stats
+    )
 
 
 def run_grid(
@@ -288,6 +326,7 @@ def run_grid(
     resume: bool = False,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     audit: Union[bool, AuditConfig] = False,
+    node_stats: bool = False,
 ) -> GridResult:
     """Execute a grid of tasks; returns points in task order.
 
@@ -312,6 +351,12 @@ def run_grid(
     in the checkpoint sidecar.  Reused checkpoint points are *not*
     re-audited -- their records keep whatever audit evidence the original
     execution stored.
+
+    ``node_stats`` attaches the per-node stat registry to every executed
+    point; each record (and checkpoint sidecar entry) then carries the
+    final ``{node: counters}`` snapshot.  Like auditing, this never
+    changes metrics or checkpoint identities, and reused points keep
+    whatever snapshot (or ``None``) their original execution stored.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -364,7 +409,12 @@ def run_grid(
         if workers == 1 or len(pending) <= 1:
             for index in pending:
                 point, record = execute_point(
-                    architecture, trace, catalog, tasks[index], audit=audit
+                    architecture,
+                    trace,
+                    catalog,
+                    tasks[index],
+                    audit=audit,
+                    node_stats=node_stats,
                 )
                 finish(index, point, record)
         else:
@@ -372,7 +422,7 @@ def run_grid(
             with ProcessPoolExecutor(
                 max_workers=pool_size,
                 initializer=_init_worker,
-                initargs=(architecture, trace, catalog, audit),
+                initargs=(architecture, trace, catalog, audit, node_stats),
             ) as executor:
                 futures = {
                     executor.submit(_run_pooled, tasks[index]): index

@@ -69,6 +69,7 @@ def run_cache_size_sweep(
     resume: bool = False,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     audit: bool = False,
+    node_stats: bool = False,
 ) -> List[SweepPoint]:
     """Sweep relative cache size for several schemes over one trace.
 
@@ -89,7 +90,10 @@ def run_cache_size_sweep(
 
     ``audit`` runs every point under the correctness audit layer (see
     :mod:`repro.verify`); violations become structured entries on the
-    run records without changing any metric.
+    run records without changing any metric.  ``node_stats`` attaches
+    the per-node stat registry (see :mod:`repro.obs`) to every executed
+    point -- the snapshots land on the run records and in the
+    checkpoint sidecar, also without changing any metric.
     """
     params = scheme_params or {}
     tasks = []
@@ -113,6 +117,7 @@ def run_cache_size_sweep(
         resume=resume,
         progress=progress,
         audit=audit,
+        node_stats=node_stats,
     )
     return result.points
 
@@ -130,6 +135,7 @@ def run_modulo_radius_sweep(
     resume: bool = False,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     audit: bool = False,
+    node_stats: bool = False,
 ) -> List[SweepPoint]:
     """The MODULO cache-radius ablation (paper sections 4.1-4.2).
 
@@ -157,5 +163,6 @@ def run_modulo_radius_sweep(
         resume=resume,
         progress=progress,
         audit=audit,
+        node_stats=node_stats,
     )
     return result.points

@@ -4,20 +4,32 @@ The paper reports steady-state means; for studying *dynamics* -- warm-up
 convergence, reaction to flash crowds or invalidation storms -- the
 engine can additionally bin outcomes into fixed-width time windows via
 :class:`IntervalMetricsCollector` and report a series of per-window
-snapshots.
+snapshots.  :func:`series_to_csv` / :func:`series_to_json` serialize a
+series for the CLI's ``--timeseries-out``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import List, Sequence
 
 from repro.schemes.base import RequestOutcome
 
 
 @dataclass(frozen=True)
 class IntervalSnapshot:
-    """Aggregates of one time window."""
+    """Aggregates of one time window.
+
+    ``hit_ratio`` is the *request* hit ratio (fraction of requests served
+    by any cache) -- the byte-weighted counterpart is ``byte_hit_ratio``.
+    ``mean_read_load`` / ``mean_write_load`` are the cache-byte traffic
+    rates of the window: bytes served from caches, and bytes written
+    into caches by placements, per second of window width.
+
+    New fields are appended at the end with defaults so existing
+    positional construction keeps working.
+    """
 
     window_start: float
     window_end: float
@@ -25,6 +37,9 @@ class IntervalSnapshot:
     mean_latency: float
     byte_hit_ratio: float
     mean_hops: float
+    hit_ratio: float = 0.0
+    mean_read_load: float = 0.0
+    mean_write_load: float = 0.0
 
     @property
     def midpoint(self) -> float:
@@ -48,13 +63,18 @@ class IntervalMetricsCollector:
         if now < 0:
             raise ValueError("time must be non-negative")
         index = int(now // self.window_seconds)
-        bucket = self._windows.setdefault(index, [0, 0.0, 0, 0, 0])
+        bucket = self._windows.setdefault(
+            index, [0, 0.0, 0, 0, 0, 0, 0, 0]
+        )
         bucket[0] += 1                       # requests
         bucket[1] += latency                 # latency sum
         bucket[2] += outcome.size            # bytes requested
         if outcome.served_by_cache:
             bucket[3] += outcome.size        # bytes cache-served
+            bucket[5] += 1                   # cache hits
+            bucket[6] += outcome.size        # bytes read from caches
         bucket[4] += outcome.hops            # hops sum
+        bucket[7] += outcome.size * len(outcome.inserted_nodes)  # bytes written
 
     def series(self) -> List[IntervalSnapshot]:
         """Snapshots for every window from the first to the last active one."""
@@ -62,17 +82,27 @@ class IntervalMetricsCollector:
             return []
         first = min(self._windows)
         last = max(self._windows)
+        width = self.window_seconds
         snapshots: List[IntervalSnapshot] = []
         for index in range(first, last + 1):
-            start = index * self.window_seconds
-            end = start + self.window_seconds
+            start = index * width
+            end = start + width
             bucket = self._windows.get(index)
             if bucket is None or bucket[0] == 0:
                 snapshots.append(
                     IntervalSnapshot(start, end, 0, 0.0, 0.0, 0.0)
                 )
                 continue
-            requests, latency_sum, req_bytes, hit_bytes, hops_sum = bucket
+            (
+                requests,
+                latency_sum,
+                req_bytes,
+                hit_bytes,
+                hops_sum,
+                hits,
+                read_bytes,
+                write_bytes,
+            ) = bucket
             snapshots.append(
                 IntervalSnapshot(
                     window_start=start,
@@ -81,6 +111,30 @@ class IntervalMetricsCollector:
                     mean_latency=latency_sum / requests,
                     byte_hit_ratio=hit_bytes / req_bytes if req_bytes else 0.0,
                     mean_hops=hops_sum / requests,
+                    hit_ratio=hits / requests,
+                    mean_read_load=read_bytes / width,
+                    mean_write_load=write_bytes / width,
                 )
             )
         return snapshots
+
+
+def series_to_csv(series: Sequence[IntervalSnapshot]) -> str:
+    """Render a snapshot series as CSV text (header + one row per window)."""
+    names = [f.name for f in fields(IntervalSnapshot)]
+    lines = [",".join(names)]
+    for snap in series:
+        row = asdict(snap)
+        lines.append(",".join(_format_csv_value(row[name]) for name in names))
+    return "\n".join(lines) + "\n"
+
+
+def _format_csv_value(value) -> str:
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
+def series_to_json(series: Sequence[IntervalSnapshot]) -> str:
+    """Render a snapshot series as a JSON array of objects."""
+    return json.dumps([asdict(snap) for snap in series], indent=2) + "\n"

@@ -1,0 +1,237 @@
+"""Exporters: trace files, node-stat tables, Prometheus text.
+
+Three ways out of the instrumentation layer:
+
+* :class:`JsonlTraceWriter` -- the probe sink behind ``repro sim
+  --trace-out``: one JSON object per line, append-as-you-go, so a killed
+  run leaves a readable prefix.  :func:`read_trace_events` is its
+  reader (used by the ``repro trace`` subcommand), tolerant of a
+  truncated final line.
+* :func:`format_node_stats` -- the per-node summary table printed by
+  ``--node-stats``.
+* :func:`prometheus_text` -- a Prometheus text-exposition dump of the
+  same counters (``repro_cache_hits_total{node="3"} 42``), so a run's
+  registry can be diffed or scraped with standard tooling.
+
+:func:`summarize_trace_events` folds a saved trace back into per-kind /
+per-node totals -- including the per-node insertion counts that must
+agree with the live stat registry (the exporter-level consistency the
+tests pin down).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional
+
+# Columns of the per-node table / Prometheus dump, in display order,
+# mapping field name -> (short header, prometheus metric suffix).
+_NODE_FIELDS = (
+    ("hits", "hits", "hits_total"),
+    ("misses", "misses", "misses_total"),
+    ("insertions", "ins", "insertions_total"),
+    ("evictions", "evict", "evictions_total"),
+    ("evicted_bytes", "evictB", "evicted_bytes_total"),
+    ("bytes_read", "readB", "read_bytes_total"),
+    ("bytes_written", "writeB", "written_bytes_total"),
+    ("occupancy_hwm", "hwmB", "occupancy_hwm_bytes"),
+    ("piggyback_bytes", "piggyB", "piggyback_bytes_total"),
+    ("dcache_evictions", "dEvict", "dcache_evictions_total"),
+    ("invalidations", "inval", "invalidations_total"),
+)
+
+
+class JsonlTraceWriter:
+    """Probe sink writing one compact JSON object per event line.
+
+    Usable as a context manager; ``events_written`` is the line count.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "w")
+        self.events_written = 0
+
+    def __call__(self, event: dict) -> None:
+        self._file.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace_events(
+    path: str | Path, kinds: Optional[Iterable[str]] = None
+) -> Iterator[dict]:
+    """Stream events from a JSONL trace file, optionally filtered by kind.
+
+    A truncated or garbled trailing line (a killed run's signature) is
+    skipped, mirroring the checkpoint reader's tolerance.
+    """
+    wanted = frozenset(kinds) if kinds is not None else None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(event, dict):
+                continue
+            if wanted is not None and event.get("kind") not in wanted:
+                continue
+            yield event
+
+
+@dataclass
+class TraceSummary:
+    """Folded view of one event trace (see :func:`summarize_trace_events`)."""
+
+    events: int = 0
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    requests: int = 0
+    origin_served: int = 0
+    hits_by_node: Dict[int, int] = field(default_factory=dict)
+    insertions_by_node: Dict[int, int] = field(default_factory=dict)
+    evictions_by_node: Dict[int, int] = field(default_factory=dict)
+    freed_bytes_by_node: Dict[int, int] = field(default_factory=dict)
+    dcache_evictions_by_node: Dict[int, int] = field(default_factory=dict)
+    invalidated_copies: int = 0
+
+    def format(self) -> str:
+        lines = [f"{self.events} events"]
+        for kind in sorted(self.kind_counts):
+            lines.append(f"  {kind:<16} {self.kind_counts[kind]}")
+        if self.requests:
+            cache_served = self.requests - self.origin_served
+            lines.append(
+                f"requests: {self.requests} "
+                f"({cache_served} cache-served, {self.origin_served} origin)"
+            )
+        if self.hits_by_node:
+            lines.append("hits by node:")
+            for node in sorted(self.hits_by_node):
+                lines.append(f"  node {node:<6} {self.hits_by_node[node]}")
+        if self.insertions_by_node:
+            lines.append("insertions by node (from placement decisions):")
+            for node in sorted(self.insertions_by_node):
+                lines.append(
+                    f"  node {node:<6} {self.insertions_by_node[node]}"
+                )
+        if self.evictions_by_node:
+            lines.append("evictions by node:")
+            for node in sorted(self.evictions_by_node):
+                freed = self.freed_bytes_by_node.get(node, 0)
+                lines.append(
+                    f"  node {node:<6} {self.evictions_by_node[node]} "
+                    f"({freed} B freed)"
+                )
+        if self.dcache_evictions_by_node:
+            total = sum(self.dcache_evictions_by_node.values())
+            lines.append(f"d-cache evictions: {total}")
+        if self.invalidated_copies:
+            lines.append(f"invalidated copies: {self.invalidated_copies}")
+        return "\n".join(lines)
+
+
+def summarize_trace_events(events: Iterable[dict]) -> TraceSummary:
+    """Fold a stream of trace events into per-kind / per-node totals."""
+    summary = TraceSummary()
+    for event in events:
+        kind = event.get("kind", "?")
+        summary.events += 1
+        summary.kind_counts[kind] = summary.kind_counts.get(kind, 0) + 1
+        if kind == "request":
+            summary.requests += 1
+            hit_node = event.get("hit_node")
+            if hit_node is None:
+                summary.origin_served += 1
+            else:
+                summary.hits_by_node[hit_node] = (
+                    summary.hits_by_node.get(hit_node, 0) + 1
+                )
+        elif kind == "placement":
+            for node in event.get("inserted", ()):
+                summary.insertions_by_node[node] = (
+                    summary.insertions_by_node.get(node, 0) + 1
+                )
+        elif kind == "eviction":
+            node = event.get("node")
+            victims = event.get("victims", ())
+            summary.evictions_by_node[node] = (
+                summary.evictions_by_node.get(node, 0) + len(victims)
+            )
+            summary.freed_bytes_by_node[node] = (
+                summary.freed_bytes_by_node.get(node, 0)
+                + int(event.get("freed", 0))
+            )
+        elif kind == "dcache-eviction":
+            node = event.get("node")
+            summary.dcache_evictions_by_node[node] = (
+                summary.dcache_evictions_by_node.get(node, 0)
+                + len(event.get("victims", ()))
+            )
+        elif kind == "invalidation":
+            summary.invalidated_copies += int(event.get("copies", 0))
+    return summary
+
+
+def _node_sort_key(node):
+    """Order node ids numerically even after a JSON round-trip strings them."""
+    try:
+        return (0, int(node))
+    except (TypeError, ValueError):
+        return (1, str(node))
+
+
+def format_node_stats(node_stats: Dict[int, dict]) -> str:
+    """The per-node summary table (``repro sim --node-stats``)."""
+    if not node_stats:
+        return "no node stats recorded"
+    headers = ["node", "hit%"] + [short for _, short, _ in _NODE_FIELDS]
+    rows = []
+    for node in sorted(node_stats, key=_node_sort_key):
+        stats = node_stats[node]
+        seen = stats.get("hits", 0) + stats.get("misses", 0)
+        hit_pct = 100.0 * stats.get("hits", 0) / seen if seen else 0.0
+        cells = [str(node), f"{hit_pct:.1f}"]
+        cells += [str(stats.get(name, 0)) for name, _, _ in _NODE_FIELDS]
+        rows.append(cells)
+    widths = [
+        max(len(header), *(len(row[i]) for row in rows)) + 2
+        for i, header in enumerate(headers)
+    ]
+    lines = ["".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for cells in rows:
+        lines.append("".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def prometheus_text(
+    node_stats: Dict[int, dict], prefix: str = "repro_cache"
+) -> str:
+    """Prometheus text-exposition dump of the per-node counters.
+
+    Counters use the ``_total`` convention; the occupancy high-water
+    mark is exported as a plain gauge.
+    """
+    lines = []
+    for name, _, suffix in _NODE_FIELDS:
+        metric = f"{prefix}_{suffix}"
+        kind = "gauge" if name == "occupancy_hwm" else "counter"
+        lines.append(f"# HELP {metric} per-node {name.replace('_', ' ')}")
+        lines.append(f"# TYPE {metric} {kind}")
+        for node in sorted(node_stats, key=_node_sort_key):
+            value = node_stats[node].get(name, 0)
+            lines.append(f'{metric}{{node="{node}"}} {value}')
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,131 @@
+"""The probe: a sampleable structured-event emitter.
+
+Instrumented code reports what happened -- a request served, a placement
+decided, victims evicted -- as small dictionaries ("events") pushed into
+a *sink* (any callable; usually a
+:class:`~repro.obs.export.JsonlTraceWriter`).  Probes are **opt-in**: the
+engine and the schemes carry no probe by default, and every emission
+site guards with a cheap ``None`` check, so an uninstrumented run pays
+nothing and an instrumented run's metrics are bit-identical (probes only
+observe, never decide).
+
+Hot emitters use the two-step protocol to avoid building event
+dictionaries that sampling would discard::
+
+    if probe is not None and probe.sample("eviction"):
+        probe.write("eviction", node=node, freed=freed, ...)
+
+:meth:`Probe.sample` advances the per-kind sampling state exactly once
+per candidate event and returns whether this event passes; a matching
+:meth:`Probe.write` must follow every ``True``.  ``emit()`` bundles both
+for non-hot callers.
+
+Sampling is deterministic: the rate filter draws from a
+``random.Random`` seeded at construction, so two probes configured
+identically select the same events from the same event stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, Optional
+
+# The event vocabulary.  Every event dictionary carries at least
+# ``kind`` (one of these) plus ``i`` (the request index) where the
+# emitter knows it; the remaining fields are kind-specific.
+EVENT_KINDS = (
+    "request",          # one request served (path, hit node, insertions)
+    "placement",        # a placement decision (candidates, chosen, gain)
+    "eviction",         # main-cache eviction (policy, victims, freed bytes)
+    "dcache-eviction",  # descriptor dropped out of a d-cache
+    "invalidation",     # origin update dropped cached copies
+    "snapshot",         # periodic stat-registry snapshot
+)
+
+
+class Probe:
+    """Emits structured events into a sink, with deterministic sampling.
+
+    ``sample_every`` keeps every Nth candidate event of each kind (the
+    counter is per kind, so sparse kinds are not starved by chatty
+    ones); ``sample_rate`` additionally keeps each surviving event with
+    the given probability, drawn from a ``seed``-ed RNG.  ``kinds``
+    restricts emission to the given event kinds.  A probe constructed
+    with ``enabled=False`` is inert: callers treat it exactly like no
+    probe at all (see :meth:`repro.obs.instruments.Instruments`).
+    """
+
+    __slots__ = (
+        "sink",
+        "enabled",
+        "sample_every",
+        "sample_rate",
+        "kinds",
+        "emitted",
+        "dropped",
+        "_counts",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        sink: Callable[[dict], None],
+        enabled: bool = True,
+        sample_every: int = 1,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        if kinds is not None:
+            unknown = set(kinds) - set(EVENT_KINDS)
+            if unknown:
+                raise ValueError(f"unknown event kinds: {sorted(unknown)}")
+        self.sink = sink
+        self.enabled = enabled
+        self.sample_every = sample_every
+        self.sample_rate = sample_rate
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.emitted = 0
+        self.dropped = 0
+        self._counts: Dict[str, int] = {}
+        self._rng = random.Random(seed)
+
+    def sample(self, kind: str) -> bool:
+        """Decide whether the next event of ``kind`` should be emitted.
+
+        Advances the sampling state (call exactly once per candidate
+        event); filtered-out kinds consume no sampling state, so the
+        selection among the kinds a probe listens to is independent of
+        the kinds it ignores.
+        """
+        if not self.enabled:
+            return False
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        count = self._counts.get(kind, 0)
+        self._counts[kind] = count + 1
+        if count % self.sample_every != 0:
+            self.dropped += 1
+            return False
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            self.dropped += 1
+            return False
+        return True
+
+    def write(self, kind: str, **fields) -> None:
+        """Push one event unconditionally (after a ``True`` sample())."""
+        event = {"kind": kind}
+        event.update(fields)
+        self.sink(event)
+        self.emitted += 1
+
+    def emit(self, kind: str, **fields) -> bool:
+        """Sample-then-write convenience; returns whether it was emitted."""
+        if not self.sample(kind):
+            return False
+        self.write(kind, **fields)
+        return True

@@ -89,6 +89,9 @@ class CachingScheme(abc.ABC):
         self.capacity_bytes = capacity_bytes
         self.capacity_overrides = dict(capacity_overrides or {})
         self._caches: Dict[int, Cache] = {}
+        # Instrumentation bundle (repro.obs.instruments.Instruments),
+        # attached by the engine on instrumented runs; None otherwise.
+        self._instruments = None
 
     @abc.abstractmethod
     def _new_cache(self, node: int) -> Cache:
@@ -111,12 +114,71 @@ class CachingScheme(abc.ABC):
         """
         return self.capacity_overrides.get(node, self.capacity_bytes)
 
+    def attach_instruments(self, instruments) -> None:
+        """Wire an :class:`~repro.obs.instruments.Instruments` bundle in.
+
+        Installs a per-node cache observer on every cache materialized so
+        far; caches created later are wired at creation.  Attaching
+        ``None`` detaches.  Purely observational -- an instrumented run's
+        decisions and metrics are bit-identical to an uninstrumented one.
+        """
+        self._instruments = instruments
+        for node, cache in self._caches.items():
+            cache.observer = (
+                instruments.cache_observer(node)
+                if instruments is not None
+                else None
+            )
+
+    def _wire_cache(self, node: int, cache: Cache) -> None:
+        """Give a newly created cache its observer, if instrumented."""
+        if self._instruments is not None:
+            cache.observer = self._instruments.cache_observer(node)
+
+    def _emit_placement(
+        self,
+        now: float,
+        object_id: int,
+        path: Sequence[int],
+        hit_index: int,
+        candidates: Sequence[int],
+        chosen: Sequence[int],
+        inserted: Sequence[int],
+        gain: float = 0.0,
+    ) -> None:
+        """Emit one ``placement`` event (candidate set, decision, result).
+
+        ``chosen`` is what the scheme's placement rule selected;
+        ``inserted`` what actually landed (insertions can be refused by
+        :class:`~repro.cache.base.CacheTooSmallError`).  No-op unless a
+        probe is attached and sampling passes.
+        """
+        instruments = self._instruments
+        if instruments is None:
+            return
+        probe = instruments.probe
+        if probe is None or not probe.sample("placement"):
+            return
+        probe.write(
+            "placement",
+            i=instruments.request_index,
+            t=now,
+            object=object_id,
+            hit_node=path[hit_index],
+            origin=hit_index == len(path) - 1,
+            candidates=list(candidates),
+            chosen=list(chosen),
+            inserted=list(inserted),
+            gain=gain,
+        )
+
     def cache_at(self, node: int) -> Cache:
         """The node's cache, created on first use."""
         cache = self._caches.get(node)
         if cache is None:
             cache = self._new_cache(node)
             self._caches[node] = cache
+            self._wire_cache(node, cache)
         return cache
 
     def caches(self) -> Dict[int, Cache]:

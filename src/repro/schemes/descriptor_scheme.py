@@ -49,7 +49,20 @@ class DescriptorSchemeBase(CachingScheme):
             # Register the main cache with the base-class map so shared
             # helpers (_find_hit, has_object, invariants) see it.
             self._caches[node] = state.cache
+            self._wire_cache(node, state.cache)
+            if self._instruments is not None:
+                state.dcache.observer = self._instruments.dcache_observer(node)
         return state
+
+    def attach_instruments(self, instruments) -> None:
+        """Wire main caches (via the base class) and d-caches alike."""
+        super().attach_instruments(instruments)
+        for node, state in self._nodes.items():
+            state.dcache.observer = (
+                instruments.dcache_observer(node)
+                if instruments is not None
+                else None
+            )
 
     def _new_cache(self, node: int) -> Cache:
         # Cache construction flows through node_state(); reaching this

@@ -76,6 +76,11 @@ class GDSScheme(CachingScheme):
                 continue
             inserted.append(node)
             evictions += len(evicted)
+        if self._instruments is not None and hit_index > 0:
+            chosen = [path[i] for i in range(hit_index)]
+            self._emit_placement(
+                now, object_id, path, hit_index, chosen, chosen, inserted
+            )
         return RequestOutcome(
             path=path,
             hit_index=hit_index,
@@ -122,11 +127,13 @@ class AdmissionLRUScheme(CachingScheme):
     ) -> RequestOutcome:
         hit_index = self._find_hit(path, object_id, now)
         inserted: List[int] = []
+        admitted: List[int] = []
         evictions = 0
         for i in range(hit_index):
             node = path[i]
             if not self._seen_before(node, object_id):
                 continue  # admission denied on first sighting
+            admitted.append(node)
             cache = self.cache_at(node)
             try:
                 evicted = cache.insert(ObjectDescriptor(object_id, size), now)
@@ -134,6 +141,16 @@ class AdmissionLRUScheme(CachingScheme):
                 continue
             inserted.append(node)
             evictions += len(evicted)
+        if self._instruments is not None and hit_index > 0:
+            self._emit_placement(
+                now,
+                object_id,
+                path,
+                hit_index,
+                [path[i] for i in range(hit_index)],
+                admitted,
+                inserted,
+            )
         return RequestOutcome(
             path=path,
             hit_index=hit_index,

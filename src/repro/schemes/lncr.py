@@ -49,6 +49,11 @@ class LNCRScheme(DescriptorSchemeBase):
                 continue
             inserted.append(node)
             evictions += len(evicted)
+        if self._instruments is not None and hit_index > 0:
+            chosen = [path[i] for i in range(hit_index)]
+            self._emit_placement(
+                now, object_id, path, hit_index, chosen, chosen, inserted
+            )
         return RequestOutcome(
             path=path,
             hit_index=hit_index,

@@ -36,7 +36,8 @@ class LRUEverywhereScheme(CachingScheme):
         hit_index = self._find_hit(path, object_id, now)
         inserted: List[int] = []
         evictions = 0
-        for i in self._placement_indices(path, hit_index):
+        placement = self._placement_indices(path, hit_index)
+        for i in placement:
             node = path[i]
             cache = self.cache_at(node)
             try:
@@ -45,6 +46,11 @@ class LRUEverywhereScheme(CachingScheme):
                 continue
             inserted.append(node)
             evictions += len(evicted)
+        if self._instruments is not None and placement:
+            chosen = [path[i] for i in placement]
+            self._emit_placement(
+                now, object_id, path, hit_index, chosen, chosen, inserted
+            )
         return RequestOutcome(
             path=path,
             hit_index=hit_index,

@@ -16,6 +16,8 @@ from typing import Callable, Optional, Sequence
 
 from repro.costs.model import CostModel
 from repro.metrics.collector import MetricsCollector, MetricsSummary
+from repro.obs.instruments import Instruments
+from repro.obs.timers import PHASE_ROUTING, PHASE_SCHEME
 from repro.schemes.base import CachingScheme
 from repro.sim.architecture import Architecture
 from repro.verify.auditor import AuditConfig, Auditor, AuditReport
@@ -38,6 +40,11 @@ class SimulationResult:
 
     ``audit`` is ``None`` unless the run was audited (see
     :mod:`repro.verify`); auditing never changes the metrics themselves.
+
+    ``node_stats`` / ``phase_timings`` are ``None`` unless the run was
+    instrumented (see :mod:`repro.obs`): the final per-node counter
+    snapshot of the stat registry and the phase timers' summary.  Like
+    auditing, instrumentation never changes the metrics.
     """
 
     architecture: str
@@ -50,6 +57,8 @@ class SimulationResult:
     duration_seconds: float = 0.0
     requests_per_second: float = 0.0
     audit: Optional[AuditReport] = None
+    node_stats: Optional[dict] = None
+    phase_timings: Optional[dict] = None
 
 
 class SimulationEngine:
@@ -78,6 +87,7 @@ class SimulationEngine:
         progress_callback: Optional[Callable[[int, int], None]] = None,
         auditor: Optional[Auditor] = None,
         audit_every: int = 0,
+        instruments: Optional[Instruments] = None,
     ) -> SimulationResult:
         """Replay the trace; returns metrics over the measurement window.
 
@@ -103,17 +113,43 @@ class SimulationEngine:
         at the end, and its report lands in ``SimulationResult.audit``.
         Auditing is observational only -- metrics are bit-identical with
         and without it.
+
+        ``instruments`` (an :class:`~repro.obs.instruments.Instruments`
+        bundle) turns the replay into an instrumented run: the probe
+        receives ``request`` / ``invalidation`` events (schemes and
+        caches emit the rest through the attached bundle), the stat
+        registry folds in every outcome (warm-up included), and the
+        phase timers attribute routing / scheme-processing time.  Also
+        observational only -- metrics are bit-identical with and without
+        it, and a bundle with no live channel costs nothing.
         """
         if len(trace) == 0:
             raise ValueError("cannot simulate an empty trace")
         if progress_every < 0:
             raise ValueError("progress_every must be non-negative")
+        if progress_callback is not None and progress_every == 0:
+            raise ValueError(
+                "progress_callback requires progress_every > 0 "
+                "(it would otherwise never be invoked)"
+            )
         if audit_every < 0:
             raise ValueError("audit_every must be non-negative")
         if auditor is None and audit_every > 0:
             auditor = Auditor(AuditConfig(audit_every=audit_every))
         if auditor is not None:
             auditor.attach(self.scheme)
+        if instruments is not None and not instruments.active:
+            instruments = None
+        probe = registry = timers = None
+        snapshot_every = 0
+        if instruments is not None:
+            self.scheme.attach_instruments(instruments)
+            probe = instruments.probe
+            registry = instruments.registry
+            timers = instruments.timers
+            snapshot_every = (
+                instruments.snapshot_every if registry is not None else 0
+            )
         report_progress = (
             progress_callback if progress_every > 0 else None
         )
@@ -128,18 +164,63 @@ class SimulationEngine:
         copies_invalidated = 0
         sweep_every = auditor.config.audit_every if auditor is not None else 0
         for index, record in enumerate(trace):
+            if instruments is not None:
+                instruments.request_index = index
             while (
                 update_index < len(updates)
                 and updates[update_index].time <= record.time
             ):
                 event = updates[update_index]
-                copies_invalidated += self.scheme.invalidate_object(
-                    event.object_id
-                )
+                removed = self.scheme.invalidate_object(event.object_id)
+                copies_invalidated += removed
                 updates_applied += 1
                 update_index += 1
-            path = request_path(record.client_id, record.server_id)
-            outcome = process(path, record.object_id, record.size, record.time)
+                if probe is not None and probe.sample("invalidation"):
+                    probe.write(
+                        "invalidation",
+                        i=index,
+                        t=event.time,
+                        object=event.object_id,
+                        copies=removed,
+                    )
+            if timers is None:
+                path = request_path(record.client_id, record.server_id)
+                outcome = process(
+                    path, record.object_id, record.size, record.time
+                )
+            else:
+                started_phase = time.perf_counter()
+                path = request_path(record.client_id, record.server_id)
+                routed = time.perf_counter()
+                outcome = process(
+                    path, record.object_id, record.size, record.time
+                )
+                processed = time.perf_counter()
+                timers.add(PHASE_ROUTING, routed - started_phase)
+                timers.add(PHASE_SCHEME, processed - routed)
+            if registry is not None:
+                registry.observe_outcome(outcome)
+                if snapshot_every and (index + 1) % snapshot_every == 0:
+                    snap = registry.take_snapshot(index + 1)
+                    if probe is not None and probe.sample("snapshot"):
+                        probe.write("snapshot", **snap)
+            if probe is not None and probe.sample("request"):
+                probe.write(
+                    "request",
+                    i=index,
+                    t=record.time,
+                    object=record.object_id,
+                    size=record.size,
+                    client=path[0],
+                    hit_node=(
+                        path[outcome.hit_index]
+                        if outcome.served_by_cache
+                        else None
+                    ),
+                    hops=outcome.hops,
+                    inserted=list(outcome.inserted_nodes),
+                    evicted=outcome.evicted_objects,
+                )
             if auditor is not None:
                 auditor.observe_outcome(index, outcome)
             if index >= warmup_end or interval_collector is not None:
@@ -162,6 +243,8 @@ class SimulationEngine:
             if auditor is not None
             else None
         )
+        node_stats = registry.snapshot() if registry is not None else None
+        phase_timings = timers.summary() if timers is not None else None
         return SimulationResult(
             architecture=self.architecture.name,
             scheme=self.scheme.name,
@@ -173,4 +256,6 @@ class SimulationEngine:
             duration_seconds=duration,
             requests_per_second=total / duration if duration > 0 else 0.0,
             audit=audit,
+            node_stats=node_stats,
+            phase_timings=phase_timings,
         )

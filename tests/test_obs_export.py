@@ -1,0 +1,252 @@
+"""Tests for exporters and the observability CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import (
+    format_node_stats,
+    prometheus_text,
+    summarize_trace_events,
+)
+
+SIM_BASE = [
+    "sim",
+    "--schemes",
+    "coordinated",
+    "--scale",
+    "small",
+    "--size",
+    "0.01",
+]
+
+
+def sample_stats():
+    return {
+        2: {"hits": 3, "misses": 7, "insertions": 4, "evictions": 1,
+            "evicted_bytes": 100, "bytes_read": 300, "bytes_written": 400,
+            "occupancy_hwm": 500, "piggyback_bytes": 24,
+            "dcache_evictions": 2, "invalidations": 0},
+        10: {"hits": 0, "misses": 5, "insertions": 0, "evictions": 0,
+             "evicted_bytes": 0, "bytes_read": 0, "bytes_written": 0,
+             "occupancy_hwm": 0, "piggyback_bytes": 2,
+             "dcache_evictions": 0, "invalidations": 1},
+    }
+
+
+class TestNodeTable:
+    def test_empty(self):
+        assert format_node_stats({}) == "no node stats recorded"
+
+    def test_table_contents(self):
+        text = format_node_stats(sample_stats())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "hit%" in lines[0]
+        assert lines[1].split()[:2] == ["2", "30.0"]
+        assert lines[2].split()[:2] == ["10", "0.0"]
+
+    def test_string_keys_sort_numerically(self):
+        stats = {str(k): v for k, v in sample_stats().items()}
+        lines = format_node_stats(stats).splitlines()
+        assert lines[1].split()[0] == "2"
+        assert lines[2].split()[0] == "10"
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = prometheus_text(sample_stats())
+        assert '# TYPE repro_cache_hits_total counter' in text
+        assert '# TYPE repro_cache_occupancy_hwm_bytes gauge' in text
+        assert 'repro_cache_hits_total{node="2"} 3' in text
+        assert 'repro_cache_piggyback_bytes_total{node="10"} 2' in text
+        assert text.endswith("\n")
+
+    def test_custom_prefix(self):
+        text = prometheus_text(sample_stats(), prefix="x")
+        assert 'x_hits_total{node="2"} 3' in text
+
+
+class TestTraceSummary:
+    def test_folds_all_kinds(self):
+        events = [
+            {"kind": "request", "hit_node": 4},
+            {"kind": "request", "hit_node": None},
+            {"kind": "placement", "inserted": [1, 2]},
+            {"kind": "placement", "inserted": [2]},
+            {"kind": "eviction", "node": 2, "victims": [7, 8], "freed": 50},
+            {"kind": "dcache-eviction", "node": 1, "victims": [9]},
+            {"kind": "invalidation", "copies": 3},
+        ]
+        summary = summarize_trace_events(events)
+        assert summary.events == 7
+        assert summary.requests == 2
+        assert summary.origin_served == 1
+        assert summary.hits_by_node == {4: 1}
+        assert summary.insertions_by_node == {1: 1, 2: 2}
+        assert summary.evictions_by_node == {2: 2}
+        assert summary.freed_bytes_by_node == {2: 50}
+        assert summary.dcache_evictions_by_node == {1: 1}
+        assert summary.invalidated_copies == 3
+        text = summary.format()
+        assert "7 events" in text
+        assert "1 cache-served" in text
+
+
+class TestSimObservabilityFlags:
+    def test_trace_out_and_node_stats(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        code = main(
+            SIM_BASE + ["--trace-out", str(trace_path), "--node-stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "hit%" in out
+        events = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        assert {"request", "placement"} <= {e["kind"] for e in events}
+
+    def test_multi_scheme_paths_get_infix(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "sim",
+                "--schemes",
+                "lru,lnc-r",
+                "--scale",
+                "small",
+                "--size",
+                "0.01",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "run.lru.jsonl").exists()
+        assert (tmp_path / "run.lnc-r.jsonl").exists()
+        assert not trace_path.exists()
+
+    def test_prom_out_and_timers(self, capsys, tmp_path):
+        prom_path = tmp_path / "metrics.prom"
+        code = main(SIM_BASE + ["--prom-out", str(prom_path), "--timers"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "us/call" in out
+        assert "dp-solve" in out
+        assert "# TYPE repro_cache_hits_total counter" in prom_path.read_text()
+
+    def test_timeseries_out(self, capsys, tmp_path):
+        csv_path = tmp_path / "series.csv"
+        code = main(
+            SIM_BASE
+            + ["--timeseries-window", "60", "--timeseries-out", str(csv_path)]
+        )
+        assert code == 0
+        header = csv_path.read_text().splitlines()[0]
+        assert "hit_ratio" in header
+        assert "mean_read_load" in header
+
+    def test_timeseries_json_by_suffix(self, capsys, tmp_path):
+        json_path = tmp_path / "series.json"
+        code = main(
+            SIM_BASE
+            + ["--timeseries-window", "60", "--timeseries-out", str(json_path)]
+        )
+        assert code == 0
+        series = json.loads(json_path.read_text())
+        assert series
+        assert "mean_write_load" in series[0]
+
+    def test_timeseries_out_requires_window(self, capsys, tmp_path):
+        code = main(SIM_BASE + ["--timeseries-out", str(tmp_path / "x.csv")])
+        assert code == 2
+        assert "--timeseries-window" in capsys.readouterr().err
+
+    def test_sampled_trace_is_deterministic(self, capsys, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(
+                SIM_BASE
+                + [
+                    "--trace-out",
+                    str(path),
+                    "--trace-sample-rate",
+                    "0.2",
+                    "--probe-seed",
+                    "7",
+                ]
+            ) == 0
+        capsys.readouterr()
+        assert paths[0].read_text() == paths[1].read_text()
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(SIM_BASE + ["--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_summary(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "requests:" in out
+
+    def test_kind_filter_and_events(self, trace_file, capsys):
+        code = main(
+            [
+                "trace",
+                str(trace_file),
+                "--kinds",
+                "placement",
+                "--events",
+                "--limit",
+                "5",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(lines) <= 5
+        assert all(json.loads(l)["kind"] == "placement" for l in lines)
+
+    def test_unknown_kind_rejected(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--kinds", "bogus"]) == 2
+        assert "unknown event kinds" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestGridNodeStatsFlag:
+    def test_sweep_node_stats_in_records(self, capsys, tmp_path):
+        save = tmp_path / "points.json"
+        code = main(
+            [
+                "sweep",
+                "--arch",
+                "hierarchical",
+                "--schemes",
+                "lru",
+                "--sizes",
+                "0.05",
+                "--scale",
+                "small",
+                "--metrics",
+                "latency",
+                "--node-stats",
+                "--save",
+                str(save),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        document = json.loads(
+            (tmp_path / "points.json.records.json").read_text()
+        )
+        assert document["records"][0]["node_stats"]

@@ -1,0 +1,228 @@
+"""End-to-end tests of the instrumentation layer on real runs.
+
+The two properties ISSUE-level acceptance pins down:
+
+* instruments never change metrics -- summaries are bit-identical with
+  and without them (including a disabled probe, which must normalize to
+  the uninstrumented path);
+* the channels agree with each other -- the JSONL placement events
+  reconstruct the registry's per-node insertion counts, and the
+  coordinated scheme's per-node piggyback attribution sums exactly to
+  ``ProtocolStats.overhead_bytes()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.model import LatencyCostModel
+from repro.experiments.runner import GridTask, run_grid
+from repro.obs import Instruments, PhaseTimers, Probe, StatRegistry
+from repro.obs.export import summarize_trace_events
+from repro.obs.timers import (
+    PHASE_DP_SOLVE,
+    PHASE_ROUTING,
+    PHASE_SCHEME,
+    PHASE_VICTIM_SELECT,
+)
+from repro.sim.architecture import build_hierarchical_architecture
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import SCHEME_NAMES, build_scheme
+from repro.workload.generator import BoeingLikeTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.workload.generator import WorkloadConfig
+
+    workload = WorkloadConfig(
+        num_objects=80,
+        num_servers=5,
+        num_clients=10,
+        num_requests=2_000,
+        zipf_theta=0.8,
+        seed=11,
+    )
+    generator = BoeingLikeTraceGenerator(workload)
+    trace = generator.generate()
+    arch = build_hierarchical_architecture(
+        num_clients=workload.num_clients,
+        num_servers=workload.num_servers,
+        seed=0,
+    )
+    return arch, trace, generator.catalog
+
+
+def run_scheme(setup, name, instruments=None, capacity=60_000):
+    arch, trace, catalog = setup
+    cost = LatencyCostModel(arch.network, catalog.mean_size)
+    scheme = build_scheme(name, cost, capacity, 30)
+    engine = SimulationEngine(arch, cost, scheme, warmup_fraction=0.5)
+    result = engine.run(trace, instruments=instruments)
+    return result, scheme
+
+
+class TestMetricsUnchanged:
+    @pytest.mark.parametrize("name", sorted(SCHEME_NAMES))
+    def test_summary_bit_identical_with_instruments(self, setup, name):
+        plain, _ = run_scheme(setup, name)
+        events = []
+        instruments = Instruments(
+            probe=Probe(events.append),
+            registry=StatRegistry(),
+            timers=PhaseTimers(),
+            snapshot_every=500,
+        )
+        instrumented, _ = run_scheme(setup, name, instruments)
+        assert instrumented.summary == plain.summary
+        assert instrumented.node_stats is not None
+        assert events
+
+    def test_disabled_probe_normalizes_to_uninstrumented(self, setup):
+        plain, _ = run_scheme(setup, "coordinated")
+        sink_calls = []
+        bundle = Instruments(probe=Probe(sink_calls.append, enabled=False))
+        assert not bundle.active
+        result, _ = run_scheme(setup, "coordinated", bundle)
+        assert result.summary == plain.summary
+        assert result.node_stats is None
+        assert result.phase_timings is None
+        assert sink_calls == []
+
+
+class TestRegistryConsistency:
+    @pytest.fixture(scope="class")
+    def instrumented(self, setup):
+        events = []
+        instruments = Instruments(
+            probe=Probe(events.append),
+            registry=StatRegistry(),
+            timers=PhaseTimers(),
+            snapshot_every=500,
+        )
+        result, scheme = run_scheme(setup, "coordinated", instruments)
+        return result, scheme, instruments, events
+
+    def test_every_request_counted(self, setup, instrumented):
+        _, trace, _ = setup
+        _, _, instruments, events = instrumented
+        registry = instruments.registry
+        requests = [e for e in events if e["kind"] == "request"]
+        assert len(requests) == len(trace)
+        # Each cache-served request hits exactly one node.
+        assert registry.total("hits") == sum(
+            1 for e in requests if e["hit_node"] is not None
+        )
+
+    def test_placement_events_reconstruct_registry_insertions(
+        self, instrumented
+    ):
+        result, _, instruments, events = instrumented
+        summary = summarize_trace_events(events)
+        registry_insertions = {
+            node: stats["insertions"]
+            for node, stats in result.node_stats.items()
+            if stats["insertions"]
+        }
+        assert summary.insertions_by_node == registry_insertions
+
+    def test_piggyback_attribution_sums_to_protocol_overhead(
+        self, instrumented
+    ):
+        result, scheme, instruments, _ = instrumented
+        total = sum(
+            stats["piggyback_bytes"] for stats in result.node_stats.values()
+        )
+        assert total == scheme.protocol_stats.overhead_bytes()
+        assert total > 0
+
+    def test_occupancy_hwm_within_capacity(self, instrumented):
+        result, scheme, _, _ = instrumented
+        for node, stats in result.node_stats.items():
+            assert 0 <= stats["occupancy_hwm"] <= scheme.capacity_for(node)
+
+    def test_eviction_events_match_registry(self, instrumented):
+        result, _, _, events = instrumented
+        summary = summarize_trace_events(events)
+        registry_evictions = {
+            node: stats["evictions"]
+            for node, stats in result.node_stats.items()
+            if stats["evictions"]
+        }
+        assert summary.evictions_by_node == registry_evictions
+        freed = {
+            node: stats["evicted_bytes"]
+            for node, stats in result.node_stats.items()
+            if stats["evicted_bytes"]
+        }
+        assert summary.freed_bytes_by_node == freed
+
+    def test_phase_timers_cover_all_phases(self, instrumented):
+        result = instrumented[0]
+        timings = result.phase_timings
+        assert set(timings) >= {
+            PHASE_ROUTING,
+            PHASE_SCHEME,
+            PHASE_DP_SOLVE,
+            PHASE_VICTIM_SELECT,
+        }
+        for phase in (PHASE_ROUTING, PHASE_SCHEME):
+            assert timings[phase]["calls"] == 2_000
+            assert timings[phase]["seconds"] > 0
+        # DP solving is a strict sub-phase of scheme processing.
+        assert (
+            timings[PHASE_DP_SOLVE]["seconds"]
+            < timings[PHASE_SCHEME]["seconds"]
+        )
+
+    def test_periodic_snapshots_taken(self, instrumented, setup):
+        _, trace, _ = setup
+        _, _, instruments, events = instrumented
+        expected = len(trace) // 500
+        assert len(instruments.registry.snapshots) == expected
+        snapshot_events = [e for e in events if e["kind"] == "snapshot"]
+        assert len(snapshot_events) == expected
+        assert snapshot_events[0]["request_index"] == 500
+        # Counters are monotone across snapshots.
+        first = instruments.registry.snapshots[0]["nodes"]
+        last = instruments.registry.snapshots[-1]["nodes"]
+        for node, stats in first.items():
+            assert last[node]["misses"] >= stats["misses"]
+
+
+class TestRunnerIntegration:
+    def test_run_grid_node_stats_roundtrip(self, setup, tmp_path):
+        arch, trace, catalog = setup
+        config = SimulationConfig(relative_cache_size=0.02)
+        tasks = [GridTask(scheme=name, config=config) for name in ("lru", "lnc-r")]
+        ckpt = tmp_path / "grid.jsonl"
+        result = run_grid(
+            arch, trace, catalog, tasks, checkpoint_path=ckpt, node_stats=True
+        )
+        for record in result.records:
+            assert record.node_stats
+            assert all(isinstance(k, str) for k in record.node_stats)
+            assert sum(s["misses"] for s in record.node_stats.values()) > 0
+        # Resume reuses the checkpointed snapshots verbatim.
+        resumed = run_grid(
+            arch,
+            trace,
+            catalog,
+            tasks,
+            checkpoint_path=ckpt,
+            resume=True,
+            node_stats=True,
+        )
+        assert all(r.reused for r in resumed.records)
+        assert [r.node_stats for r in resumed.records] == [
+            r.node_stats for r in result.records
+        ]
+
+    def test_node_stats_off_by_default(self, setup):
+        arch, trace, catalog = setup
+        config = SimulationConfig(relative_cache_size=0.02)
+        result = run_grid(
+            arch, trace, catalog, [GridTask(scheme="lru", config=config)]
+        )
+        assert result.records[0].node_stats is None

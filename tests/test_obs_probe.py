@@ -1,0 +1,119 @@
+"""Tests for the probe: sampling determinism, filtering, trace I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import JsonlTraceWriter, read_trace_events
+from repro.obs.probe import EVENT_KINDS, Probe
+
+
+def emit_stream(probe: Probe, count: int = 200) -> list:
+    """Feed a fixed event stream through the probe; return what survived."""
+    kept = []
+    for i in range(count):
+        if probe.emit("request", i=i):
+            kept.append(i)
+    return kept
+
+
+class TestValidation:
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Probe(lambda e: None, sample_every=0)
+
+    def test_sample_rate_bounds(self):
+        with pytest.raises(ValueError):
+            Probe(lambda e: None, sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Probe(lambda e: None, sample_rate=-0.1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kinds"):
+            Probe(lambda e: None, kinds=["request", "bogus"])
+
+
+class TestSampling:
+    def test_disabled_probe_emits_nothing(self):
+        events = []
+        probe = Probe(events.append, enabled=False)
+        assert emit_stream(probe) == []
+        assert events == []
+        assert probe.emitted == 0
+
+    def test_sample_every_is_systematic(self):
+        probe = Probe(lambda e: None, sample_every=10)
+        assert emit_stream(probe, 100) == list(range(0, 100, 10))
+
+    def test_sample_every_counter_is_per_kind(self):
+        # A chatty kind must not starve a sparse one.
+        probe = Probe(lambda e: None, sample_every=2)
+        kept = []
+        for i in range(6):
+            probe.sample("dcache-eviction")  # chatty interleaver
+            if probe.sample("eviction"):
+                kept.append(i)
+        assert kept == [0, 2, 4]
+
+    def test_kinds_filter(self):
+        events = []
+        probe = Probe(events.append, kinds=["placement"])
+        assert not probe.emit("request", i=0)
+        assert probe.emit("placement", i=0)
+        assert [e["kind"] for e in events] == ["placement"]
+
+    def test_rate_sampling_deterministic_under_fixed_seed(self):
+        picks_a = emit_stream(Probe(lambda e: None, sample_rate=0.3, seed=42))
+        picks_b = emit_stream(Probe(lambda e: None, sample_rate=0.3, seed=42))
+        assert picks_a == picks_b
+        assert 0 < len(picks_a) < 200
+
+    def test_rate_sampling_differs_across_seeds(self):
+        picks_a = emit_stream(Probe(lambda e: None, sample_rate=0.3, seed=1))
+        picks_b = emit_stream(Probe(lambda e: None, sample_rate=0.3, seed=2))
+        assert picks_a != picks_b
+
+    def test_emitted_and_dropped_counters(self):
+        probe = Probe(lambda e: None, sample_every=4)
+        emit_stream(probe, 100)
+        assert probe.emitted == 25
+        assert probe.dropped == 75
+
+    def test_write_prepends_kind(self):
+        events = []
+        probe = Probe(events.append)
+        probe.write("eviction", node=3, freed=100)
+        assert events == [{"kind": "eviction", "node": 3, "freed": 100}]
+        assert list(events[0])[0] == "kind"
+
+    def test_event_vocabulary_is_closed(self):
+        assert "request" in EVENT_KINDS
+        assert "placement" in EVENT_KINDS
+        assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)
+
+
+class TestJsonlRoundTrip:
+    def test_writer_then_reader(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            probe = Probe(writer)
+            probe.emit("request", i=0, object=7)
+            probe.emit("eviction", i=1, node=2, victims=[7], freed=10)
+        assert writer.events_written == 2
+        events = list(read_trace_events(path))
+        assert [e["kind"] for e in events] == ["request", "eviction"]
+        assert events[1]["victims"] == [7]
+
+    def test_reader_kind_filter(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            for kind in ("request", "placement", "request"):
+                writer({"kind": kind})
+        events = list(read_trace_events(path, kinds=["request"]))
+        assert len(events) == 2
+
+    def test_reader_skips_truncated_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind":"request","i":0}\n{"kind":"req')
+        events = list(read_trace_events(path))
+        assert len(events) == 1

@@ -201,12 +201,13 @@ class TestSimulationEngine:
             expected.append((total, total))
         assert calls == expected
 
-    def test_progress_callback_ignored_without_interval(self, tiny_workload):
+    def test_progress_callback_without_interval_is_an_error(self, tiny_workload):
+        # A callback with progress_every == 0 used to be silently ignored;
+        # it is a configuration mistake and must be loud.
         arch, trace, catalog, cost = self._setup(tiny_workload)
         scheme = LRUEverywhereScheme(cost, capacity_bytes=50_000)
         engine = SimulationEngine(arch, cost, scheme)
-        calls = []
-        engine.run(trace, progress_callback=lambda d, t: calls.append(d))
-        assert calls == []
+        with pytest.raises(ValueError, match="progress_every"):
+            engine.run(trace, progress_callback=lambda d, t: None)
         with pytest.raises(ValueError):
             engine.run(trace, progress_every=-1)

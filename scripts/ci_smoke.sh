@@ -49,3 +49,56 @@ echo "== disabled-instrumentation overhead gate =="
 # must stay within 5% of plain engine throughput (interleaved min-of-N).
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q \
     benchmarks/test_micro_probe_overhead.py
+
+echo "== live serve/loadgen smoke (loopback TCP) =="
+# End to end through the serving layer: background `repro serve`, drive
+# part of the trace over real sockets with `repro loadgen`, scrape the
+# per-node /metrics endpoints and require the request counter to have
+# moved, then SIGTERM the server for the graceful drain-and-snapshot
+# path.  SIGTERM, not SIGINT: POSIX shells start background jobs with
+# SIGINT ignored.  Every step is bounded by `timeout` when available.
+SERVE_DIR=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -TERM "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$OBS_DIR" "$SERVE_DIR"
+}
+trap cleanup EXIT
+if command -v timeout >/dev/null 2>&1; then
+    BOUND="timeout 180"
+else
+    BOUND=""
+fi
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python -m repro serve \
+    --scheme coordinated --arch hierarchical --scale small \
+    --manifest "$SERVE_DIR/cluster.json" \
+    --snapshot "$SERVE_DIR/snapshot.json" &
+SERVE_PID=$!
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python -m repro loadgen \
+    --manifest "$SERVE_DIR/cluster.json" --mode closed --concurrency 4 \
+    --requests 2000 --wait 60 --json "$SERVE_DIR/report.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python - \
+    "$SERVE_DIR/cluster.json" <<'EOF'
+import json, sys, urllib.request
+
+manifest = json.load(open(sys.argv[1]))
+handled = 0
+for node, (host, port) in sorted(manifest["metrics"].items()):
+    body = urllib.request.urlopen(
+        f"http://{host}:{port}/metrics", timeout=10
+    ).read().decode()
+    for line in body.splitlines():
+        if line.startswith("repro_node_requests_handled_total{"):
+            handled += int(float(line.rsplit(" ", 1)[1]))
+print(f"/metrics across {len(manifest['metrics'])} nodes: "
+      f"{handled} request walks handled")
+assert handled >= 2000, f"request counter did not move: {handled}"
+EOF
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=""
+test -s "$SERVE_DIR/snapshot.json"
+echo "graceful SIGTERM shutdown wrote $SERVE_DIR/snapshot.json"

@@ -18,6 +18,13 @@ Subcommands:
 * ``trace``   -- filter / summarize a JSONL event trace saved by
   ``sim --trace-out``.
 * ``audit-selftest`` -- prove the audit layer detects seeded mutations.
+* ``serve``   -- run a topology as a live cluster of asyncio cache
+  nodes speaking the coordinated protocol over TCP, one ``/metrics``
+  endpoint per node, drain-and-snapshot on SIGINT/SIGTERM (see
+  :mod:`repro.serve` and ``docs/serving.md``).
+* ``loadgen`` -- drive a served cluster from a generated trace in
+  sequential / closed-loop / open-loop mode and report modelled metrics
+  plus wall-clock latency percentiles.
 
 Examples::
 
@@ -29,6 +36,9 @@ Examples::
     cascade-repro sim --schemes coordinated --trace-out run.jsonl \
         --node-stats --timers
     cascade-repro trace run.jsonl --kinds placement,eviction
+    cascade-repro serve --scheme coordinated --manifest cluster.json &
+    cascade-repro loadgen --manifest cluster.json --mode closed \
+        --concurrency 8
 """
 
 from __future__ import annotations
@@ -584,11 +594,183 @@ def _cmd_audit_selftest(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_manifest(args: argparse.Namespace, addresses, metrics) -> dict:
+    """Everything a remote load generator needs to target this cluster.
+
+    Topology, attachment and routing are deterministic functions of
+    (arch, scale, seed, theta), so shipping those parameters lets the
+    client rebuild the exact architecture instead of serializing it.
+    """
+    return {
+        "scheme": args.scheme,
+        "arch": args.arch,
+        "scale": args.scale,
+        "seed": args.seed,
+        "theta": args.theta,
+        "relative_cache_size": args.size,
+        "dcache_ratio": args.dcache_ratio,
+        "warmup_fraction": args.warmup,
+        "nodes": {str(n): list(a) for n, a in sorted(addresses.items())},
+        "metrics": {str(n): list(a) for n, a in sorted(metrics.items())},
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from repro.serve import Cluster, TCPTransport
+    from repro.sim.config import SimulationConfig
+
+    if args.scheme not in SCHEME_NAMES:
+        print(f"unknown scheme {args.scheme!r}", file=sys.stderr)
+        return 2
+    preset = _preset(args)
+    generator = preset.generator()
+    arch = build_architecture(args.arch, preset.workload, seed=args.seed)
+    config = SimulationConfig(
+        relative_cache_size=args.size,
+        dcache_ratio=args.dcache_ratio,
+        warmup_fraction=args.warmup,
+    )
+
+    async def run() -> None:
+        cluster = Cluster.build(
+            arch,
+            generator.catalog,
+            args.scheme,
+            config=config,
+            transport=TCPTransport(host=args.host),
+        )
+        addresses = await cluster.start()
+        metrics = {}
+        if not args.no_metrics:
+            metrics = await cluster.enable_metrics(host=args.host)
+        manifest = _serve_manifest(args, addresses, metrics)
+        Path(args.manifest).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"serving {len(addresses)} nodes: {args.scheme} on {args.arch} "
+            f"({preset.name} scale, seed {args.seed})",
+            flush=True,
+        )
+        print(f"manifest -> {args.manifest}", flush=True)
+        snapshot_path = Path(args.snapshot) if args.snapshot else None
+        await cluster.serve_forever(snapshot_path=snapshot_path)
+        if snapshot_path is not None:
+            print(f"drained; state snapshot -> {snapshot_path}")
+
+    asyncio.run(run())
+    return 0
+
+
+def _load_manifest(path: str, wait: float) -> dict:
+    """Read a serve manifest, waiting for the server to publish it."""
+    import json
+    import time
+    from pathlib import Path
+
+    deadline = time.monotonic() + wait
+    manifest_path = Path(path)
+    while True:
+        if manifest_path.exists():
+            text = manifest_path.read_text()
+            if text.strip():  # fully written (serve writes atomically enough)
+                return json.loads(text)
+        if time.monotonic() >= deadline:
+            raise FileNotFoundError(
+                f"manifest {path} not published within {wait:.0f}s "
+                "(is `repro serve` running?)"
+            )
+        time.sleep(0.1)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.costs.model import LatencyCostModel
+    from repro.serve import ClusterClient, LoadGenerator, TCPTransport
+    from repro.workload.trace import Trace
+
+    try:
+        manifest = _load_manifest(args.manifest, args.wait)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    scale = _SCALES[manifest["scale"]].with_seed(manifest["seed"])
+    if manifest.get("theta") is not None:
+        scale = scale.with_theta(manifest["theta"])
+    generator = scale.generator()
+    trace = generator.generate()
+    if args.requests and args.requests < len(trace):
+        trace = Trace(trace.records[: args.requests])
+    arch = build_architecture(
+        manifest["arch"], scale.workload, seed=manifest["seed"]
+    )
+    cost_model = LatencyCostModel(arch.network, generator.catalog.mean_size)
+    addresses = {
+        int(node): (host, port)
+        for node, (host, port) in manifest["nodes"].items()
+    }
+    client = ClusterClient(arch, cost_model, addresses, TCPTransport())
+    loadgen = LoadGenerator(
+        client, trace, warmup_fraction=manifest["warmup_fraction"]
+    )
+
+    async def run():
+        try:
+            return await loadgen.run(
+                mode=args.mode,
+                concurrency=args.concurrency,
+                speedup=args.speedup,
+            )
+        finally:
+            await client.close()
+
+    report = asyncio.run(run())
+    s = report.summary
+    print(
+        f"{manifest['scheme']} on {manifest['arch']}: {report.mode} mode, "
+        f"{report.requests_total} requests "
+        f"({report.requests_measured} measured)"
+    )
+    print(f"  throughput        {report.requests_per_second:8.0f} req/s")
+    print(
+        f"  wall latency      mean {report.wall_latency_mean * 1e3:.3f} ms, "
+        f"p50/p90/p99 {report.wall_latency_percentiles[0] * 1e3:.3f} / "
+        f"{report.wall_latency_percentiles[1] * 1e3:.3f} / "
+        f"{report.wall_latency_percentiles[2] * 1e3:.3f} ms"
+    )
+    print(f"  modelled latency  {s.mean_latency:.5f}")
+    print(f"  byte hit ratio    {s.byte_hit_ratio:.4f}")
+    print(f"  hit ratio         {s.hit_ratio:.4f}")
+    print(f"  mean hops         {s.mean_hops:.3f}")
+    if report.errors:
+        print(f"  errors            {report.errors}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+        print(f"  report -> {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="cascade-repro",
         description="Reproduction of coordinated cascaded-cache management "
         "(Tang & Chanson, ICDE 2003)",
+    )
+    parser.add_argument(
+        "--version",
+        "-V",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -808,6 +990,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="prove the audit layer detects seeded mutations",
     )
     selftest.set_defaults(func=_cmd_audit_selftest)
+
+    serve = sub.add_parser(
+        "serve", help="run a topology as a live TCP cluster of cache nodes"
+    )
+    _add_common(serve)
+    serve.add_argument(
+        "--scheme", default="coordinated", help="caching scheme to serve"
+    )
+    serve.add_argument(
+        "--size", type=float, default=0.03, help="relative cache size"
+    )
+    serve.add_argument(
+        "--dcache-ratio",
+        type=float,
+        default=3.0,
+        help="d-cache size as a multiple of the main cache's object count",
+    )
+    serve.add_argument(
+        "--warmup",
+        type=float,
+        default=0.5,
+        help="warmup fraction recorded in the manifest for load generators",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address for all nodes"
+    )
+    serve.add_argument(
+        "--manifest",
+        default="cluster.json",
+        help="write node/metrics addresses to this JSON file",
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help="write a cluster state snapshot here on graceful shutdown",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="do not start the per-node /metrics HTTP endpoints",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a served cluster from a generated trace"
+    )
+    loadgen.add_argument(
+        "--manifest",
+        default="cluster.json",
+        help="manifest JSON written by `serve`",
+    )
+    loadgen.add_argument(
+        "--mode",
+        choices=("sequential", "closed", "open"),
+        default="closed",
+        help="driving mode (sequential replays in exact trace order)",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="closed-loop worker count",
+    )
+    loadgen.add_argument(
+        "--speedup",
+        type=float,
+        default=1000.0,
+        help="open-loop trace time compression factor",
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=0,
+        help="truncate the trace to its first N requests (0 = full trace)",
+    )
+    loadgen.add_argument(
+        "--wait",
+        type=float,
+        default=10.0,
+        help="seconds to wait for the manifest to appear",
+    )
+    loadgen.add_argument(
+        "--json", default=None, help="also write the report as JSON here"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     return parser
 

@@ -79,6 +79,40 @@ class CoordinatedScheme(DescriptorSchemeBase):
 
     # -- protocol phases -------------------------------------------------------
 
+    def lookup_step(
+        self, node: int, object_id: int, size: int, now: float
+    ) -> Tuple[bool, Optional[NodeReport]]:
+        """One upstream stop: local lookup plus the piggybacked report.
+
+        A hit touches recency and ends the walk (no report -- the serving
+        node contributes nothing to its own candidate set); a miss
+        records the reference and returns the node's ``(f_i, m_i, l_i)``
+        report, or the "no descriptor" tag when the object is unknown to
+        both the main cache and the d-cache.
+        """
+        state = self.node_state(node)
+        if object_id in state.cache:
+            state.cache.record_access(object_id, now)
+            return True, None
+        descriptor = state.record_request(object_id, now)
+        if descriptor is None:
+            report = NodeReport(
+                node=node,
+                frequency=0.0,
+                miss_penalty=0.0,
+                cost_loss=None,
+                has_descriptor=False,
+            )
+        else:
+            report = NodeReport(
+                node=node,
+                frequency=descriptor.frequency(now),
+                miss_penalty=descriptor.miss_penalty,
+                cost_loss=state.cache.cost_loss(object_id, size, now),
+                has_descriptor=True,
+            )
+        return False, report
+
     def _upstream_walk(
         self, path: Sequence[int], object_id: int, size: int, now: float
     ) -> Tuple[int, RequestEnvelope]:
@@ -86,27 +120,9 @@ class CoordinatedScheme(DescriptorSchemeBase):
         envelope = RequestEnvelope(object_id)
         last = len(path) - 1
         for i in range(last):
-            state = self.node_state(path[i])
-            if object_id in state.cache:
-                state.cache.record_access(object_id, now)
+            hit, report = self.lookup_step(path[i], object_id, size, now)
+            if hit:
                 return i, envelope
-            descriptor = state.record_request(object_id, now)
-            if descriptor is None:
-                report = NodeReport(
-                    node=path[i],
-                    frequency=0.0,
-                    miss_penalty=0.0,
-                    cost_loss=None,
-                    has_descriptor=False,
-                )
-            else:
-                report = NodeReport(
-                    node=path[i],
-                    frequency=descriptor.frequency(now),
-                    miss_penalty=descriptor.miss_penalty,
-                    cost_loss=state.cache.cost_loss(object_id, size, now),
-                    has_descriptor=True,
-                )
             envelope.add_report(report)
         return last, envelope
 
@@ -145,6 +161,72 @@ class CoordinatedScheme(DescriptorSchemeBase):
             expected_gain=solution.gain,
         )
 
+    def decide_step(
+        self,
+        path: Sequence[int],
+        hit_index: int,
+        reports: Sequence[NodeReport],
+        object_id: int,
+        size: int,
+        now: float,
+    ) -> dict:
+        """Phase 2 as a node-local step: decision from piggybacked reports.
+
+        The live serving layer calls this at the node that satisfied the
+        request (a cache, or the origin attachment), handing it the
+        reports collected on the way up.  The returned decision payload
+        ships downstream with the object: the ``cache_at`` instruction
+        set, the DP's expected gain, and the cost accumulator ``acc``
+        that :meth:`deliver_step` advances hop by hop.  Protocol-overhead
+        counters are charged here, exactly as one
+        :meth:`process_request` charges them.
+        """
+        envelope = RequestEnvelope(object_id)
+        for report in reports:
+            envelope.add_report(report)
+        response = self.decide_placement(envelope, now)
+        self._count_protocol(envelope, response, hit_index)
+        return {
+            "cache_at": sorted(response.cache_at),
+            "gain": response.expected_gain,
+            "acc": 0.0,
+        }
+
+    def deliver_step(
+        self,
+        index: int,
+        path: Sequence[int],
+        decision: dict,
+        object_id: int,
+        size: int,
+        now: float,
+    ) -> Tuple[bool, int]:
+        """One downstream stop: advance the accumulator, apply the decision.
+
+        The accumulator (``decision["acc"]``) grows by the cost of the
+        link the object just traversed; an instructed node inserts the
+        copy (resetting the accumulator), every other node refreshes or
+        creates its d-cache descriptor.  Mutates ``decision`` in place --
+        it is the response message's walk state.
+        """
+        node = path[index]
+        accumulator = decision["acc"] + self.cost_model.link_cost(
+            path[index], path[index + 1], size
+        )
+        state = self.node_state(node)
+        inserted = False
+        evictions = 0
+        if node in decision["cache_at"]:
+            evicted = state.insert_object(object_id, size, accumulator, now)
+            if evicted is not None:
+                inserted = True
+                evictions = len(evicted)
+                accumulator = 0.0
+        else:
+            state.ensure_dcache_descriptor(object_id, size, accumulator, now)
+        decision["acc"] = accumulator
+        return inserted, evictions
+
     def _downstream_walk(
         self,
         path: Sequence[int],
@@ -157,20 +239,32 @@ class CoordinatedScheme(DescriptorSchemeBase):
         object_id = response.object_id
         inserted: List[int] = []
         evictions = 0
-        accumulator = 0.0
+        decision = {"cache_at": response.cache_at, "acc": 0.0}
         for i in range(hit_index - 1, -1, -1):
-            node = path[i]
-            accumulator += self.cost_model.link_cost(path[i], path[i + 1], size)
-            state = self.node_state(node)
-            if response.should_cache(node):
-                evicted = state.insert_object(object_id, size, accumulator, now)
-                if evicted is not None:
-                    inserted.append(node)
-                    evictions += len(evicted)
-                    accumulator = 0.0
-            else:
-                state.ensure_dcache_descriptor(object_id, size, accumulator, now)
+            did_insert, victims = self.deliver_step(
+                i, path, decision, object_id, size, now
+            )
+            if did_insert:
+                inserted.append(path[i])
+                evictions += victims
         return inserted, evictions
+
+    def _count_protocol(
+        self,
+        envelope: RequestEnvelope,
+        response: ResponseEnvelope,
+        hit_index: int,
+    ) -> None:
+        """Charge one request's piggyback records to the overhead counters."""
+        stats = self.protocol_stats
+        stats.requests += 1
+        stats.reports += sum(1 for r in envelope.reports if r.has_descriptor)
+        stats.no_descriptor_tags += sum(
+            1 for r in envelope.reports if not r.has_descriptor
+        )
+        stats.decisions += len(response.cache_at)
+        if hit_index > 0:
+            stats.responses_with_accumulator += 1
 
     def _observe_protocol(
         self,
@@ -226,15 +320,7 @@ class CoordinatedScheme(DescriptorSchemeBase):
         inserted, evictions = self._downstream_walk(
             path, hit_index, response, size, now
         )
-        stats = self.protocol_stats
-        stats.requests += 1
-        stats.reports += sum(1 for r in envelope.reports if r.has_descriptor)
-        stats.no_descriptor_tags += sum(
-            1 for r in envelope.reports if not r.has_descriptor
-        )
-        stats.decisions += len(response.cache_at)
-        if hit_index > 0:
-            stats.responses_with_accumulator += 1
+        self._count_protocol(envelope, response, hit_index)
         instruments = self._instruments
         if instruments is not None:
             self._observe_protocol(

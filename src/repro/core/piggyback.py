@@ -75,6 +75,31 @@ class NodeReport:
         """Whether the DP should consider caching at this node."""
         return self.has_descriptor and self.cost_loss is not None
 
+    def to_dict(self) -> dict:
+        """Compact wire form for the live protocol (JSON round-trip exact).
+
+        Short keys keep the per-hop frame close to the paper's
+        few-tens-of-bytes descriptor budget; floats survive JSON
+        unchanged (shortest-repr encoding).
+        """
+        return {
+            "n": self.node,
+            "f": self.frequency,
+            "m": self.miss_penalty,
+            "l": self.cost_loss,
+            "d": self.has_descriptor,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "NodeReport":
+        return cls(
+            node=raw["n"],
+            frequency=raw["f"],
+            miss_penalty=raw["m"],
+            cost_loss=raw["l"],
+            has_descriptor=raw["d"],
+        )
+
 
 @dataclass
 class RequestEnvelope:

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.base import Cache
+from repro.cache.base import Cache, CacheTooSmallError
+from repro.cache.descriptors import ObjectDescriptor
 from repro.costs.model import CostModel
 
 
@@ -171,6 +172,128 @@ class CachingScheme(abc.ABC):
             inserted=list(inserted),
             gain=gain,
         )
+
+    # -- per-node protocol steps ---------------------------------------------
+    #
+    # The live serving layer (:mod:`repro.serve`) runs every cache node as
+    # its own server, so request handling must decompose into node-local
+    # steps: an upstream *lookup* at each node the request passes, one
+    # placement *decision* at the serving node, and a downstream *deliver*
+    # step at each node the response passes.  The defaults below cover the
+    # walk-and-insert family (LRU, LFU, GDS, MODULO, admission-LRU) through
+    # two small hooks -- :meth:`_placement_indices` (which on-path nodes
+    # should store a copy) and :meth:`_insert_at` (how one node inserts) --
+    # the same hooks ``process_request`` uses, so the simulated and the
+    # served protocol cannot drift apart.  Schemes that piggyback state on
+    # the request (the coordinated scheme) override the steps wholesale.
+    #
+    # Contract: running, for one request,
+    #
+    #   ``lookup_step`` on ``path[0..k]`` until the first hit ``k``,
+    #   ``decide_step`` at ``path[k]`` with the reports collected so far,
+    #   ``deliver_step`` on ``path[k-1], ..., path[0]`` (mutating the
+    #   decision in place where the scheme carries response state),
+    #
+    # must mutate per-node cache state exactly as one
+    # :meth:`process_request` call for the same request does.  The
+    # equivalence is pinned by the simulator-vs-cluster differential
+    # oracle in ``tests/test_serve_cluster.py``.
+
+    def lookup_step(
+        self, node: int, object_id: int, size: int, now: float
+    ) -> Tuple[bool, Optional[object]]:
+        """Upstream step at one on-path cache node.
+
+        Performs the node-local lookup plus whatever bookkeeping the
+        scheme does while a request passes (recency touches, d-cache
+        reference counting).  Returns ``(hit, report)`` where ``report``
+        is the scheme's piggyback contribution for the request message
+        (``None`` for schemes that piggyback nothing).
+        """
+        return self.cache_at(node).access(object_id, now) is not None, None
+
+    def decide_step(
+        self,
+        path: Sequence[int],
+        hit_index: int,
+        reports: Sequence[object],
+        object_id: int,
+        size: int,
+        now: float,
+    ) -> dict:
+        """Placement decision at the serving node (or the origin).
+
+        ``reports`` holds the piggybacked per-node reports collected on
+        the upstream walk, in travel order.  Returns a JSON-able decision
+        payload shipped back with the object; the base implementation
+        instructs every node :meth:`_placement_indices` selects.
+        """
+        return {
+            "cache_at": [path[i] for i in self._placement_indices(path, hit_index)]
+        }
+
+    def deliver_step(
+        self,
+        index: int,
+        path: Sequence[int],
+        decision: dict,
+        object_id: int,
+        size: int,
+        now: float,
+    ) -> Tuple[bool, int]:
+        """Response step at ``path[index]`` (strictly below the serving node).
+
+        Applies the shipped placement decision at one node; returns
+        ``(inserted, evictions)``.  Schemes carrying response-path state
+        (the coordinated cost accumulator) mutate ``decision`` in place.
+        """
+        node = path[index]
+        if node not in decision["cache_at"]:
+            return False, 0
+        if not self._admit(node, object_id):
+            return False, 0
+        evicted = self._insert_at(index, path, object_id, size, now)
+        if evicted is None:
+            return False, 0
+        return True, len(evicted)
+
+    def invalidate_step(self, node: int, object_id: int) -> int:
+        """Drop one node's copy of an object (push invalidation).
+
+        The per-node split of :meth:`invalidate_object`; returns the
+        number of copies removed (0 or 1).
+        """
+        cache = self._caches.get(node)
+        if cache is not None and cache.remove(object_id) is not None:
+            return 1
+        return 0
+
+    # -- placement/insertion hooks shared by both request paths --------------
+
+    def _placement_indices(
+        self, path: Sequence[int], hit_index: int
+    ) -> List[int]:
+        """Path indices (strictly below the serving node) that store a copy."""
+        return list(range(hit_index))
+
+    def _admit(self, node: int, object_id: int) -> bool:
+        """Admission filter hook; the default admits everything."""
+        return True
+
+    def _insert_at(
+        self, index: int, path: Sequence[int], object_id: int, size: int, now: float
+    ) -> Optional[List]:
+        """Insert a copy at ``path[index]``; ``None`` when the cache refuses.
+
+        Returns the (possibly empty) list of evicted entries otherwise.
+        The default is the LRU-family insertion: a fresh descriptor, no
+        miss-penalty bookkeeping.
+        """
+        cache = self.cache_at(path[index])
+        try:
+            return cache.insert(ObjectDescriptor(object_id, size), now)
+        except CacheTooSmallError:
+            return None
 
     def cache_at(self, node: int) -> Cache:
         """The node's cache, created on first use."""

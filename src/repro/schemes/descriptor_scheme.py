@@ -82,6 +82,17 @@ class DescriptorSchemeBase(CachingScheme):
                 removed += 1
         return removed
 
+    def invalidate_step(self, node: int, object_id: int) -> int:
+        """Per-node invalidation: the dropped copy's descriptor survives."""
+        state = self._nodes.get(node)
+        if state is None:
+            return 0
+        entry = state.cache.remove(object_id)
+        if entry is None:
+            return 0
+        state.dcache.insert(entry.descriptor)
+        return 1
+
     def check_invariants(self) -> None:
         for state in self._nodes.values():
             state.check_invariants()

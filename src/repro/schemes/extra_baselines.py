@@ -56,6 +56,21 @@ class GDSScheme(CachingScheme):
     def _new_cache(self, node: int) -> Cache:
         return GDSCache(self.capacity_for(node), self.popularity_aware)
 
+    def _insert_at(
+        self, index: int, path: Sequence[int], object_id: int, size: int, now: float
+    ):
+        """GDS insertion: cost = immediate upstream link, reference recorded."""
+        cache = self.cache_at(path[index])
+        upstream_cost = self.cost_model.link_cost(
+            path[index], path[index + 1], size
+        )
+        descriptor = ObjectDescriptor(object_id, size, miss_penalty=upstream_cost)
+        descriptor.record_access(now)
+        try:
+            return cache.insert(descriptor, now)
+        except CacheTooSmallError:
+            return None
+
     def process_request(
         self, path: Sequence[int], object_id: int, size: int, now: float
     ) -> RequestOutcome:
@@ -63,18 +78,10 @@ class GDSScheme(CachingScheme):
         inserted: List[int] = []
         evictions = 0
         for i in range(hit_index):
-            node = path[i]
-            cache = self.cache_at(node)
-            upstream_cost = self.cost_model.link_cost(path[i], path[i + 1], size)
-            descriptor = ObjectDescriptor(
-                object_id, size, miss_penalty=upstream_cost
-            )
-            descriptor.record_access(now)
-            try:
-                evicted = cache.insert(descriptor, now)
-            except CacheTooSmallError:
+            evicted = self._insert_at(i, path, object_id, size, now)
+            if evicted is None:
                 continue
-            inserted.append(node)
+            inserted.append(path[i])
             evictions += len(evicted)
         if self._instruments is not None and hit_index > 0:
             chosen = [path[i] for i in range(hit_index)]
@@ -122,6 +129,12 @@ class AdmissionLRUScheme(CachingScheme):
             history.popitem(last=False)
         return False
 
+    # The admission hook doubles as the live deliver-step filter: history
+    # is node-local, so checking it at delivery time (response unwinding
+    # through the node) is state-equivalent to the simulator's ascending
+    # placement loop.
+    _admit = _seen_before
+
     def process_request(
         self, path: Sequence[int], object_id: int, size: int, now: float
     ) -> RequestOutcome:
@@ -131,13 +144,11 @@ class AdmissionLRUScheme(CachingScheme):
         evictions = 0
         for i in range(hit_index):
             node = path[i]
-            if not self._seen_before(node, object_id):
+            if not self._admit(node, object_id):
                 continue  # admission denied on first sighting
             admitted.append(node)
-            cache = self.cache_at(node)
-            try:
-                evicted = cache.insert(ObjectDescriptor(object_id, size), now)
-            except CacheTooSmallError:
+            evicted = self._insert_at(i, path, object_id, size, now)
+            if evicted is None:
                 continue
             inserted.append(node)
             evictions += len(evicted)

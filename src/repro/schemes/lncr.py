@@ -22,6 +22,28 @@ class LNCRScheme(DescriptorSchemeBase):
 
     name = "lnc-r"
 
+    def lookup_step(self, node: int, object_id: int, size: int, now: float):
+        """One upstream stop: record the reference, then check for a hit.
+
+        LNC-R touches the node's descriptor (main cache or d-cache) on
+        every pass -- including at the node that turns out to serve --
+        so the reference is recorded before the hit check.
+        """
+        state = self.node_state(node)
+        state.record_request(object_id, now)
+        return object_id in state.cache, None
+
+    def _insert_at(
+        self, index: int, path: Sequence[int], object_id: int, size: int, now: float
+    ):
+        """Insert with miss penalty = cost of the immediate upstream link."""
+        upstream_cost = self.cost_model.link_cost(
+            path[index], path[index + 1], size
+        )
+        return self.node_state(path[index]).insert_object(
+            object_id, size, upstream_cost, now
+        )
+
     def process_request(
         self, path: Sequence[int], object_id: int, size: int, now: float
     ) -> RequestOutcome:
@@ -30,9 +52,8 @@ class LNCRScheme(DescriptorSchemeBase):
         last = len(path) - 1
         hit_index = last
         for i in range(last):
-            state = self.node_state(path[i])
-            state.record_request(object_id, now)
-            if object_id in state.cache:
+            hit, _ = self.lookup_step(path[i], object_id, size, now)
+            if hit:
                 hit_index = i
                 break
 
@@ -41,13 +62,10 @@ class LNCRScheme(DescriptorSchemeBase):
         inserted: List[int] = []
         evictions = 0
         for i in range(hit_index - 1, -1, -1):
-            node = path[i]
-            upstream_cost = self.cost_model.link_cost(path[i], path[i + 1], size)
-            state = self.node_state(node)
-            evicted = state.insert_object(object_id, size, upstream_cost, now)
+            evicted = self._insert_at(i, path, object_id, size, now)
             if evicted is None:
                 continue
-            inserted.append(node)
+            inserted.append(path[i])
             evictions += len(evicted)
         if self._instruments is not None and hit_index > 0:
             chosen = [path[i] for i in range(hit_index)]

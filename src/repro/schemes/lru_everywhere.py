@@ -10,25 +10,24 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.cache.base import Cache, CacheTooSmallError
+from repro.cache.base import Cache
 from repro.cache.lru import LRUCache
-from repro.cache.descriptors import ObjectDescriptor
 from repro.schemes.base import CachingScheme, RequestOutcome
 
 
 class LRUEverywhereScheme(CachingScheme):
-    """Place at every on-path cache below the serving node; LRU replacement."""
+    """Place at every on-path cache below the serving node; LRU replacement.
+
+    Placement (:meth:`_placement_indices`, everything below the hit) and
+    insertion (:meth:`_insert_at`, fresh-descriptor LRU insert) are the
+    base-class hooks, so the per-node protocol steps of the live serving
+    layer replay exactly this scheme.
+    """
 
     name = "lru"
 
     def _new_cache(self, node: int) -> Cache:
         return LRUCache(self.capacity_for(node))
-
-    def _placement_indices(
-        self, path: Sequence[int], hit_index: int
-    ) -> List[int]:
-        """Path indices (strictly below the serving node) that store a copy."""
-        return list(range(hit_index))
 
     def process_request(
         self, path: Sequence[int], object_id: int, size: int, now: float
@@ -38,13 +37,10 @@ class LRUEverywhereScheme(CachingScheme):
         evictions = 0
         placement = self._placement_indices(path, hit_index)
         for i in placement:
-            node = path[i]
-            cache = self.cache_at(node)
-            try:
-                evicted = cache.insert(ObjectDescriptor(object_id, size), now)
-            except CacheTooSmallError:
+            evicted = self._insert_at(i, path, object_id, size, now)
+            if evicted is None:
                 continue
-            inserted.append(node)
+            inserted.append(path[i])
             evictions += len(evicted)
         if self._instruments is not None and placement:
             chosen = [path[i] for i in placement]

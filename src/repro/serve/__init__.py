@@ -1,0 +1,50 @@
+"""Live serving of the coordinated cascaded-cache protocol.
+
+Where :mod:`repro.sim` *replays* a trace against one in-process scheme
+object, :mod:`repro.serve` *runs* the same schemes as a cluster of
+asyncio cache-node servers speaking the paper's protocol over real
+transports -- piggybacked upstream reports, a shipped placement
+decision, and the downstream cost accumulator, all as wire frames.
+
+The layer is built so that serving can never drift from the simulator:
+nodes call the very same per-node protocol steps
+(:meth:`~repro.schemes.base.CachingScheme.lookup_step` /
+``decide_step`` / ``deliver_step``) the simulator's
+``process_request`` is built from, and a differential oracle
+(``tests/test_serve_cluster.py``) pins an in-process replay to the
+simulator's metrics bit-for-bit.
+
+See ``docs/serving.md`` for the wire protocol and deployment notes.
+"""
+
+from repro.serve.cluster import Cluster
+from repro.serve.loadgen import ClusterClient, LoadGenerator, LoadReport
+from repro.serve.metrics_http import MetricsServer
+from repro.serve.node import CacheNode
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    RemoteProtocolError,
+    decode_payload,
+    encode_frame,
+)
+from repro.serve.transport import InProcessTransport, TCPTransport, Transport
+
+__all__ = [
+    "CacheNode",
+    "Cluster",
+    "ClusterClient",
+    "FrameDecoder",
+    "InProcessTransport",
+    "LoadGenerator",
+    "LoadReport",
+    "MAX_FRAME_BYTES",
+    "MetricsServer",
+    "ProtocolError",
+    "RemoteProtocolError",
+    "TCPTransport",
+    "Transport",
+    "decode_payload",
+    "encode_frame",
+]

@@ -1,0 +1,262 @@
+"""The cluster orchestrator: a live topology of cache nodes.
+
+A :class:`Cluster` turns an existing :class:`~repro.sim.architecture.
+Architecture` into a running cascade: one :class:`~repro.serve.node.
+CacheNode` per network node, each owning a **private** instance of the
+configured scheme (so only that node's caches ever materialize), wired
+to its upstream peers over a pluggable :class:`~repro.serve.transport.
+Transport`.  Parent links follow the architecture's distribution trees:
+a request entering at a client's attachment node walks exactly the
+delivery path the simulator would route, because every node resolves
+paths from the same shared routing table.
+
+The orchestrator also provides the control plane:
+
+* ``invalidate`` -- push-invalidate one object across all nodes;
+* ``stats_snapshot`` -- the merged per-node counter registry;
+* ``enable_metrics`` -- one scrape endpoint per node
+  (:class:`~repro.serve.metrics_http.MetricsServer`);
+* ``stop`` -- graceful drain (waits for in-flight walks) and an optional
+  state snapshot on the way down;
+* ``serve_forever`` -- run until SIGINT/SIGTERM, then drain-and-snapshot.
+
+:meth:`Cluster.build` derives the scheme configuration from a catalog
+and :class:`~repro.sim.config.SimulationConfig` exactly as the
+experiment runner's ``execute_point`` does, which is what lets the
+differential oracle compare a live replay against the simulator
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal as signal_module
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.costs.model import CostModel, LatencyCostModel
+from repro.schemes.base import CachingScheme
+from repro.serve.metrics_http import MetricsServer
+from repro.serve.node import CacheNode
+from repro.serve.protocol import MSG_INV
+from repro.serve.transport import InProcessTransport, Transport
+from repro.sim.architecture import Architecture
+from repro.sim.config import SimulationConfig
+from repro.sim.factory import build_scheme
+from repro.workload.catalog import ObjectCatalog
+
+SchemeFactory = Callable[[], CachingScheme]
+
+
+class Cluster:
+    """A live cascade of cache nodes over one architecture."""
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        cost_model: CostModel,
+        scheme_factory: SchemeFactory,
+        transport: Optional[Transport] = None,
+        scheme_name: str = "",
+    ) -> None:
+        self.architecture = architecture
+        self.cost_model = cost_model
+        self.scheme_factory = scheme_factory
+        self.transport = transport if transport is not None else InProcessTransport()
+        self.scheme_name = scheme_name
+        self.nodes: Dict[int, CacheNode] = {}
+        self.addresses: Dict[int, object] = {}
+        self.metrics_servers: Dict[int, MetricsServer] = {}
+        self._started = False
+
+    @classmethod
+    def build(
+        cls,
+        architecture: Architecture,
+        catalog: ObjectCatalog,
+        scheme_name: str,
+        config: Optional[SimulationConfig] = None,
+        transport: Optional[Transport] = None,
+        **params,
+    ) -> "Cluster":
+        """Derive per-node schemes exactly as the experiment runner does.
+
+        Every node gets a fresh scheme instance built from the same
+        ``(cost model, capacity, d-cache entries, params)`` tuple the
+        simulator's ``execute_point`` would hand a single shared
+        instance; the cluster's distribution is purely an ownership
+        split, never a configuration change.
+        """
+        config = config if config is not None else SimulationConfig()
+        cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
+        capacity = config.capacity_bytes(catalog.total_bytes)
+        dcache_entries = config.dcache_entries(
+            catalog.total_bytes, catalog.mean_size
+        )
+        return cls(
+            architecture,
+            cost_model,
+            lambda: build_scheme(
+                scheme_name, cost_model, capacity, dcache_entries, **params
+            ),
+            transport=transport,
+            scheme_name=scheme_name,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Dict[int, object]:
+        """Instantiate and serve every node; returns the address map."""
+        if self._started:
+            raise RuntimeError("cluster already started")
+        for node_id in sorted(self.architecture.network.nodes()):
+            node = CacheNode(
+                node_id,
+                self.scheme_factory(),
+                self.architecture.request_path,
+                self._forward,
+            )
+            self.nodes[node_id] = node
+            self.addresses[node_id] = await self.transport.start_node(
+                node_id, node.handle
+            )
+        self._started = True
+        return dict(self.addresses)
+
+    async def _forward(self, node_id: int, message: dict) -> dict:
+        return await self.transport.call(self.addresses[node_id], message)
+
+    def ingress_address(self, client_id: int):
+        """The address a given client sends its ``get`` frames to."""
+        return self.addresses[self.architecture.client_nodes[client_id]]
+
+    async def enable_metrics(
+        self, host: str = "127.0.0.1", base_port: int = 0
+    ) -> Dict[int, Tuple[str, int]]:
+        """Start one ``/metrics`` endpoint per node; returns their addresses.
+
+        With ``base_port=0`` every endpoint gets an OS-assigned port;
+        otherwise node ``i`` (in sorted order) listens on
+        ``base_port + i``.
+        """
+        bound: Dict[int, Tuple[str, int]] = {}
+        for offset, node_id in enumerate(sorted(self.nodes)):
+            port = 0 if base_port == 0 else base_port + offset
+            node = self.nodes[node_id]
+            server = MetricsServer(
+                node.registry,
+                host=host,
+                port=port,
+                extra_text=self._requests_handled_text(node),
+            )
+            self.metrics_servers[node_id] = server
+            bound[node_id] = await server.start()
+        return bound
+
+    @staticmethod
+    def _requests_handled_text(node: CacheNode):
+        """Scrape text for the one counter the registry does not carry."""
+
+        def render() -> str:
+            return (
+                "# HELP repro_node_requests_handled_total "
+                "request walks handled by this node\n"
+                "# TYPE repro_node_requests_handled_total counter\n"
+                f'repro_node_requests_handled_total{{node="{node.node_id}"}} '
+                f"{node.requests_handled}\n"
+            )
+
+        return render
+
+    async def drain(self, timeout: float = 10.0) -> bool:
+        """Wait until no node has an in-flight request walk."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while any(node.inflight for node in self.nodes.values()):
+            if asyncio.get_running_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
+    def snapshot(self) -> dict:
+        """Point-in-time cluster state: per-node counters and cache fill."""
+        return {
+            "scheme": self.scheme_name,
+            "architecture": self.architecture.name,
+            "nodes": {
+                str(node_id): {
+                    "requests_handled": node.requests_handled,
+                    "cached_bytes": node.scheme.total_cached_bytes(),
+                    "stats": node.registry.snapshot().get(node_id, {}),
+                }
+                for node_id, node in sorted(self.nodes.items())
+            },
+        }
+
+    async def stop(
+        self,
+        drain: bool = True,
+        snapshot_path: Optional[Path] = None,
+        drain_timeout: float = 10.0,
+    ) -> Optional[dict]:
+        """Graceful shutdown: drain in-flight walks, snapshot, tear down."""
+        snap = None
+        if self._started:
+            if drain:
+                await self.drain(timeout=drain_timeout)
+            snap = self.snapshot()
+            if snapshot_path is not None:
+                Path(snapshot_path).write_text(
+                    json.dumps(snap, indent=2, sort_keys=True) + "\n"
+                )
+        for server in self.metrics_servers.values():
+            await server.close()
+        self.metrics_servers.clear()
+        await self.transport.close()
+        self._started = False
+        return snap
+
+    async def serve_forever(
+        self,
+        snapshot_path: Optional[Path] = None,
+        signals: Sequence[int] = (
+            signal_module.SIGINT,
+            signal_module.SIGTERM,
+        ),
+    ) -> Optional[dict]:
+        """Serve until a shutdown signal, then drain-and-snapshot."""
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: List[int] = []
+        for sig in signals:
+            try:
+                loop.add_signal_handler(sig, shutdown.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without signal support: stop() by hand
+        try:
+            await shutdown.wait()
+        finally:
+            for sig in installed:
+                with contextlib.suppress(Exception):
+                    loop.remove_signal_handler(sig)
+        return await self.stop(drain=True, snapshot_path=snapshot_path)
+
+    # -- control plane -------------------------------------------------------
+
+    async def invalidate(self, object_id: int) -> int:
+        """Push-invalidate one object everywhere; returns copies removed.
+
+        Broadcasts in sorted node order -- the same order the simulator's
+        ``invalidate_object`` sweeps a shared scheme's nodes -- though
+        per-node removals are independent, so order never changes counts.
+        """
+        removed = 0
+        for node_id in sorted(self.addresses):
+            reply = await self.transport.call(
+                self.addresses[node_id],
+                {"type": MSG_INV, "object_id": object_id},
+            )
+            removed += reply["removed"]
+        return removed

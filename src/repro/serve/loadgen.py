@@ -1,0 +1,361 @@
+"""Async load generation against a live cluster.
+
+Drives any :class:`~repro.workload.trace.Trace` through a running
+:class:`~repro.serve.cluster.Cluster` and reports two views of the run:
+
+* the **modelled** metrics -- every ``resp`` frame is folded back into a
+  :class:`~repro.metrics.collector.MetricsCollector` with the paper's
+  cost-model latency, so a live replay yields the same
+  :class:`~repro.metrics.collector.MetricsSummary` shape the simulator
+  produces (and, in sequential mode, the identical summary);
+* the **observed** wall-clock latencies of the protocol round trips,
+  summarized as mean/p50/p90/p99 -- the live-serving numbers the
+  simulator cannot produce.
+
+Three driving modes:
+
+* ``sequential`` -- one request at a time, in trace order, interleaving
+  the update stream exactly as the simulator's engine does.  This is the
+  differential-oracle mode: over the in-process transport it reproduces
+  the engine's summary bit-for-bit.
+* ``closed`` -- ``concurrency`` workers, each with one outstanding
+  request; a worker sends its next request the moment its previous one
+  completes.  Completion order is nondeterministic, so outcomes are
+  folded into the collector in trace-index order afterwards, keeping the
+  modelled summary deterministic for a given outcome set.
+* ``open`` -- requests fire at their trace timestamps (compressed by
+  ``speedup``) regardless of completions, measuring behavior under an
+  offered load rather than a load ceiling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.metrics.collector import MetricsCollector, MetricsSummary
+from repro.schemes.base import RequestOutcome
+from repro.serve.cluster import Cluster
+from repro.serve.protocol import MSG_GET, ProtocolError
+from repro.workload.trace import Trace, TraceRecord
+from repro.workload.updates import UpdateEvent
+
+MODES = ("sequential", "closed", "open")
+
+
+class ClusterClient:
+    """Client-side view of a running cluster, e.g. from a serve manifest.
+
+    Exposes the subset of :class:`~repro.serve.cluster.Cluster` the
+    :class:`LoadGenerator` drives -- ingress resolution, the transport,
+    the cost model, invalidation broadcast -- without owning any node,
+    so a load generator in one process can target ``repro serve`` nodes
+    in another.  The architecture must be rebuilt from the same
+    parameters the server used (the manifest records them); attachment
+    and routing are deterministic given those parameters.
+    """
+
+    def __init__(self, architecture, cost_model, addresses, transport) -> None:
+        self.architecture = architecture
+        self.cost_model = cost_model
+        self.addresses = dict(addresses)
+        self.transport = transport
+
+    def ingress_address(self, client_id: int):
+        return self.addresses[self.architecture.client_nodes[client_id]]
+
+    async def invalidate(self, object_id: int) -> int:
+        removed = 0
+        for node_id in sorted(self.addresses):
+            reply = await self.transport.call(
+                self.addresses[node_id],
+                {"type": "inv", "object_id": object_id},
+            )
+            removed += reply["removed"]
+        return removed
+
+    async def close(self) -> None:
+        await self.transport.close()
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One load-generation run against a live cluster."""
+
+    mode: str
+    requests_total: int
+    requests_measured: int
+    summary: MetricsSummary
+    duration_seconds: float
+    requests_per_second: float
+    wall_latency_mean: float
+    wall_latency_percentiles: Tuple[float, float, float]
+    updates_applied: int = 0
+    copies_invalidated: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        s = self.summary
+        return {
+            "mode": self.mode,
+            "requests_total": self.requests_total,
+            "requests_measured": self.requests_measured,
+            "duration_seconds": self.duration_seconds,
+            "requests_per_second": self.requests_per_second,
+            "wall_latency_mean": self.wall_latency_mean,
+            "wall_latency_p50": self.wall_latency_percentiles[0],
+            "wall_latency_p90": self.wall_latency_percentiles[1],
+            "wall_latency_p99": self.wall_latency_percentiles[2],
+            "updates_applied": self.updates_applied,
+            "copies_invalidated": self.copies_invalidated,
+            "errors": self.errors,
+            "modelled": {
+                "mean_latency": s.mean_latency,
+                "mean_response_ratio": s.mean_response_ratio,
+                "byte_hit_ratio": s.byte_hit_ratio,
+                "hit_ratio": s.hit_ratio,
+                "mean_traffic_byte_hops": s.mean_traffic_byte_hops,
+                "mean_hops": s.mean_hops,
+                "mean_read_load": s.mean_read_load,
+                "mean_write_load": s.mean_write_load,
+            },
+        }
+
+
+def _percentiles(samples: Sequence[float]) -> Tuple[float, float, float]:
+    """Nearest-rank p50/p90/p99 (the collector's convention)."""
+    if not samples:
+        return (math.nan, math.nan, math.nan)
+    ordered = sorted(samples)
+    return tuple(
+        ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+        for q in (0.50, 0.90, 0.99)
+    )
+
+
+@dataclass
+class _Completed:
+    """One finished request, kept until the trace-order metrics fold."""
+
+    index: int
+    outcome: RequestOutcome
+    latency: float
+    wall_seconds: float
+
+
+class LoadGenerator:
+    """Replays a trace against a cluster in one of three driving modes."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        trace: Trace,
+        updates: Sequence[UpdateEvent] = (),
+        warmup_fraction: float = 0.5,
+    ) -> None:
+        if len(trace) == 0:
+            raise ValueError("cannot drive a cluster with an empty trace")
+        self.cluster = cluster
+        self.trace = trace
+        self.updates = list(updates)
+        self.warmup_fraction = warmup_fraction
+        self._path_cost = cluster.cost_model.path_cost
+        self._request_path = cluster.architecture.request_path
+
+    # -- one request ---------------------------------------------------------
+
+    async def _issue(self, record: TraceRecord) -> Tuple[RequestOutcome, float]:
+        """Send one ``get`` and rebuild the simulator-shape outcome."""
+        address = self.cluster.ingress_address(record.client_id)
+        started = time.perf_counter()
+        reply = await self.cluster.transport.call(
+            address,
+            {
+                "type": MSG_GET,
+                "client_id": record.client_id,
+                "server_id": record.server_id,
+                "object_id": record.object_id,
+                "size": record.size,
+                "time": record.time,
+            },
+        )
+        wall = time.perf_counter() - started
+        path = self._request_path(record.client_id, record.server_id)
+        outcome = RequestOutcome(
+            path=path,
+            hit_index=reply["hit_index"],
+            size=record.size,
+            inserted_nodes=tuple(reply["inserted"]),
+            evicted_objects=reply["evictions"],
+        )
+        return outcome, wall
+
+    def _modelled_latency(self, outcome: RequestOutcome) -> float:
+        return self._path_cost(
+            outcome.path[: outcome.hit_index + 1], outcome.size
+        )
+
+    # -- driving modes -------------------------------------------------------
+
+    async def run(
+        self,
+        mode: str = "sequential",
+        concurrency: int = 1,
+        speedup: float = 1000.0,
+        max_errors: int = 0,
+    ) -> LoadReport:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        started = time.perf_counter()
+        if mode == "sequential":
+            completed, applied, invalidated = await self._run_sequential()
+            errors = 0
+        elif mode == "closed":
+            completed, errors = await self._run_closed(concurrency, max_errors)
+            applied = invalidated = 0
+        else:
+            completed, errors = await self._run_open(speedup, max_errors)
+            applied = invalidated = 0
+        duration = time.perf_counter() - started
+        return self._report(
+            mode, completed, duration, applied, invalidated, errors
+        )
+
+    async def _run_sequential(self) -> Tuple[List[_Completed], int, int]:
+        """Trace-order replay, mirroring the simulation engine's loop.
+
+        Updates are applied the moment simulation time passes them --
+        between requests, exactly where the engine applies them -- so an
+        in-process run is step-for-step identical to the simulator.
+        """
+        completed: List[_Completed] = []
+        updates = self.updates
+        update_index = 0
+        applied = 0
+        invalidated = 0
+        for index, record in enumerate(self.trace):
+            while (
+                update_index < len(updates)
+                and updates[update_index].time <= record.time
+            ):
+                invalidated += await self.cluster.invalidate(
+                    updates[update_index].object_id
+                )
+                applied += 1
+                update_index += 1
+            outcome, wall = await self._issue(record)
+            completed.append(
+                _Completed(index, outcome, self._modelled_latency(outcome), wall)
+            )
+        return completed, applied, invalidated
+
+    async def _run_closed(
+        self, concurrency: int, max_errors: int
+    ) -> Tuple[List[_Completed], int]:
+        """Fixed worker pool, one outstanding request per worker."""
+        records = list(enumerate(self.trace))
+        cursor = 0
+        completed: List[_Completed] = []
+        errors = 0
+
+        async def worker() -> None:
+            nonlocal cursor, errors
+            while True:
+                position = cursor
+                if position >= len(records):
+                    return
+                cursor = position + 1
+                index, record = records[position]
+                try:
+                    outcome, wall = await self._issue(record)
+                except ProtocolError:
+                    errors += 1
+                    if errors > max_errors:
+                        raise
+                    continue
+                completed.append(
+                    _Completed(
+                        index, outcome, self._modelled_latency(outcome), wall
+                    )
+                )
+
+        await asyncio.gather(*(worker() for _ in range(concurrency)))
+        return completed, errors
+
+    async def _run_open(
+        self, speedup: float, max_errors: int
+    ) -> Tuple[List[_Completed], int]:
+        """Fire requests at their (compressed) trace timestamps."""
+        loop = asyncio.get_running_loop()
+        epoch = loop.time()
+        trace_start = self.trace[0].time
+        completed: List[_Completed] = []
+        errors = 0
+
+        async def fire(index: int, record: TraceRecord) -> None:
+            nonlocal errors
+            offset = (record.time - trace_start) / speedup
+            delay = epoch + offset - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            try:
+                outcome, wall = await self._issue(record)
+            except ProtocolError:
+                errors += 1
+                if errors > max_errors:
+                    raise
+                return
+            completed.append(
+                _Completed(
+                    index, outcome, self._modelled_latency(outcome), wall
+                )
+            )
+
+        await asyncio.gather(
+            *(fire(index, record) for index, record in enumerate(self.trace))
+        )
+        return completed, errors
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(
+        self,
+        mode: str,
+        completed: List[_Completed],
+        duration: float,
+        applied: int,
+        invalidated: int,
+        errors: int,
+    ) -> LoadReport:
+        """Fold completions into the paper's collector, in trace order."""
+        warmup_end, total = self.trace.split_warmup(self.warmup_fraction)
+        collector = MetricsCollector()
+        wall: List[float] = []
+        for item in sorted(completed, key=lambda c: c.index):
+            wall.append(item.wall_seconds)
+            if item.index >= warmup_end:
+                collector.record(item.outcome, item.latency)
+        return LoadReport(
+            mode=mode,
+            requests_total=total,
+            requests_measured=collector.requests,
+            summary=collector.summary(),
+            duration_seconds=duration,
+            requests_per_second=(
+                len(completed) / duration if duration > 0 else 0.0
+            ),
+            wall_latency_mean=(
+                sum(wall) / len(wall) if wall else math.nan
+            ),
+            wall_latency_percentiles=_percentiles(wall),
+            updates_applied=applied,
+            copies_invalidated=invalidated,
+            errors=errors,
+        )

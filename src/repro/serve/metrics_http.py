@@ -1,0 +1,110 @@
+"""A minimal HTTP endpoint exposing one node's live counters.
+
+Serves the node's :class:`~repro.obs.registry.StatRegistry` as
+Prometheus text (reusing :func:`repro.obs.export.prometheus_text`), so a
+live cluster can be scraped with stock tooling:
+
+* ``GET /metrics``  -- the per-node counters in text exposition format;
+* ``GET /healthz``  -- liveness (``ok``).
+
+Deliberately not a web framework: a request line, headers up to a blank
+line, one response, connection closed.  That is all a scrape needs, and
+it keeps the server dependency-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Callable, Optional, Tuple
+
+from repro.obs.registry import StatRegistry
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_LINES = 100
+
+
+class MetricsServer:
+    """One node's scrape endpoint."""
+
+    def __init__(
+        self,
+        registry: StatRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        extra_text: Optional[Callable[[], str]] = None,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.extra_text = extra_text
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve_request, host=self.host, port=self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        return self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > _MAX_REQUEST_LINE:
+                await self._respond(writer, 400, "request line too long\n")
+                return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                await self._respond(writer, 400, "malformed request\n")
+                return
+            method, target = parts[0], parts[1]
+            for _ in range(_MAX_HEADER_LINES):  # drain headers
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if method != "GET":
+                await self._respond(writer, 405, "method not allowed\n")
+            elif target == "/metrics":
+                from repro.obs.export import prometheus_text
+
+                body = prometheus_text(self.registry.snapshot())
+                if self.extra_text is not None:
+                    body += self.extra_text()
+                await self._respond(writer, 200, body)
+            elif target == "/healthz":
+                await self._respond(writer, 200, "ok\n")
+            else:
+                await self._respond(writer, 404, "not found\n")
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, body: str
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "Error")
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()

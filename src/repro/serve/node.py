@@ -1,0 +1,265 @@
+"""A live cache node: one server speaking the coordinated protocol.
+
+Each :class:`CacheNode` owns the cache state of exactly one network node
+-- a private instance of the configured scheme in which only this node's
+caches ever materialize -- and handles the per-request protocol through
+the scheme's node-local steps (:meth:`~repro.schemes.base.CachingScheme.
+lookup_step` / ``decide_step`` / ``deliver_step``):
+
+* a ``get`` arrives from a client at its attachment node, which resolves
+  the delivery path (a branch of the origin's distribution tree) and
+  starts the upstream walk;
+* a ``fwd`` walks upstream hop by hop, accumulating piggybacked node
+  reports, until a cache holds the object or the origin attachment is
+  reached; the serving node runs the placement decision;
+* the reply unwinds downstream through the same chain of in-flight
+  calls -- exactly the paper's response path -- with every node applying
+  the shipped decision (inserting, or refreshing its d-cache descriptor)
+  and advancing the cost accumulator;
+* ``inv`` drops the node's copy of an object (push invalidation).
+
+Every node carries a live :class:`~repro.obs.registry.StatRegistry` fed
+the same way the simulator's engine feeds it (lookup hits/misses, serving
+reads, insertion writes, piggyback bytes; evictions and occupancy arrive
+through the attached cache observers), so ``stats`` frames and the
+``/metrics`` endpoint expose the standard per-node counters.
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable, Optional, Sequence
+
+from repro.core.coordinated import CoordinatedScheme
+from repro.core.piggyback import (
+    ACCUMULATOR_BYTES,
+    DECISION_BYTES,
+    REPORT_BYTES,
+    TAG_BYTES,
+)
+from repro.obs.instruments import Instruments
+from repro.obs.registry import StatRegistry
+from repro.schemes.base import CachingScheme
+from repro.serve.protocol import (
+    MSG_FWD,
+    MSG_GET,
+    MSG_INV,
+    MSG_INV_OK,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESP,
+    MSG_STATS,
+    MSG_STATS_OK,
+    ProtocolError,
+)
+
+# async (node_id, message) -> reply: how a node reaches its upstream peer.
+Forwarder = Callable[[int, dict], Awaitable[dict]]
+# (client_id, server_id) -> delivery path, shared routing state.
+PathResolver = Callable[[int, int], Sequence[int]]
+
+
+class CacheNode:
+    """One network node of the live cascade."""
+
+    def __init__(
+        self,
+        node_id: int,
+        scheme: CachingScheme,
+        resolve_path: PathResolver,
+        forward: Forwarder,
+        registry: Optional[StatRegistry] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.scheme = scheme
+        self._resolve_path = resolve_path
+        self._forward = forward
+        self.registry = registry if registry is not None else StatRegistry()
+        # Cache-level events (evictions, occupancy, invalidation removals)
+        # flow through the standard observer wiring; request-level counts
+        # are fed by the handler below, mirroring the engine's feeds.
+        scheme.attach_instruments(Instruments(registry=self.registry))
+        self._coordinated = isinstance(scheme, CoordinatedScheme)
+        self.requests_handled = 0
+        self.inflight = 0
+        # Per-node monotone clock: under concurrent load generation,
+        # frames carrying older trace timestamps can arrive after newer
+        # ones, but a node's notion of "now" must never run backwards
+        # (the schemes' frequency estimators require non-decreasing
+        # reference times).  Sequential replay is strictly time-ordered,
+        # so there the clamp is an identity and cannot perturb the
+        # simulator-equivalence oracle.
+        self._clock = float("-inf")
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def handle(self, message: dict) -> dict:
+        """The transport-facing handler for every frame kind."""
+        kind = message["type"]
+        self.inflight += 1
+        try:
+            if kind == MSG_FWD:
+                return await self._handle_walk(message)
+            if kind == MSG_GET:
+                return await self._handle_get(message)
+            if kind == MSG_INV:
+                return self._handle_invalidate(message)
+            if kind == MSG_STATS:
+                return self._handle_stats()
+            if kind == MSG_PING:
+                return {"type": MSG_PONG, "node": self.node_id}
+            raise ProtocolError(f"unexpected message type {kind!r}")
+        finally:
+            self.inflight -= 1
+
+    # -- request path --------------------------------------------------------
+
+    async def _handle_get(self, message: dict) -> dict:
+        """Client entry: resolve the delivery path, start the walk."""
+        try:
+            client_id = message["client_id"]
+            server_id = message["server_id"]
+            walk = {
+                "type": MSG_FWD,
+                "object_id": message["object_id"],
+                "size": message["size"],
+                "time": message["time"],
+                "index": 0,
+                "reports": [],
+            }
+        except KeyError as missing:
+            raise ProtocolError(f"get frame missing field {missing}") from None
+        if not isinstance(walk["size"], int) or walk["size"] <= 0:
+            raise ProtocolError("object size must be a positive integer")
+        path = list(self._resolve_path(client_id, server_id))
+        if path[0] != self.node_id:
+            raise ProtocolError(
+                f"client {client_id} attaches to node {path[0]}, "
+                f"not to node {self.node_id}"
+            )
+        walk["path"] = path
+        return await self._handle_walk(walk)
+
+    async def _handle_walk(self, message: dict) -> dict:
+        """One upstream stop of the request walk (and its downstream unwind)."""
+        try:
+            path = message["path"]
+            index = message["index"]
+            object_id = message["object_id"]
+            size = message["size"]
+            now = message["time"]
+            reports = message["reports"]
+        except KeyError as missing:
+            raise ProtocolError(f"fwd frame missing field {missing}") from None
+        if not isinstance(path, list) or not 0 <= index < len(path):
+            raise ProtocolError("fwd frame carries no valid path position")
+        if path[index] != self.node_id:
+            raise ProtocolError(
+                f"misrouted frame: position {index} of {path} is not "
+                f"node {self.node_id}"
+            )
+        if now < self._clock:
+            now = self._clock
+        else:
+            self._clock = now
+        self.requests_handled += 1
+        last = len(path) - 1
+        scheme = self.scheme
+
+        if index == last:
+            # Origin attachment: the origin itself serves; decide from the
+            # piggybacked reports and start the downstream unwind.
+            decision = scheme.decide_step(
+                path, last, self._decoded_reports(reports), object_id, size, now
+            )
+            return {
+                "type": MSG_RESP,
+                "hit_index": last,
+                "decision": decision,
+                "inserted": [],
+                "evictions": 0,
+            }
+
+        hit, report = scheme.lookup_step(self.node_id, object_id, size, now)
+        stats = self.registry.node(self.node_id)
+        if hit:
+            stats.hits += 1
+            stats.bytes_read += size
+            decision = scheme.decide_step(
+                path, index, self._decoded_reports(reports), object_id, size, now
+            )
+            return {
+                "type": MSG_RESP,
+                "hit_index": index,
+                "decision": decision,
+                "inserted": [],
+                "evictions": 0,
+            }
+
+        stats.misses += 1
+        if report is not None:
+            payload = report.to_dict() if hasattr(report, "to_dict") else report
+            reports.append(payload)
+            if self._coordinated:
+                stats.piggyback_bytes += (
+                    REPORT_BYTES if payload.get("d") else TAG_BYTES
+                )
+        upstream = {
+            "type": MSG_FWD,
+            "path": path,
+            "index": index + 1,
+            "object_id": object_id,
+            "size": size,
+            "time": now,
+            "reports": reports,
+        }
+        reply = await self._forward(path[index + 1], upstream)
+        if reply.get("type") != MSG_RESP:
+            raise ProtocolError(
+                f"expected resp frame from upstream, got {reply.get('type')!r}"
+            )
+
+        # Downstream unwind: the object just crossed the link from
+        # path[index + 1]; apply the shipped decision at this node.
+        decision = reply["decision"]
+        inserted, evictions = scheme.deliver_step(
+            index, path, decision, object_id, size, now
+        )
+        if inserted:
+            reply["inserted"].append(self.node_id)
+            stats.insertions += 1
+            stats.bytes_written += size
+        reply["evictions"] += evictions
+        if self._coordinated:
+            if self.node_id in decision["cache_at"]:
+                stats.piggyback_bytes += DECISION_BYTES
+            if index == reply["hit_index"] - 1:
+                stats.piggyback_bytes += ACCUMULATOR_BYTES
+        return reply
+
+    def _decoded_reports(self, reports: list) -> list:
+        """Reports in the form the scheme's decision step expects."""
+        if not self._coordinated:
+            return reports
+        from repro.core.piggyback import NodeReport
+
+        return [NodeReport.from_dict(raw) for raw in reports]
+
+    # -- control plane -------------------------------------------------------
+
+    def _handle_invalidate(self, message: dict) -> dict:
+        try:
+            object_id = message["object_id"]
+        except KeyError as missing:
+            raise ProtocolError(f"inv frame missing field {missing}") from None
+        removed = self.scheme.invalidate_step(self.node_id, object_id)
+        return {"type": MSG_INV_OK, "node": self.node_id, "removed": removed}
+
+    def _handle_stats(self) -> dict:
+        snapshot = self.registry.snapshot().get(self.node_id, {})
+        return {
+            "type": MSG_STATS_OK,
+            "node": self.node_id,
+            "requests_handled": self.requests_handled,
+            "cached_bytes": self.scheme.total_cached_bytes(),
+            "stats": snapshot,
+        }

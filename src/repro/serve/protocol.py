@@ -1,0 +1,184 @@
+"""Wire protocol of the live cascaded-cache cluster.
+
+Every message is one *frame*: a 4-byte big-endian unsigned length
+followed by a UTF-8 JSON object with a string ``type`` field.  The frame
+kinds mirror the paper's online protocol (section 2.3):
+
+* ``get``   -- a client request, sent to the client's attachment node.
+* ``fwd``   -- the request walking upstream: carries the delivery path,
+  the walker's position, and the piggybacked per-node reports
+  (the coordinated scheme's ``(f_i, m_i, l_i)`` records).
+* ``resp``  -- the reply unwinding downstream: the serving position, the
+  shipped placement decision (with the coordinated cost accumulator,
+  advanced hop by hop), and the insertion/eviction tally.
+* ``inv``/``inv-ok``     -- push invalidation of one object.
+* ``stats``/``stats-ok`` -- a node's live counter snapshot.
+* ``ping``/``pong``      -- liveness probe.
+* ``error`` -- a structured protocol failure.
+
+JSON floats round-trip exactly (shortest-repr encoding), which is what
+lets an in-process replay of a trace through the cluster reproduce the
+simulator's metrics bit-for-bit.
+
+Framing is strict: zero-length frames, frames above
+:data:`MAX_FRAME_BYTES`, truncated frames (peer death mid-message) and
+payloads that are not JSON objects with a ``type`` all raise
+:class:`ProtocolError` -- never a hang, never silent corruption.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import List, Optional
+
+# Upper bound on one frame's payload.  Piggyback reports are a few tens
+# of bytes per hop, so real frames sit around a kilobyte; the megabyte
+# ceiling is purely a denial-of-service guard.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+HEADER_BYTES = _LENGTH.size
+
+MSG_GET = "get"
+MSG_FWD = "fwd"
+MSG_RESP = "resp"
+MSG_INV = "inv"
+MSG_INV_OK = "inv-ok"
+MSG_STATS = "stats"
+MSG_STATS_OK = "stats-ok"
+MSG_PING = "ping"
+MSG_PONG = "pong"
+MSG_ERROR = "error"
+
+
+class ProtocolError(Exception):
+    """A framing or payload violation of the cluster protocol."""
+
+
+class RemoteProtocolError(ProtocolError):
+    """The peer answered with an ``error`` frame; carries its message."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to its length-prefixed wire form."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse and validate one frame payload."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed frame payload: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    if not isinstance(message.get("type"), str):
+        raise ProtocolError("frame payload missing string 'type' field")
+    return message
+
+
+def check_length(length: int, max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Validate a decoded frame length before reading the payload."""
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    return length
+
+
+class FrameDecoder:
+    """Incremental frame decoder for byte streams fed in arbitrary chunks.
+
+    Used by the in-process transport and by tests that simulate partial
+    reads; the asyncio path uses :func:`read_message` directly.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    @property
+    def at_boundary(self) -> bool:
+        """Whether the stream can end here without truncating a frame."""
+        return not self._buffer
+
+    def feed(self, data: bytes) -> List[dict]:
+        """Consume a chunk; return every message it completes."""
+        self._buffer.extend(data)
+        messages: List[dict] = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            check_length(length, self.max_frame_bytes)
+            end = HEADER_BYTES + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[HEADER_BYTES:end])
+            del self._buffer[:end]
+            messages.append(decode_payload(payload))
+
+    def finish(self) -> None:
+        """Assert the stream ended at a frame boundary."""
+        if self._buffer:
+            raise ProtocolError(
+                f"stream ended mid-frame ({len(self._buffer)} bytes pending)"
+            )
+
+
+async def read_message(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(error.partial)} of "
+            f"{HEADER_BYTES} bytes)"
+        ) from None
+    (length,) = _LENGTH.unpack(header)
+    check_length(length, max_frame_bytes)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{length} bytes)"
+        ) from None
+    return decode_payload(payload)
+
+
+async def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame and drain the transport buffer."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+def error_message(error: Exception) -> dict:
+    """The ``error`` frame reporting a handler or protocol failure."""
+    detail = str(error) or type(error).__name__
+    return {"type": MSG_ERROR, "error": type(error).__name__, "detail": detail}
+
+
+def raise_if_error(message: dict) -> dict:
+    """Raise :class:`RemoteProtocolError` when the reply is an error frame."""
+    if message.get("type") == MSG_ERROR:
+        raise RemoteProtocolError(
+            f"{message.get('error', 'error')}: {message.get('detail', '')}"
+        )
+    return message

@@ -1,0 +1,230 @@
+"""Pluggable node-to-node transports for the live cluster.
+
+A :class:`Transport` hosts node servers and carries request/reply frames
+between them.  Two implementations:
+
+* :class:`InProcessTransport` -- every node lives in the calling event
+  loop; ``call`` runs the destination handler directly, but still pushes
+  each message through the real frame codec, so the serialization path
+  is identical to the wire.  Deterministic (no sockets, no scheduling
+  races under sequential drivers), which is what the simulator-vs-
+  cluster differential oracle runs on.
+* :class:`TCPTransport` -- every node listens on its own TCP socket and
+  frames flow over loopback or a real network.  Connections are pooled
+  per destination; a pooled connection is only ever used by one in-
+  flight call at a time, so concurrent requests never interleave frames.
+
+Handlers are ``async (dict) -> dict``.  A handler exception is converted
+into an ``error`` frame by the hosting side and surfaces at the caller
+as :class:`~repro.serve.protocol.RemoteProtocolError` -- identically on
+both transports.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import contextlib
+from typing import Awaitable, Callable, Dict, List, Tuple
+
+from repro.serve.protocol import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    error_message,
+    raise_if_error,
+    read_message,
+    write_message,
+)
+
+Handler = Callable[[dict], Awaitable[dict]]
+
+
+class Transport(abc.ABC):
+    """Hosts node servers and carries framed calls between them."""
+
+    @abc.abstractmethod
+    async def start_node(self, node_id: int, handler: Handler):
+        """Start serving one node; returns its published address."""
+
+    @abc.abstractmethod
+    async def call(self, address, message: dict) -> dict:
+        """Send one message to an address and await the reply.
+
+        Raises :class:`ProtocolError` on framing violations and
+        :class:`~repro.serve.protocol.RemoteProtocolError` when the peer
+        answers with an ``error`` frame.
+        """
+
+    @abc.abstractmethod
+    async def close(self) -> None:
+        """Stop all node servers and drop any pooled connections."""
+
+
+async def _dispatch(handler: Handler, message: dict) -> dict:
+    """Run a handler, converting failures into ``error`` frames."""
+    try:
+        return await handler(message)
+    except Exception as error:  # noqa: BLE001 - the frame carries the type
+        return error_message(error)
+
+
+class InProcessTransport(Transport):
+    """Deterministic single-process transport used by tests and examples."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[int, Handler] = {}
+
+    async def start_node(self, node_id: int, handler: Handler) -> int:
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already started")
+        self._handlers[node_id] = handler
+        return node_id
+
+    async def call(self, address: int, message: dict) -> dict:
+        handler = self._handlers.get(address)
+        if handler is None:
+            raise ProtocolError(f"no node at in-process address {address!r}")
+        # Round-trip through the real codec so in-process runs exercise
+        # exactly the bytes the TCP transport would put on the wire.
+        request = decode_payload(encode_frame(message)[HEADER_BYTES:])
+        reply = await _dispatch(handler, request)
+        return raise_if_error(
+            decode_payload(encode_frame(reply)[HEADER_BYTES:])
+        )
+
+    async def close(self) -> None:
+        self._handlers.clear()
+
+
+class TCPTransport(Transport):
+    """One listening socket per node; framed request/reply over TCP."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.max_frame_bytes = max_frame_bytes
+        self._servers: List[asyncio.base_events.Server] = []
+        self._pools: Dict[
+            Tuple[str, int],
+            List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+        ] = {}
+        self._conn_tasks: set = set()
+        self._conn_writers: set = set()
+        self._closed = False
+
+    async def start_node(
+        self, node_id: int, handler: Handler, port: int = 0
+    ) -> Tuple[str, int]:
+        """Listen for this node; ``port=0`` lets the OS assign one."""
+        server = await asyncio.start_server(
+            lambda r, w: self._serve_connection(handler, r, w),
+            host=self.host,
+            port=port,
+        )
+        self._servers.append(server)
+        bound = server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def _serve_connection(
+        self,
+        handler: Handler,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Per-connection server loop: read frame, dispatch, reply.
+
+        A framing violation from the peer is answered with one ``error``
+        frame and the connection is closed -- the stream can no longer
+        be trusted past a corrupt frame.
+        """
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                try:
+                    message = await read_message(reader, self.max_frame_bytes)
+                except ProtocolError as error:
+                    with contextlib.suppress(Exception):
+                        await write_message(writer, error_message(error))
+                    return
+                if message is None:
+                    return  # clean EOF at a frame boundary
+                reply = await _dispatch(handler, message)
+                await write_message(writer, reply)
+        except ConnectionError:
+            pass
+        finally:
+            self._conn_writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _connection(
+        self, address: Tuple[str, int]
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        pool = self._pools.get(address)
+        if pool:
+            return pool.pop()
+        host, port = address
+        return await asyncio.open_connection(host, port)
+
+    async def call(self, address, message: dict) -> dict:
+        address = (address[0], address[1])
+        reader, writer = await self._connection(address)
+        try:
+            await write_message(writer, message)
+            reply = await read_message(reader, self.max_frame_bytes)
+        except ProtocolError:
+            writer.close()
+            raise
+        except ConnectionError as error:
+            writer.close()
+            raise ProtocolError(
+                f"connection to {address[0]}:{address[1]} failed "
+                f"mid-call: {error!r}"
+            ) from error
+        if reply is None:
+            writer.close()
+            raise ProtocolError(
+                f"peer {address[0]}:{address[1]} closed the connection "
+                "before replying"
+            )
+        if self._closed:
+            writer.close()
+        else:
+            self._pools.setdefault(address, []).append((reader, writer))
+        return raise_if_error(reply)
+
+    async def close(self) -> None:
+        self._closed = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        self._servers.clear()
+        for pool in self._pools.values():
+            for _, writer in pool:
+                writer.close()
+        self._pools.clear()
+        # Drain server-side connection loops: closing their writers feeds
+        # EOF into the pending reads, so every loop exits cleanly before
+        # the event loop shuts down (no dangling tasks to cancel).
+        for writer in list(self._conn_writers):
+            writer.close()
+        tasks = [t for t in self._conn_tasks if not t.done()]
+        if tasks:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*tasks, return_exceptions=True), timeout=5.0
+                )

@@ -137,3 +137,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "modulo(r=1)" in out
         assert "modulo(r=4)" in out
+
+
+class TestVersionFlag:
+    def test_version_long(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_version_short(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["-V"])
+        assert exit_info.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestServeParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scheme == "coordinated"
+        assert args.manifest == "cluster.json"
+        assert not args.no_metrics
+
+    def test_serve_rejects_unknown_scheme(self, capsys):
+        assert main(["serve", "--scheme", "bogus"]) == 2
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.mode == "closed"
+        assert args.concurrency == 8
+
+    def test_loadgen_missing_manifest(self, capsys, tmp_path):
+        code = main(
+            ["loadgen", "--manifest", str(tmp_path / "none.json"),
+             "--wait", "0.2"]
+        )
+        assert code == 2
+        assert "not published" in capsys.readouterr().err

@@ -620,7 +620,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.serve import Cluster, TCPTransport
+    from repro.serve import Cluster, ResilienceConfig, RetryPolicy, TCPTransport
     from repro.sim.config import SimulationConfig
 
     if args.scheme not in SCHEME_NAMES:
@@ -634,14 +634,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         dcache_ratio=args.dcache_ratio,
         warmup_fraction=args.warmup,
     )
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_json_file(args.fault_plan)
+        except (OSError, ValueError, KeyError) as error:
+            print(
+                f"cannot load fault plan {args.fault_plan}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(attempts=args.retry_attempts)
+    )
 
     async def run() -> None:
+        transport = TCPTransport(host=args.host, call_timeout=args.rpc_timeout)
+        if fault_plan is not None:
+            from repro.faults import FaultInjector, FaultyTransport
+
+            transport = FaultyTransport(transport, FaultInjector(fault_plan))
+            print(fault_plan.describe(), flush=True)
         cluster = Cluster.build(
             arch,
             generator.catalog,
             args.scheme,
             config=config,
-            transport=TCPTransport(host=args.host),
+            transport=transport,
+            resilience=resilience,
+            seed=args.seed,
         )
         addresses = await cluster.start()
         metrics = {}
@@ -659,6 +682,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"manifest -> {args.manifest}", flush=True)
         snapshot_path = Path(args.snapshot) if args.snapshot else None
         await cluster.serve_forever(snapshot_path=snapshot_path)
+        if fault_plan is not None:
+            injected = transport.injector.summary()
+            print(
+                "injected faults: "
+                + ", ".join(f"{k}={v}" for k, v in injected.items())
+            )
         if snapshot_path is not None:
             print(f"drained; state snapshot -> {snapshot_path}")
 
@@ -1030,6 +1059,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-metrics",
         action="store_true",
         help="do not start the per-node /metrics HTTP endpoints",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject faults from this JSON plan into node-to-node calls "
+        "(see examples/fault_plan.json)",
+    )
+    serve.add_argument(
+        "--rpc-timeout",
+        type=float,
+        default=None,
+        help="per-RPC deadline in seconds for node-to-node calls "
+        "(default: wait forever)",
+    )
+    serve.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        help="total tries per upstream call before failing over",
     )
     serve.set_defaults(func=_cmd_serve)
 

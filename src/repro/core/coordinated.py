@@ -200,6 +200,8 @@ class CoordinatedScheme(DescriptorSchemeBase):
         object_id: int,
         size: int,
         now: float,
+        *,
+        came_from: Optional[int] = None,
     ) -> Tuple[bool, int]:
         """One downstream stop: advance the accumulator, apply the decision.
 
@@ -208,10 +210,20 @@ class CoordinatedScheme(DescriptorSchemeBase):
         copy (resetting the accumulator), every other node refreshes or
         creates its d-cache descriptor.  Mutates ``decision`` in place --
         it is the response message's walk state.
+
+        When upstream failover bypassed dead hops, ``came_from`` names
+        the path index the response really arrived from and the
+        accumulator grows by the cost of the whole physical segment
+        ``path[index..came_from]`` -- the object still crossed every
+        link through the dead node's router, only its cache process was
+        down.  With the default ``came_from = index + 1`` this is
+        exactly the single-link cost, so fault-free runs are
+        bit-identical to :meth:`process_request`.
         """
         node = path[index]
-        accumulator = decision["acc"] + self.cost_model.link_cost(
-            path[index], path[index + 1], size
+        upstream = index + 1 if came_from is None else came_from
+        accumulator = decision["acc"] + self.cost_model.path_cost(
+            path[index : upstream + 1], size
         )
         state = self.node_state(node)
         inserted = False

@@ -21,6 +21,7 @@ REPORT_BYTES = 24       # f, m, l as packed floats
 TAG_BYTES = 2           # the "no descriptor" tag
 DECISION_BYTES = 4      # one node id in the response's cache_at set
 ACCUMULATOR_BYTES = 8   # the response's running cost variable
+SKIPPED_NODE_BYTES = 4  # one bypassed-hop record when failover shortens a walk
 
 
 @dataclass

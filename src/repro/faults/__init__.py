@@ -1,0 +1,34 @@
+"""Deterministic, seeded fault injection for the live serving layer.
+
+``repro.faults`` makes the cluster's failure behavior testable: a
+:class:`FaultPlan` scripts frame drops, delays, duplicates, corruption
+and whole-node crashes/slow-downs; a :class:`FaultInjector` turns the
+plan into per-call decisions from one seeded RNG; and a
+:class:`FaultyTransport` applies them above any real
+:class:`~repro.serve.transport.Transport` -- so the very same plan runs
+against the in-process oracle transport and against loopback TCP.
+
+The resilience machinery it exercises (per-RPC deadlines, retry with
+backoff, per-upstream circuit breakers, and upstream failover in the
+piggyback walk) lives in :mod:`repro.serve`; the chaos gate tying the
+two together is ``tests/test_faults_chaos.py``.
+"""
+
+from repro.faults.injector import (
+    DROP_HOLD_SECONDS,
+    FaultInjector,
+    FaultyTransport,
+    LinkDecision,
+)
+from repro.faults.plan import NODE_FAULT_KINDS, FaultPlan, LinkRule, NodeFault
+
+__all__ = [
+    "DROP_HOLD_SECONDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyTransport",
+    "LinkDecision",
+    "LinkRule",
+    "NODE_FAULT_KINDS",
+    "NodeFault",
+]

@@ -1,0 +1,256 @@
+"""Declarative fault plans for the live cluster.
+
+A :class:`FaultPlan` describes *what should go wrong* during a run,
+separately from the machinery that makes it go wrong (the
+:class:`~repro.faults.injector.FaultInjector`).  Two kinds of entries:
+
+* :class:`LinkRule` -- probabilistic frame-level faults on calls, drawn
+  from one seeded RNG in call order: **drop** (the frame is lost and the
+  caller's deadline expires), **delay** (the frame is held back before
+  delivery), **duplicate** (the frame is delivered twice) and **corrupt**
+  (the frame arrives damaged and is rejected).  Rules can be scoped to
+  message types (``ops``) and destination nodes (``dest``).
+* :class:`NodeFault` -- scripted whole-node events: **crash** (the node
+  stops answering -- connections are refused -- between two points of the
+  schedule; a later restart resumes the *same* node state, i.e. the
+  process was partitioned away, not wiped) and **slow** (every call to
+  the node is delayed while the fault is active).  Schedule points can be
+  expressed in trace time (``at_time``/``until_time``, matched against
+  the ``time`` field request frames carry) or in delivered-call counts
+  (``at_call``/``until_call``).
+
+Everything is deterministic: the same plan and seed over the same call
+sequence produce the same faults, which is what the chaos suite's
+repeatability gate asserts.
+
+JSON form (see ``examples/fault_plan.json``)::
+
+    {
+      "seed": 7,
+      "links": [
+        {"ops": ["fwd"], "drop_rate": 0.03, "delay_rate": 0.1,
+         "delay_seconds": 0.001, "duplicate_rate": 0.01,
+         "corrupt_rate": 0.01}
+      ],
+      "nodes": [
+        {"node": 2, "kind": "crash", "at_time": 120.0},
+        {"node": 5, "kind": "slow", "at_call": 0, "until_call": 500,
+         "delay_seconds": 0.002}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+NODE_FAULT_KINDS = ("crash", "slow")
+
+
+@dataclass(frozen=True)
+class LinkRule:
+    """Probabilistic frame faults for a subset of calls.
+
+    ``ops`` restricts the rule to those message types (``None`` = all);
+    ``dest`` restricts it to calls towards one node id (``None`` = all).
+    Rates are independent per-call probabilities; drop wins over
+    corrupt, corrupt over duplicate, and a delay (when drawn) applies
+    before whichever of those fires.
+    """
+
+    ops: Optional[Tuple[str, ...]] = None
+    dest: Optional[int] = None
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "duplicate_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {rate}")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    def matches(self, op: str, dest_node: Optional[int]) -> bool:
+        if self.ops is not None and op not in self.ops:
+            return False
+        if self.dest is not None and dest_node != self.dest:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "ops": list(self.ops) if self.ops is not None else None,
+            "dest": self.dest,
+            "drop_rate": self.drop_rate,
+            "delay_rate": self.delay_rate,
+            "delay_seconds": self.delay_seconds,
+            "duplicate_rate": self.duplicate_rate,
+            "corrupt_rate": self.corrupt_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "LinkRule":
+        ops = raw.get("ops")
+        return cls(
+            ops=tuple(ops) if ops is not None else None,
+            dest=raw.get("dest"),
+            drop_rate=raw.get("drop_rate", 0.0),
+            delay_rate=raw.get("delay_rate", 0.0),
+            delay_seconds=raw.get("delay_seconds", 0.0),
+            duplicate_rate=raw.get("duplicate_rate", 0.0),
+            corrupt_rate=raw.get("corrupt_rate", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One scripted whole-node event (crash or slow-down).
+
+    The fault is active from its ``at_*`` point until its ``until_*``
+    point (``None`` = forever).  Time points are matched against the
+    largest ``time`` field seen on any frame so far (the injector's
+    trace clock); call points against the injector's delivered-call
+    counter.  A fault with neither ``at_time`` nor ``at_call`` is active
+    from the start.
+    """
+
+    node: int
+    kind: str = "crash"
+    at_time: Optional[float] = None
+    until_time: Optional[float] = None
+    at_call: Optional[int] = None
+    until_call: Optional[int] = None
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NODE_FAULT_KINDS:
+            raise ValueError(
+                f"node fault kind must be one of {NODE_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "slow" and self.delay_seconds <= 0:
+            raise ValueError("a slow fault needs a positive delay_seconds")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    def active(self, clock: float, calls: int) -> bool:
+        if self.at_time is not None and clock < self.at_time:
+            return False
+        if self.at_call is not None and calls < self.at_call:
+            return False
+        if self.until_time is not None and clock >= self.until_time:
+            return False
+        if self.until_call is not None and calls >= self.until_call:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "kind": self.kind,
+            "at_time": self.at_time,
+            "until_time": self.until_time,
+            "at_call": self.at_call,
+            "until_call": self.until_call,
+            "delay_seconds": self.delay_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "NodeFault":
+        return cls(
+            node=raw["node"],
+            kind=raw.get("kind", "crash"),
+            at_time=raw.get("at_time"),
+            until_time=raw.get("until_time"),
+            at_call=raw.get("at_call"),
+            until_call=raw.get("until_call"),
+            delay_seconds=raw.get("delay_seconds", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of link and node faults."""
+
+    seed: int = 0
+    links: Tuple[LinkRule, ...] = ()
+    nodes: Tuple[NodeFault, ...] = ()
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        return cls()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.links and not self.nodes
+
+    def node_faults_for(self, node: int) -> List[NodeFault]:
+        return [f for f in self.nodes if f.node == node]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "links": [rule.to_dict() for rule in self.links],
+            "nodes": [fault.to_dict() for fault in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        return cls(
+            seed=raw.get("seed", 0),
+            links=tuple(
+                LinkRule.from_dict(r) for r in raw.get("links", ())
+            ),
+            nodes=tuple(
+                NodeFault.from_dict(r) for r in raw.get("nodes", ())
+            ),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: str | Path) -> "FaultPlan":
+        raw = json.loads(Path(path).read_text())
+        if not isinstance(raw, dict):
+            raise ValueError(f"fault plan {path} must be a JSON object")
+        return cls.from_dict(raw)
+
+    def to_json_file(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def describe(self) -> str:
+        """One human line per entry (printed by ``repro serve``)."""
+        if self.is_empty:
+            return "empty fault plan (no faults injected)"
+        lines = [f"fault plan (seed {self.seed}):"]
+        for rule in self.links:
+            scope = ",".join(rule.ops) if rule.ops else "all ops"
+            dest = f" -> node {rule.dest}" if rule.dest is not None else ""
+            lines.append(
+                f"  link {scope}{dest}: drop {rule.drop_rate:.1%}, "
+                f"delay {rule.delay_rate:.1%} x {rule.delay_seconds}s, "
+                f"dup {rule.duplicate_rate:.1%}, "
+                f"corrupt {rule.corrupt_rate:.1%}"
+            )
+        for fault in self.nodes:
+            window = []
+            if fault.at_time is not None or fault.until_time is not None:
+                window.append(f"time [{fault.at_time}, {fault.until_time})")
+            if fault.at_call is not None or fault.until_call is not None:
+                window.append(f"calls [{fault.at_call}, {fault.until_call})")
+            when = " and ".join(window) if window else "always"
+            extra = (
+                f" (+{fault.delay_seconds}s)" if fault.kind == "slow" else ""
+            )
+            lines.append(f"  node {fault.node}: {fault.kind}{extra}, {when}")
+        return "\n".join(lines)
+
+
+__all__ = ["FaultPlan", "LinkRule", "NodeFault", "NODE_FAULT_KINDS"]

@@ -40,6 +40,10 @@ _NODE_FIELDS = (
     ("piggyback_bytes", "piggyB", "piggyback_bytes_total"),
     ("dcache_evictions", "dEvict", "dcache_evictions_total"),
     ("invalidations", "inval", "invalidations_total"),
+    ("rpc_timeouts", "rpcTO", "rpc_timeouts_total"),
+    ("rpc_retries", "retry", "rpc_retries_total"),
+    ("failovers", "failov", "failovers_total"),
+    ("breaker_trips", "brkr", "breaker_trips_total"),
 )
 
 

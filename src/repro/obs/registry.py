@@ -32,6 +32,13 @@ class NodeStats:
     the paper's aggregate cache read/write load.  ``piggyback_bytes`` is
     the node's share of the coordination protocol's wire overhead (see
     ``docs/protocol.md``).
+
+    The resilience block (``rpc_timeouts``, ``rpc_retries``,
+    ``failovers``, ``breaker_trips``) counts what this node *survived*
+    while forwarding upstream: deadlines that expired, the retries that
+    followed, upstream hops skipped by the walk's failover, and circuit
+    breakers tripping open.  All zero on a fault-free run -- which is
+    exactly what the empty-plan equivalence oracle asserts.
     """
 
     __slots__ = (
@@ -46,6 +53,10 @@ class NodeStats:
         "piggyback_bytes",
         "dcache_evictions",
         "invalidations",
+        "rpc_timeouts",
+        "rpc_retries",
+        "failovers",
+        "breaker_trips",
     )
 
     def __init__(self) -> None:
@@ -60,6 +71,10 @@ class NodeStats:
         self.piggyback_bytes = 0
         self.dcache_evictions = 0
         self.invalidations = 0
+        self.rpc_timeouts = 0
+        self.rpc_retries = 0
+        self.failovers = 0
+        self.breaker_trips = 0
 
     @property
     def requests_seen(self) -> int:

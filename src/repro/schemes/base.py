@@ -240,12 +240,22 @@ class CachingScheme(abc.ABC):
         object_id: int,
         size: int,
         now: float,
+        *,
+        came_from: Optional[int] = None,
     ) -> Tuple[bool, int]:
         """Response step at ``path[index]`` (strictly below the serving node).
 
         Applies the shipped placement decision at one node; returns
         ``(inserted, evictions)``.  Schemes carrying response-path state
         (the coordinated cost accumulator) mutate ``decision`` in place.
+
+        ``came_from`` is the path index the response physically arrived
+        from -- normally ``index + 1``, but further up when upstream
+        failover bypassed dead hops.  The response then traversed the
+        whole physical segment ``path[index..came_from]`` (the bypassed
+        node's cache process is down; its router still forwards), and
+        cost-carrying schemes must advance their accumulator over that
+        segment, not a single link.
         """
         node = path[index]
         if node not in decision["cache_at"]:

@@ -20,31 +20,50 @@ See ``docs/serving.md`` for the wire protocol and deployment notes.
 from repro.serve.cluster import Cluster
 from repro.serve.loadgen import ClusterClient, LoadGenerator, LoadReport
 from repro.serve.metrics_http import MetricsServer
-from repro.serve.node import CacheNode
+from repro.serve.node import CacheNode, ResilienceConfig
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
+    RETRYABLE_ERRORS,
+    CallTimeout,
+    FrameCorruption,
     FrameDecoder,
+    NodeUnreachable,
     ProtocolError,
     RemoteProtocolError,
     decode_payload,
     encode_frame,
+    is_retryable,
 )
-from repro.serve.transport import InProcessTransport, TCPTransport, Transport
+from repro.serve.transport import (
+    CircuitBreaker,
+    InProcessTransport,
+    RetryPolicy,
+    TCPTransport,
+    Transport,
+)
 
 __all__ = [
     "CacheNode",
+    "CallTimeout",
+    "CircuitBreaker",
     "Cluster",
     "ClusterClient",
+    "FrameCorruption",
     "FrameDecoder",
     "InProcessTransport",
     "LoadGenerator",
     "LoadReport",
     "MAX_FRAME_BYTES",
     "MetricsServer",
+    "NodeUnreachable",
     "ProtocolError",
+    "RETRYABLE_ERRORS",
     "RemoteProtocolError",
+    "ResilienceConfig",
+    "RetryPolicy",
     "TCPTransport",
     "Transport",
     "decode_payload",
     "encode_frame",
+    "is_retryable",
 ]

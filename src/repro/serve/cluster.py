@@ -32,6 +32,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import random
 import signal as signal_module
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -39,8 +40,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.costs.model import CostModel, LatencyCostModel
 from repro.schemes.base import CachingScheme
 from repro.serve.metrics_http import MetricsServer
-from repro.serve.node import CacheNode
-from repro.serve.protocol import MSG_INV
+from repro.serve.node import CacheNode, ResilienceConfig
+from repro.serve.protocol import MSG_INV, RETRYABLE_ERRORS
 from repro.serve.transport import InProcessTransport, Transport
 from repro.sim.architecture import Architecture
 from repro.sim.config import SimulationConfig
@@ -60,16 +61,30 @@ class Cluster:
         scheme_factory: SchemeFactory,
         transport: Optional[Transport] = None,
         scheme_name: str = "",
+        resilience: Optional[ResilienceConfig] = None,
+        seed: int = 0,
     ) -> None:
         self.architecture = architecture
         self.cost_model = cost_model
         self.scheme_factory = scheme_factory
         self.transport = transport if transport is not None else InProcessTransport()
         self.scheme_name = scheme_name
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        # Seeds the per-node retry-jitter RNGs; node ``i`` always draws
+        # from ``Random(f"{seed}:{i}")``, so a chaos run's backoff
+        # schedule -- and with it every resilience counter -- is a pure
+        # function of (seed, fault plan, trace).
+        self.seed = seed
         self.nodes: Dict[int, CacheNode] = {}
         self.addresses: Dict[int, object] = {}
         self.metrics_servers: Dict[int, MetricsServer] = {}
+        # Nodes skipped by best-effort invalidation broadcasts (control
+        # plane's failure visibility; the data plane has its own counters).
+        self.invalidate_skips = 0
         self._started = False
+        self._draining = False
 
     @classmethod
     def build(
@@ -79,6 +94,8 @@ class Cluster:
         scheme_name: str,
         config: Optional[SimulationConfig] = None,
         transport: Optional[Transport] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        seed: int = 0,
         **params,
     ) -> "Cluster":
         """Derive per-node schemes exactly as the experiment runner does.
@@ -103,6 +120,8 @@ class Cluster:
             ),
             transport=transport,
             scheme_name=scheme_name,
+            resilience=resilience,
+            seed=seed,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -117,6 +136,8 @@ class Cluster:
                 self.scheme_factory(),
                 self.architecture.request_path,
                 self._forward,
+                resilience=self.resilience,
+                rng=random.Random(f"{self.seed}:{node_id}"),
             )
             self.nodes[node_id] = node
             self.addresses[node_id] = await self.transport.start_node(
@@ -150,6 +171,7 @@ class Cluster:
                 host=host,
                 port=port,
                 extra_text=self._requests_handled_text(node),
+                ready=self.is_ready,
             )
             self.metrics_servers[node_id] = server
             bound[node_id] = await server.start()
@@ -170,8 +192,21 @@ class Cluster:
 
         return render
 
+    def is_ready(self) -> bool:
+        """Readiness: started and not draining (the ``/healthz`` source)."""
+        return self._started and not self._draining
+
+    def begin_drain(self) -> None:
+        """Flip readiness off so ``/healthz`` steers new work away.
+
+        Liveness is untouched: the endpoints keep answering (503 with
+        ``ready: false``) while in-flight walks finish.
+        """
+        self._draining = True
+
     async def drain(self, timeout: float = 10.0) -> bool:
         """Wait until no node has an in-flight request walk."""
+        self.begin_drain()
         deadline = asyncio.get_running_loop().time() + timeout
         while any(node.inflight for node in self.nodes.values()):
             if asyncio.get_running_loop().time() >= deadline:
@@ -202,6 +237,7 @@ class Cluster:
     ) -> Optional[dict]:
         """Graceful shutdown: drain in-flight walks, snapshot, tear down."""
         snap = None
+        self._draining = True
         if self._started:
             if drain:
                 await self.drain(timeout=drain_timeout)
@@ -251,12 +287,20 @@ class Cluster:
         Broadcasts in sorted node order -- the same order the simulator's
         ``invalidate_object`` sweeps a shared scheme's nodes -- though
         per-node removals are independent, so order never changes counts.
+        Best-effort under faults: an unreachable node is skipped (counted
+        in ``invalidate_skips``) rather than failing the broadcast; a
+        crashed-and-restarted node rejoins with its copy still cached,
+        the standard stale-replica window of push invalidation.
         """
         removed = 0
         for node_id in sorted(self.addresses):
-            reply = await self.transport.call(
-                self.addresses[node_id],
-                {"type": MSG_INV, "object_id": object_id},
-            )
+            try:
+                reply = await self.transport.call(
+                    self.addresses[node_id],
+                    {"type": MSG_INV, "object_id": object_id},
+                )
+            except RETRYABLE_ERRORS:
+                self.invalidate_skips += 1
+                continue
             removed += reply["removed"]
         return removed

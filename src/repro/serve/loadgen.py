@@ -96,6 +96,11 @@ class LoadReport:
     updates_applied: int = 0
     copies_invalidated: int = 0
     errors: int = 0
+    # Where completed requests were served, over ALL completions (warm-up
+    # included): cache_served + origin_served == completed requests, the
+    # conservation law the chaos fault matrix asserts under node crashes.
+    cache_served: int = 0
+    origin_served: int = 0
 
     def to_dict(self) -> dict:
         s = self.summary
@@ -103,6 +108,8 @@ class LoadReport:
             "mode": self.mode,
             "requests_total": self.requests_total,
             "requests_measured": self.requests_measured,
+            "cache_served": self.cache_served,
+            "origin_served": self.origin_served,
             "duration_seconds": self.duration_seconds,
             "requests_per_second": self.requests_per_second,
             "wall_latency_mean": self.wall_latency_mean,
@@ -338,8 +345,14 @@ class LoadGenerator:
         warmup_end, total = self.trace.split_warmup(self.warmup_fraction)
         collector = MetricsCollector()
         wall: List[float] = []
+        cache_served = 0
+        origin_served = 0
         for item in sorted(completed, key=lambda c: c.index):
             wall.append(item.wall_seconds)
+            if item.outcome.served_by_cache:
+                cache_served += 1
+            else:
+                origin_served += 1
             if item.index >= warmup_end:
                 collector.record(item.outcome, item.latency)
         return LoadReport(
@@ -358,4 +371,6 @@ class LoadGenerator:
             updates_applied=applied,
             copies_invalidated=invalidated,
             errors=errors,
+            cache_served=cache_served,
+            origin_served=origin_served,
         )

@@ -5,7 +5,11 @@ Prometheus text (reusing :func:`repro.obs.export.prometheus_text`), so a
 live cluster can be scraped with stock tooling:
 
 * ``GET /metrics``  -- the per-node counters in text exposition format;
-* ``GET /healthz``  -- liveness (``ok``).
+* ``GET /healthz``  -- liveness **and** readiness as one JSON object:
+  ``{"live": true, "ready": <bool>}``.  Liveness means the process
+  answers at all; readiness flips false (and the status to 503) while
+  the cluster drains, so a load balancer stops routing new work to a
+  node that is still finishing its in-flight walks.
 
 Deliberately not a web framework: a request line, headers up to a blank
 line, one response, connection closed.  That is all a scrape needs, and
@@ -16,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 from typing import Callable, Optional, Tuple
 
 from repro.obs.registry import StatRegistry
@@ -33,11 +38,15 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         extra_text: Optional[Callable[[], str]] = None,
+        ready: Optional[Callable[[], bool]] = None,
     ) -> None:
+        """``ready`` is polled on every ``/healthz`` hit; ``None`` means
+        always ready (a bare metrics server has no drain phase)."""
         self.registry = registry
         self.host = host
         self.port = port
         self.extra_text = extra_text
+        self.ready = ready
         self._server: Optional[asyncio.base_events.Server] = None
         self.address: Optional[Tuple[str, int]] = None
 
@@ -83,7 +92,9 @@ class MetricsServer:
                     body += self.extra_text()
                 await self._respond(writer, 200, body)
             elif target == "/healthz":
-                await self._respond(writer, 200, "ok\n")
+                is_ready = True if self.ready is None else bool(self.ready())
+                body = json.dumps({"live": True, "ready": is_ready}) + "\n"
+                await self._respond(writer, 200 if is_ready else 503, body)
             else:
                 await self._respond(writer, 404, "not found\n")
         except (ConnectionError, asyncio.CancelledError):
@@ -98,7 +109,8 @@ class MetricsServer:
         writer: asyncio.StreamWriter, status: int, body: str
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed"}.get(status, "Error")
+                  405: "Method Not Allowed",
+                  503: "Service Unavailable"}.get(status, "Error")
         payload = body.encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"

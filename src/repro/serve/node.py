@@ -23,17 +23,37 @@ the same way the simulator's engine feeds it (lookup hits/misses, serving
 reads, insertion writes, piggyback bytes; evictions and occupancy arrive
 through the attached cache observers), so ``stats`` frames and the
 ``/metrics`` endpoint expose the standard per-node counters.
+
+**Resilience.**  Node-to-node forwarding runs through
+:meth:`CacheNode._call_upstream`: a per-upstream circuit breaker, then a
+bounded retry loop with exponential backoff and seeded jitter around the
+retryable failures (:data:`~repro.serve.protocol.RETRYABLE_ERRORS` --
+deadlines, unreachable peers, damaged frames).  When an upstream hop
+stays dead after retries, the walk *fails over*: the dead hop is skipped
+and the next node on the (full, unmodified) path is tried, degrading the
+request to a longer effective miss path instead of an error.  The
+response then tells :meth:`~repro.schemes.base.CachingScheme.
+deliver_step` which index it physically ``came_from`` so cost-carrying
+schemes charge the whole bypassed segment.  Survived faults land in the
+registry's resilience counters (``rpc_timeouts``, ``rpc_retries``,
+``failovers``, ``breaker_trips``); on a fault-free run every one of them
+stays zero and the node's behavior is bit-identical to the pre-resilience
+protocol.
 """
 
 from __future__ import annotations
 
-from typing import Awaitable, Callable, Optional, Sequence
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, Optional, Sequence
 
 from repro.core.coordinated import CoordinatedScheme
 from repro.core.piggyback import (
     ACCUMULATOR_BYTES,
     DECISION_BYTES,
     REPORT_BYTES,
+    SKIPPED_NODE_BYTES,
     TAG_BYTES,
 )
 from repro.obs.instruments import Instruments
@@ -49,13 +69,39 @@ from repro.serve.protocol import (
     MSG_RESP,
     MSG_STATS,
     MSG_STATS_OK,
+    RETRYABLE_ERRORS,
+    CallTimeout,
+    NodeUnreachable,
     ProtocolError,
 )
+from repro.serve.transport import CircuitBreaker, RetryPolicy
 
 # async (node_id, message) -> reply: how a node reaches its upstream peer.
 Forwarder = Callable[[int, dict], Awaitable[dict]]
 # (client_id, server_id) -> delivery path, shared routing state.
 PathResolver = Callable[[int, int], Sequence[int]]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How a node treats upstream failures (shared by the whole cluster).
+
+    ``retry`` shapes the per-call retry/backoff schedule;
+    ``breaker_threshold``/``breaker_cooldown_calls`` parameterize the
+    per-upstream :class:`~repro.serve.transport.CircuitBreaker`.  The
+    defaults are always safe to leave on: with no faults no call ever
+    fails, so no retry, failover or breaker transition can fire.
+    """
+
+    retry: RetryPolicy = RetryPolicy()
+    breaker_threshold: int = 3
+    breaker_cooldown_calls: int = 8
+
+    def new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self.breaker_threshold,
+            cooldown_calls=self.breaker_cooldown_calls,
+        )
 
 
 class CacheNode:
@@ -68,11 +114,20 @@ class CacheNode:
         resolve_path: PathResolver,
         forward: Forwarder,
         registry: Optional[StatRegistry] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.node_id = node_id
         self.scheme = scheme
         self._resolve_path = resolve_path
         self._forward = forward
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        # Jitter source for retry backoff; a per-node seeded RNG makes the
+        # whole retry schedule (and thus the chaos counters) reproducible.
+        self._rng = rng
+        self.breakers: Dict[int, CircuitBreaker] = {}
         self.registry = registry if registry is not None else StatRegistry()
         # Cache-level events (evictions, occupancy, invalidation removals)
         # flow through the standard observer wiring; request-level counts
@@ -125,6 +180,7 @@ class CacheNode:
                 "time": message["time"],
                 "index": 0,
                 "reports": [],
+                "skipped": list(message.get("skipped", [])),
             }
         except KeyError as missing:
             raise ProtocolError(f"get frame missing field {missing}") from None
@@ -203,26 +259,47 @@ class CacheNode:
                 stats.piggyback_bytes += (
                     REPORT_BYTES if payload.get("d") else TAG_BYTES
                 )
-        upstream = {
-            "type": MSG_FWD,
-            "path": path,
-            "index": index + 1,
-            "object_id": object_id,
-            "size": size,
-            "time": now,
-            "reports": reports,
-        }
-        reply = await self._forward(path[index + 1], upstream)
+        # Forward upstream, failing over past dead hops: each candidate
+        # frame keeps the FULL original path (the decision's node-id set
+        # and the cost accounting both need it) plus the indices the walk
+        # bypassed.  An unreachable origin attachment has nothing left to
+        # fail over to and the error propagates downstream.
+        skipped = list(message.get("skipped", []))
+        next_index = index + 1
+        while True:
+            upstream = {
+                "type": MSG_FWD,
+                "path": path,
+                "index": next_index,
+                "object_id": object_id,
+                "size": size,
+                "time": now,
+                "reports": reports,
+                "skipped": skipped,
+            }
+            try:
+                reply = await self._call_upstream(path[next_index], upstream)
+                break
+            except RETRYABLE_ERRORS:
+                if next_index >= last:
+                    raise
+                stats.failovers += 1
+                skipped.append(next_index)
+                if self._coordinated:
+                    stats.piggyback_bytes += SKIPPED_NODE_BYTES
+                next_index += 1
         if reply.get("type") != MSG_RESP:
             raise ProtocolError(
                 f"expected resp frame from upstream, got {reply.get('type')!r}"
             )
 
-        # Downstream unwind: the object just crossed the link from
-        # path[index + 1]; apply the shipped decision at this node.
+        # Downstream unwind: the object physically traversed every link
+        # from path[next_index] down (a bypassed node's cache process is
+        # dead, its router still forwards); apply the shipped decision at
+        # this node, charging that whole segment.
         decision = reply["decision"]
         inserted, evictions = scheme.deliver_step(
-            index, path, decision, object_id, size, now
+            index, path, decision, object_id, size, now, came_from=next_index
         )
         if inserted:
             reply["inserted"].append(self.node_id)
@@ -232,9 +309,54 @@ class CacheNode:
         if self._coordinated:
             if self.node_id in decision["cache_at"]:
                 stats.piggyback_bytes += DECISION_BYTES
-            if index == reply["hit_index"] - 1:
+            if next_index == reply["hit_index"]:
+                # First downstream carrier of the response accumulator --
+                # the hop directly below the serving node in the chain of
+                # nodes that actually answered.
                 stats.piggyback_bytes += ACCUMULATOR_BYTES
         return reply
+
+    async def _call_upstream(self, node: int, message: dict) -> dict:
+        """One logical upstream call: breaker gate + bounded retry loop.
+
+        Timeouts, unreachable peers and damaged frames are retried with
+        exponential backoff (jitter drawn from the node's seeded RNG);
+        anything else -- notably a remote handler error -- propagates
+        immediately, because the remote side may already have mutated
+        state.  An exhausted call feeds the upstream's circuit breaker;
+        while the breaker is open, calls fail fast without touching the
+        transport, which is what lets a walk skip a dead parent without
+        paying the retry schedule on every request.
+        """
+        breaker = self.breakers.get(node)
+        if breaker is None:
+            breaker = self.resilience.new_breaker()
+            self.breakers[node] = breaker
+        stats = self.registry.node(self.node_id)
+        if not breaker.allow():
+            raise NodeUnreachable(
+                f"circuit to upstream node {node} is open (failing fast)"
+            )
+        policy = self.resilience.retry
+        attempt = 0
+        while True:
+            try:
+                reply = await self._forward(node, message)
+            except RETRYABLE_ERRORS as error:
+                if isinstance(error, CallTimeout):
+                    stats.rpc_timeouts += 1
+                attempt += 1
+                if attempt >= policy.attempts:
+                    if breaker.record_failure():
+                        stats.breaker_trips += 1
+                    raise
+                stats.rpc_retries += 1
+                delay = policy.delay(attempt - 1, self._rng)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            else:
+                breaker.record_success()
+                return reply
 
     def _decoded_reports(self, reports: list) -> list:
         """Reports in the form the scheme's decision step expects."""

@@ -61,6 +61,30 @@ class RemoteProtocolError(ProtocolError):
     """The peer answered with an ``error`` frame; carries its message."""
 
 
+class CallTimeout(ProtocolError):
+    """An RPC missed its deadline (reply lost, peer stalled, frame dropped)."""
+
+
+class NodeUnreachable(ProtocolError):
+    """The peer cannot be reached at all (dead node, refused connection)."""
+
+
+class FrameCorruption(ProtocolError):
+    """A frame arrived damaged and was rejected by the receiving side."""
+
+
+# Failures that a caller may safely retry or route around: the frame never
+# produced a *trusted* reply, so trying again (or another upstream) is the
+# correct reaction.  A RemoteProtocolError is deliberately NOT here -- the
+# peer was alive and answered; its handler failing is not transient.
+RETRYABLE_ERRORS = (CallTimeout, NodeUnreachable, FrameCorruption)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a failed call may be retried / failed over."""
+    return isinstance(error, RETRYABLE_ERRORS)
+
+
 def encode_frame(message: dict) -> bytes:
     """Serialize one message to its length-prefixed wire form."""
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")

@@ -25,11 +25,15 @@ from __future__ import annotations
 import abc
 import asyncio
 import contextlib
-from typing import Awaitable, Callable, Dict, List, Tuple
+import random
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
 
 from repro.serve.protocol import (
     HEADER_BYTES,
     MAX_FRAME_BYTES,
+    CallTimeout,
+    NodeUnreachable,
     ProtocolError,
     decode_payload,
     encode_frame,
@@ -40,6 +44,98 @@ from repro.serve.protocol import (
 )
 
 Handler = Callable[[dict], Awaitable[dict]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with (seeded) jitter for retryable RPC failures.
+
+    ``attempts`` bounds the *total* number of tries; the delay before try
+    ``k+1`` is ``min(backoff_max, backoff_base * backoff_multiplier**k)``
+    shrunk by up to ``jitter`` (a fraction in ``[0, 1]``) drawn from the
+    caller's RNG -- seeded RNGs make the whole schedule reproducible,
+    which is what lets the chaos suite assert identical retry counters
+    across runs.
+    """
+
+    attempts: int = 3
+    backoff_base: float = 0.01
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def delay(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier**attempt,
+        )
+        if self.jitter <= 0 or rng is None:
+            return raw
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """A count-based per-upstream circuit breaker.
+
+    Counts *logical* call failures (retries exhausted), not individual
+    attempts.  After ``failure_threshold`` consecutive failures the
+    breaker opens and the next ``cooldown_calls`` calls are rejected
+    without touching the wire; then one half-open probe is admitted --
+    success closes the breaker, failure re-opens it.  Deliberately
+    count-based rather than clock-based so a seeded sequential replay
+    trips and recovers identically on every run.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self, failure_threshold: int = 3, cooldown_calls: int = 8
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_calls < 1:
+            raise ValueError("cooldown_calls must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_calls = cooldown_calls
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._rejections_left = 0
+
+    def allow(self) -> bool:
+        """Whether the next call may go out (may admit a half-open probe)."""
+        if self.state == self.OPEN:
+            if self._rejections_left > 0:
+                self._rejections_left -= 1
+                return False
+            self.state = self.HALF_OPEN
+        return True
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """Record one exhausted call; returns True when the breaker trips."""
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = self.OPEN
+            self._rejections_left = self.cooldown_calls
+            self.trips += 1
+            return True
+        return False
 
 
 class Transport(abc.ABC):
@@ -72,10 +168,17 @@ async def _dispatch(handler: Handler, message: dict) -> dict:
 
 
 class InProcessTransport(Transport):
-    """Deterministic single-process transport used by tests and examples."""
+    """Deterministic single-process transport used by tests and examples.
 
-    def __init__(self) -> None:
+    ``call_timeout`` bounds one dispatch; it is meant for single-hop
+    handlers (a timeout cancels the handler mid-flight, which for a
+    nested walk would abandon in-flight upstream calls), so cluster runs
+    leave it ``None`` and let injected faults model lost frames instead.
+    """
+
+    def __init__(self, call_timeout: Optional[float] = None) -> None:
         self._handlers: Dict[int, Handler] = {}
+        self.call_timeout = call_timeout
 
     async def start_node(self, node_id: int, handler: Handler) -> int:
         if node_id in self._handlers:
@@ -86,11 +189,22 @@ class InProcessTransport(Transport):
     async def call(self, address: int, message: dict) -> dict:
         handler = self._handlers.get(address)
         if handler is None:
-            raise ProtocolError(f"no node at in-process address {address!r}")
+            raise NodeUnreachable(f"no node at in-process address {address!r}")
         # Round-trip through the real codec so in-process runs exercise
         # exactly the bytes the TCP transport would put on the wire.
         request = decode_payload(encode_frame(message)[HEADER_BYTES:])
-        reply = await _dispatch(handler, request)
+        if self.call_timeout is None:
+            reply = await _dispatch(handler, request)
+        else:
+            try:
+                reply = await asyncio.wait_for(
+                    _dispatch(handler, request), timeout=self.call_timeout
+                )
+            except asyncio.TimeoutError:
+                raise CallTimeout(
+                    f"in-process call to node {address} exceeded "
+                    f"{self.call_timeout}s"
+                ) from None
         return raise_if_error(
             decode_payload(encode_frame(reply)[HEADER_BYTES:])
         )
@@ -106,9 +220,20 @@ class TCPTransport(Transport):
         self,
         host: str = "127.0.0.1",
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        call_timeout: Optional[float] = None,
+        drain_timeout: float = 5.0,
     ) -> None:
+        """``call_timeout`` is the per-RPC deadline (``None`` = wait forever);
+        ``drain_timeout`` bounds how long :meth:`close` waits for server-side
+        connection loops to exit."""
+        if call_timeout is not None and call_timeout <= 0:
+            raise ValueError("call_timeout must be positive")
+        if drain_timeout <= 0:
+            raise ValueError("drain_timeout must be positive")
         self.host = host
         self.max_frame_bytes = max_frame_bytes
+        self.call_timeout = call_timeout
+        self.drain_timeout = drain_timeout
         self._servers: List[asyncio.base_events.Server] = []
         self._pools: Dict[
             Tuple[str, int],
@@ -176,14 +301,40 @@ class TCPTransport(Transport):
         if pool:
             return pool.pop()
         host, port = address
-        return await asyncio.open_connection(host, port)
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError as error:
+            raise NodeUnreachable(
+                f"cannot connect to {host}:{port}: {error!r}"
+            ) from error
+
+    async def _round_trip(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        message: dict,
+    ) -> Optional[dict]:
+        await write_message(writer, message)
+        return await read_message(reader, self.max_frame_bytes)
 
     async def call(self, address, message: dict) -> dict:
         address = (address[0], address[1])
         reader, writer = await self._connection(address)
         try:
-            await write_message(writer, message)
-            reply = await read_message(reader, self.max_frame_bytes)
+            if self.call_timeout is None:
+                reply = await self._round_trip(reader, writer, message)
+            else:
+                reply = await asyncio.wait_for(
+                    self._round_trip(reader, writer, message),
+                    timeout=self.call_timeout,
+                )
+        except asyncio.TimeoutError:
+            # The connection may still carry a late reply; never pool it.
+            writer.close()
+            raise CallTimeout(
+                f"call to {address[0]}:{address[1]} exceeded "
+                f"{self.call_timeout}s"
+            ) from None
         except ProtocolError:
             writer.close()
             raise
@@ -226,5 +377,6 @@ class TCPTransport(Transport):
         if tasks:
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(
-                    asyncio.gather(*tasks, return_exceptions=True), timeout=5.0
+                    asyncio.gather(*tasks, return_exceptions=True),
+                    timeout=self.drain_timeout,
                 )

@@ -1,0 +1,77 @@
+"""The crash matrix: every intermediate node, both architectures.
+
+For each node that sits strictly inside some delivery path (never an
+ingress attachment, never the origin's own node), crash it mid-trace --
+no restart -- and assert the cluster still finishes the whole trace:
+zero client-visible errors, every completed request served by exactly
+one of cache/origin (the conservation law ``cache_served +
+origin_served == requests``), and non-zero failover counters proving the
+walk really did route around the corpse rather than getting lucky.
+
+A deliberately small workload keeps the matrix (one full replay per
+victim per architecture) fast; :func:`crashable_nodes` in the chaos
+suite derives the victim set from the trace's tail so each crash is
+guaranteed to see traffic afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import build_architecture
+from repro.faults import FaultPlan, NodeFault
+from repro.sim.config import SimulationConfig
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+
+from tests.test_faults_chaos import crashable_nodes, replay_under_faults
+
+WORKLOAD = WorkloadConfig(
+    num_objects=60,
+    num_servers=2,
+    num_clients=6,
+    num_requests=250,
+    zipf_theta=0.8,
+    seed=5,
+)
+CONFIG = SimulationConfig(relative_cache_size=0.01, dcache_ratio=3.0)
+ARCH_NAMES = ("hierarchical", "en-route")
+
+
+def _scenario(arch_name):
+    generator = BoeingLikeTraceGenerator(WORKLOAD)
+    trace = generator.generate()
+    arch = build_architecture(arch_name, WORKLOAD, seed=2)
+    return arch, trace, generator.catalog
+
+
+def _matrix():
+    cases = []
+    for arch_name in ARCH_NAMES:
+        arch, trace, _ = _scenario(arch_name)
+        for victim in crashable_nodes(arch, trace):
+            cases.append((arch_name, victim))
+    return cases
+
+
+@pytest.mark.parametrize("arch_name,victim", _matrix())
+def test_crash_each_intermediate_node(arch_name, victim):
+    arch, trace, catalog = _scenario(arch_name)
+    t0, t1 = trace[0].time, trace[len(trace) - 1].time
+    plan = FaultPlan(
+        seed=13,
+        nodes=(
+            NodeFault(
+                node=victim, kind="crash", at_time=t0 + 0.4 * (t1 - t0)
+            ),
+        ),
+    )
+    report, merged, injected = replay_under_faults(
+        arch, catalog, "coordinated", trace, plan
+    )
+    assert report.errors == 0
+    assert report.cache_served + report.origin_served == len(trace)
+    assert injected["refused_calls"] > 0, "victim never saw traffic"
+    assert merged.total("failovers") > 0
+    # The dead node's cache process answered nothing after the crash; its
+    # neighbors' breakers opened rather than paying retries per request.
+    assert merged.total("breaker_trips") > 0

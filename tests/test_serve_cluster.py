@@ -177,6 +177,43 @@ class TestClusterLifecycle:
             entry["cached_bytes"] > 0 for entry in snap["nodes"].values()
         )
 
+    def test_healthz_reports_liveness_and_readiness(self, seeded_trace):
+        """A serving node is ready; a draining node is live but not ready."""
+        import json as json_module
+
+        trace, catalog = seeded_trace
+        arch = build_architecture("hierarchical", WORKLOAD, seed=2)
+
+        async def http_get(host, port, target):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                f"GET {target} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode()
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, body = raw.decode().partition("\r\n\r\n")
+            return int(head.split()[1]), body
+
+        async def scenario():
+            cluster = Cluster.build(arch, catalog, "lru", config=CONFIG)
+            await cluster.start()
+            endpoints = await cluster.enable_metrics()
+            host, port = next(iter(endpoints.values()))
+            serving = await http_get(host, port, "/healthz")
+            cluster.begin_drain()
+            draining = await http_get(host, port, "/healthz")
+            await cluster.stop()
+            return serving, draining
+
+        (up_status, up_body), (drain_status, drain_body) = asyncio.run(
+            scenario()
+        )
+        assert up_status == 200
+        assert json_module.loads(up_body) == {"live": True, "ready": True}
+        assert drain_status == 503
+        assert json_module.loads(drain_body) == {"live": True, "ready": False}
+
     def test_closed_loop_covers_whole_trace(self, seeded_trace):
         trace, catalog = seeded_trace
         arch = build_architecture("hierarchical", WORKLOAD, seed=2)

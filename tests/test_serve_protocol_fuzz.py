@@ -1,0 +1,183 @@
+"""Fuzz/property tests for the incremental frame decoder.
+
+Seeded stdlib ``random`` (reproducible, no extra dependency) drives
+hundreds of adversarial byte streams through :class:`FrameDecoder`:
+
+* **Split invariance** -- any chunking of a valid frame stream, down to
+  byte-at-a-time feeding, yields exactly the original messages in order,
+  ending at a boundary.
+* **Truncation** -- cutting a valid stream at any byte offset never
+  hangs, never over-reads, and never fabricates a message: either the
+  cut lands on a frame boundary (``finish()`` passes) or
+  ``finish()``/``feed`` raises :class:`ProtocolError`.
+* **Flipped length prefixes** -- corrupting a frame's length header
+  either raises (zero / over-limit length) or mis-frames into payload
+  bytes that fail JSON validation; the decoder must reject rather than
+  return garbage silently, and must not buffer past the declared limit.
+* **Random garbage** -- arbitrary byte soup must raise or stay pending,
+  never loop or emit a message not encoded by :func:`encode_frame`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve.protocol import (
+    HEADER_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+)
+
+NUM_CASES = 60
+
+
+def _random_message(rng: random.Random) -> dict:
+    """A protocol-shaped message with assorted JSON payload types."""
+    message = {"type": rng.choice(["get", "fwd", "resp", "ping"])}
+    for k in range(rng.randrange(0, 5)):
+        key = f"k{k}"
+        message[key] = rng.choice(
+            [
+                rng.randrange(-(10**6), 10**6),
+                rng.random() * 1e3,
+                "x" * rng.randrange(0, 40),
+                None,
+                [rng.randrange(100) for _ in range(rng.randrange(4))],
+                {"n": rng.randrange(100)},
+            ]
+        )
+    return message
+
+
+def _random_stream(rng: random.Random) -> tuple[bytes, list[dict]]:
+    messages = [_random_message(rng) for _ in range(rng.randrange(1, 6))]
+    return b"".join(encode_frame(m) for m in messages), messages
+
+
+def _random_chunks(rng: random.Random, data: bytes) -> list[bytes]:
+    chunks = []
+    position = 0
+    while position < len(data):
+        step = rng.randrange(1, max(2, len(data) // 3))
+        chunks.append(data[position : position + step])
+        position += step
+    return chunks
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_any_chunking_reproduces_the_stream(seed):
+    rng = random.Random(seed)
+    data, messages = _random_stream(rng)
+    decoder = FrameDecoder()
+    decoded = []
+    for chunk in _random_chunks(rng, data):
+        decoded.extend(decoder.feed(chunk))
+    assert decoded == messages
+    assert decoder.at_boundary
+    decoder.finish()  # must not raise at a boundary
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_byte_at_a_time_feeding(seed):
+    rng = random.Random(1000 + seed)
+    data, messages = _random_stream(rng)
+    decoder = FrameDecoder()
+    decoded = []
+    for offset in range(len(data)):
+        decoded.extend(decoder.feed(data[offset : offset + 1]))
+    assert decoded == messages
+    decoder.finish()
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_truncation_never_fabricates_messages(seed):
+    rng = random.Random(2000 + seed)
+    data, messages = _random_stream(rng)
+    cut = rng.randrange(0, len(data))
+    decoder = FrameDecoder()
+    decoded = decoder.feed(data[:cut])
+    # Only full frames may come out; a truncated tail is pending, never
+    # a message.
+    assert decoded == messages[: len(decoded)]
+    if decoder.at_boundary:
+        decoder.finish()
+        assert decoded == [
+            m for m, end in zip(messages, _frame_ends(messages)) if end <= cut
+        ]
+    else:
+        with pytest.raises(ProtocolError):
+            decoder.finish()
+
+
+def _frame_ends(messages):
+    ends = []
+    position = 0
+    for message in messages:
+        position += len(encode_frame(message))
+        ends.append(position)
+    return ends
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_flipped_length_prefix_is_rejected_or_reframed(seed):
+    """Corrupting the header must never hang, over-read, or emit garbage.
+
+    Three legal outcomes: ProtocolError (bad length or mis-framed
+    payload fails JSON validation), fewer messages than sent (the stream
+    stays pending an impossibly long frame), or -- vanishingly rare --
+    a reframing that still parses; it must then still be a dict with a
+    string type, i.e. something ``decode_payload`` accepts.
+    """
+    rng = random.Random(3000 + seed)
+    data, messages = _random_stream(rng)
+    corrupted = bytearray(data)
+    # Flip one byte inside some frame's 4-byte length prefix.
+    starts = [end - len(encode_frame(m)) for m, end in
+              zip(messages, _frame_ends(messages))]
+    target = rng.choice(starts) + rng.randrange(HEADER_BYTES)
+    corrupted[target] ^= 1 << rng.randrange(8)
+    if bytes(corrupted) == data:
+        return  # flip landed back on itself (cannot happen with xor, but guard)
+    decoder = FrameDecoder(max_frame_bytes=1 << 16)
+    decoded = []
+    try:
+        decoded.extend(decoder.feed(bytes(corrupted)))
+        if not decoder.at_boundary:
+            with pytest.raises(ProtocolError):
+                decoder.finish()
+    except ProtocolError:
+        return
+    for message in decoded:
+        assert isinstance(message, dict)
+        assert isinstance(message.get("type"), str)
+
+
+@pytest.mark.parametrize("seed", range(NUM_CASES))
+def test_random_garbage_never_hangs_or_overreads(seed):
+    rng = random.Random(4000 + seed)
+    garbage = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 400)))
+    decoder = FrameDecoder(max_frame_bytes=1 << 12)
+    try:
+        messages = decoder.feed(garbage)
+    except ProtocolError:
+        return
+    # No exception: everything decoded must be a valid protocol message
+    # and the decoder must not be holding more than one declared frame.
+    for message in messages:
+        assert isinstance(message.get("type"), str)
+    assert len(decoder._buffer) <= HEADER_BYTES + (1 << 12)
+
+
+def test_zero_length_frame_raises():
+    decoder = FrameDecoder()
+    with pytest.raises(ProtocolError):
+        decoder.feed(b"\x00\x00\x00\x00")
+
+
+def test_over_limit_length_raises_before_buffering_payload():
+    decoder = FrameDecoder(max_frame_bytes=16)
+    with pytest.raises(ProtocolError):
+        decoder.feed(b"\x00\x00\x00\x20")

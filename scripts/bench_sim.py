@@ -1,0 +1,246 @@
+"""Simulator throughput benchmark: reference loop vs columnar fast path.
+
+Measures requests/second for the fast-path-eligible schemes on both
+architectures, the trace-build cost of ``generate()`` vs
+``generate_columnar()``, and peak RSS, and writes the result to
+``BENCH_sim.json``.  The committed ``BENCH_sim.json`` at the repo root
+is this script's output on the PR machine; ``--check`` replays the
+benchmark and fails if the fast path's speedup *ratio* regressed by
+more than ``--tolerance`` (default 20%) against that baseline.
+
+Ratios, not raw req/s, are the regression currency: absolute throughput
+moves with the machine, while fast/reference measured back-to-back in
+one process is stable enough to gate on.  Each timing is the best of
+``--repeats`` runs (wall-clock noise on shared machines is +/-40%;
+min-of-N is the standard antidote, same as the micro benchmarks).
+
+Usage:
+    PYTHONPATH=src python scripts/bench_sim.py                  # full, writes BENCH_sim.json
+    PYTHONPATH=src python scripts/bench_sim.py --quick          # small preset, no write
+    PYTHONPATH=src python scripts/bench_sim.py --quick --check  # CI regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.costs.model import LatencyCostModel  # noqa: E402
+from repro.sim.architecture import (  # noqa: E402
+    build_enroute_architecture,
+    build_hierarchical_architecture,
+)
+from repro.sim.engine import SimulationEngine  # noqa: E402
+from repro.sim.factory import build_scheme  # noqa: E402
+from repro.workload.generator import (  # noqa: E402
+    BoeingLikeTraceGenerator,
+    WorkloadConfig,
+)
+
+# Fast-path-eligible schemes (the rest take the generic columnar loop,
+# which is a dispatch refactor, not a headline kernel).
+SCHEMES = ("lru", "modulo", "coordinated")
+
+PRESETS = {
+    "full": {
+        "workload": dict(
+            num_objects=2_000,
+            num_requests=60_000,
+            num_clients=64,
+            num_servers=8,
+            zipf_theta=0.8,
+            seed=7,
+        ),
+        "archs": ("hier", "enroute"),
+        "repeats": 3,
+    },
+    "quick": {
+        "workload": dict(
+            num_objects=600,
+            num_requests=12_000,
+            num_clients=40,
+            num_servers=6,
+            zipf_theta=0.8,
+            seed=7,
+        ),
+        "archs": ("hier",),
+        "repeats": 2,
+    },
+}
+
+_CAPACITY_FRACTION = 0.01
+_DCACHE_ENTRIES = 256
+
+
+def _best_of(repeats: int, fn):
+    """Min wall-clock over ``repeats`` calls; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _build_arch(name: str, workload: dict):
+    builder = {
+        "hier": build_hierarchical_architecture,
+        "enroute": build_enroute_architecture,
+    }[name]
+    return builder(workload["num_clients"], workload["num_servers"], seed=3)
+
+
+def run_benchmark(preset_name: str) -> dict:
+    preset = PRESETS[preset_name]
+    workload = preset["workload"]
+    repeats = preset["repeats"]
+    cfg = WorkloadConfig(**workload)
+
+    build_ref_s, trace = _best_of(
+        repeats, lambda: BoeingLikeTraceGenerator(cfg).generate()
+    )
+    build_fast_s, columnar = _best_of(
+        repeats, lambda: BoeingLikeTraceGenerator(cfg).generate_columnar()
+    )
+    catalog = BoeingLikeTraceGenerator(cfg).catalog
+    capacity = max(1, int(catalog.total_bytes * _CAPACITY_FRACTION))
+
+    runs = {}
+    for arch_name in preset["archs"]:
+        arch = _build_arch(arch_name, workload)
+        cost = LatencyCostModel(arch.network, catalog.mean_size)
+        for scheme_name in SCHEMES:
+
+            def one(input_trace):
+                scheme = build_scheme(scheme_name, cost, capacity, _DCACHE_ENTRIES)
+                return SimulationEngine(arch, cost, scheme).run(input_trace)
+
+            ref_s, ref = _best_of(repeats, lambda: one(trace))
+            fast_s, fast = _best_of(repeats, lambda: one(columnar))
+            assert fast.summary == ref.summary, (
+                f"fast path diverged on {arch_name}/{scheme_name}"
+            )
+            n = len(trace)
+            runs[f"{arch_name}/{scheme_name}"] = {
+                "reference_rps": round(n / ref_s, 1),
+                "fast_rps": round(n / fast_s, 1),
+                "speedup": round(ref_s / fast_s, 2),
+            }
+
+    return {
+        "preset": preset_name,
+        "num_requests": workload["num_requests"],
+        "num_objects": workload["num_objects"],
+        "trace_build": {
+            "generate_s": round(build_ref_s, 4),
+            "generate_columnar_s": round(build_fast_s, 4),
+            "speedup": round(build_ref_s / build_fast_s, 2),
+        },
+        "runs": runs,
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        ),
+    }
+
+
+def check_against_baseline(
+    current: dict, baseline_path: Path, tolerance: float
+) -> int:
+    """0 if every measured speedup is within tolerance of the baseline.
+
+    Speedups are compared against the *same preset's* baseline runs --
+    the full baseline embeds a ``quick`` section precisely so the CI
+    gate (which runs ``--quick``) never compares a small-trace ratio
+    against a large-trace one (amortization alone separates them).
+    """
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("preset") != current["preset"]:
+        baseline = baseline.get("quick", {})
+    baseline_runs = baseline.get("runs", {})
+    if not baseline_runs:
+        print(f"baseline {baseline_path} has no {current['preset']} runs")
+        return 1
+    failures = 0
+    for key, run in current["runs"].items():
+        base = baseline_runs.get(key)
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        status = "ok  " if run["speedup"] >= floor else "FAIL"
+        if run["speedup"] < floor:
+            failures += 1
+        print(
+            f"{status} {key}: speedup {run['speedup']}x "
+            f"(baseline {base['speedup']}x, floor {floor:.2f}x)"
+        )
+    if failures:
+        print(f"{failures} run(s) regressed beyond {tolerance:.0%} tolerance")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small preset (CI-sized)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the report here (default: BENCH_sim.json for the full "
+        "preset, stdout only for --quick)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare speedups against the committed baseline and fail on "
+        "regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_sim.json",
+        help="baseline file for --check",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional speedup regression for --check",
+    )
+    args = parser.parse_args(argv)
+
+    preset = "quick" if args.quick else "full"
+    report = run_benchmark(preset)
+    if not args.quick:
+        # Embed a quick-preset baseline so `--quick --check` in CI
+        # compares like against like.
+        report["quick"] = run_benchmark("quick")
+    print(json.dumps(report, indent=2))
+
+    out = args.out
+    if out is None and not args.quick:
+        out = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; nothing to check against")
+            return 1
+        return 1 if check_against_baseline(
+            report, args.baseline, args.tolerance
+        ) else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

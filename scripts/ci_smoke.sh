@@ -59,6 +59,23 @@ echo "== disabled-instrumentation overhead gate =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q \
     benchmarks/test_micro_probe_overhead.py
 
+echo "== fast-path micro speedup gate =="
+# The columnar kernels must stay recognizably faster than the reference
+# loop (conservative 2x floor; catches eligibility-check regressions
+# that silently reroute everything through the generic loop).
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q \
+    benchmarks/test_micro_fastpath.py
+
+echo "== columnar fast-path throughput gate =="
+# The quick benchmark preset, checked against the committed
+# BENCH_sim.json baseline: the bit-exactness assertion runs inside the
+# benchmark (fast summary == reference summary per run), and the
+# speedup *ratio* -- fast vs reference measured back to back in one
+# process, so machine speed cancels -- must stay within 20% of the
+# baseline's embedded quick-preset ratios.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python scripts/bench_sim.py \
+    --quick --check
+
 echo "== live serve/loadgen smoke (loopback TCP) =="
 # End to end through the serving layer: background `repro serve`, drive
 # part of the trace over real sockets with `repro loadgen`, scrape the

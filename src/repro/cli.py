@@ -459,7 +459,9 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         print("--timeseries-out requires --timeseries-window", file=sys.stderr)
         return 2
     generator = preset.generator()
-    trace = generator.generate()
+    trace = (
+        generator.generate_columnar() if args.columnar else generator.generate()
+    )
     arch = build_architecture(args.arch, preset.workload, seed=args.seed)
     audit: bool | AuditConfig = False
     if args.audit:
@@ -766,12 +768,15 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"({report.requests_measured} measured)"
     )
     print(f"  throughput        {report.requests_per_second:8.0f} req/s")
-    print(
-        f"  wall latency      mean {report.wall_latency_mean * 1e3:.3f} ms, "
-        f"p50/p90/p99 {report.wall_latency_percentiles[0] * 1e3:.3f} / "
-        f"{report.wall_latency_percentiles[1] * 1e3:.3f} / "
-        f"{report.wall_latency_percentiles[2] * 1e3:.3f} ms"
-    )
+    if report.wall_latency_mean is None:
+        print("  wall latency      n/a (no completed requests)")
+    else:
+        print(
+            f"  wall latency      mean {report.wall_latency_mean * 1e3:.3f} ms, "
+            f"p50/p90/p99 {report.wall_latency_percentiles[0] * 1e3:.3f} / "
+            f"{report.wall_latency_percentiles[1] * 1e3:.3f} / "
+            f"{report.wall_latency_percentiles[2] * 1e3:.3f} ms"
+        )
     print(f"  modelled latency  {s.mean_latency:.5f}")
     print(f"  byte hit ratio    {s.byte_hit_ratio:.4f}")
     print(f"  hit ratio         {s.hit_ratio:.4f}")
@@ -912,6 +917,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=3.0,
         help="d-cache size as a multiple of the main cache's object count",
+    )
+    sim.add_argument(
+        "--columnar",
+        action="store_true",
+        help="build the trace as arrays (generate_columnar, bit-identical "
+        "to the default) and take the batched fast path where eligible; "
+        "audit and instrumentation flags fall back to the reference loop",
     )
     sim.add_argument(
         "--audit",

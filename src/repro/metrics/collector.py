@@ -89,6 +89,33 @@ class MetricsCollector:
     def requests(self) -> int:
         return self._requests
 
+    @classmethod
+    def from_totals(
+        cls, totals: dict, reservoir: list[float]
+    ) -> "MetricsCollector":
+        """Rebuild a collector from :meth:`totals` output plus a reservoir.
+
+        Inverse of :meth:`totals`, used by the simulation engine's fast
+        path: kernels accumulate the same raw totals inline (bit-for-bit
+        the reference accumulation order) and restore them here, so
+        :meth:`summary` stays the single source of derived metrics.  The
+        reservoir must have been filled with the collector's deterministic
+        sampling rule for percentiles to match.
+        """
+        collector = cls()
+        collector._requests = totals["requests"]
+        collector._latency = totals["latency_sum"]
+        collector._response_ratio = totals["response_ratio_sum"]
+        collector._bytes_requested = totals["bytes_requested"]
+        collector._bytes_cache_served = totals["bytes_cache_served"]
+        collector._cache_hits = totals["cache_hits"]
+        collector._byte_hops = totals["byte_hops"]
+        collector._hops = totals["hops"]
+        collector._bytes_read = totals["bytes_read"]
+        collector._bytes_written = totals["bytes_written"]
+        collector._reservoir = list(reservoir)
+        return collector
+
     def totals(self) -> dict:
         """Raw accumulator snapshot (consumed by the audit layer).
 

@@ -34,7 +34,7 @@ import asyncio
 import math
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.metrics.collector import MetricsCollector, MetricsSummary
 from repro.schemes.base import RequestOutcome
@@ -91,8 +91,11 @@ class LoadReport:
     summary: MetricsSummary
     duration_seconds: float
     requests_per_second: float
-    wall_latency_mean: float
-    wall_latency_percentiles: Tuple[float, float, float]
+    # None (JSON null) when no request completed -- never NaN.
+    wall_latency_mean: Optional[float]
+    wall_latency_percentiles: Tuple[
+        Optional[float], Optional[float], Optional[float]
+    ]
     updates_applied: int = 0
     copies_invalidated: int = 0
     errors: int = 0
@@ -132,10 +135,17 @@ class LoadReport:
         }
 
 
-def _percentiles(samples: Sequence[float]) -> Tuple[float, float, float]:
-    """Nearest-rank p50/p90/p99 (the collector's convention)."""
+def _percentiles(
+    samples: Sequence[float],
+) -> Tuple[Optional[float], Optional[float], Optional[float]]:
+    """Nearest-rank p50/p90/p99 (the collector's convention).
+
+    An empty sample set yields ``None`` entries -- serialized by
+    ``json.dumps`` as standard ``null`` -- rather than ``nan``, which
+    would be emitted as the non-standard bare ``NaN`` token.
+    """
     if not samples:
-        return (math.nan, math.nan, math.nan)
+        return (None, None, None)
     ordered = sorted(samples)
     return tuple(
         ordered[max(0, math.ceil(q * len(ordered)) - 1)]
@@ -355,17 +365,35 @@ class LoadGenerator:
                 origin_served += 1
             if item.index >= warmup_end:
                 collector.record(item.outcome, item.latency)
+        if collector.requests:
+            summary = collector.summary()
+        else:
+            # Zero measured requests (every completion errored or landed
+            # in warm-up): an all-zero summary with null percentiles
+            # keeps the report shape stable and the JSON standard.
+            summary = MetricsSummary(
+                requests=0,
+                mean_latency=0.0,
+                mean_response_ratio=0.0,
+                byte_hit_ratio=0.0,
+                hit_ratio=0.0,
+                mean_traffic_byte_hops=0.0,
+                mean_hops=0.0,
+                mean_read_load=0.0,
+                mean_write_load=0.0,
+                latency_percentiles=(None, None, None),
+            )
         return LoadReport(
             mode=mode,
             requests_total=total,
             requests_measured=collector.requests,
-            summary=collector.summary(),
+            summary=summary,
             duration_seconds=duration,
             requests_per_second=(
                 len(completed) / duration if duration > 0 else 0.0
             ),
             wall_latency_mean=(
-                sum(wall) / len(wall) if wall else math.nan
+                sum(wall) / len(wall) if wall else None
             ),
             wall_latency_percentiles=_percentiles(wall),
             updates_applied=applied,

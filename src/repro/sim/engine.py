@@ -21,6 +21,7 @@ from repro.obs.timers import PHASE_ROUTING, PHASE_SCHEME
 from repro.schemes.base import CachingScheme
 from repro.sim.architecture import Architecture
 from repro.verify.auditor import AuditConfig, Auditor, AuditReport
+from repro.workload.columnar import ColumnarTrace
 from repro.workload.trace import Trace
 from repro.workload.updates import UpdateEvent
 
@@ -80,7 +81,7 @@ class SimulationEngine:
 
     def run(
         self,
-        trace: Trace,
+        trace: Trace | ColumnarTrace,
         updates: Sequence[UpdateEvent] = (),
         interval_collector=None,
         progress_every: int = 0,
@@ -140,6 +141,26 @@ class SimulationEngine:
             auditor.attach(self.scheme)
         if instruments is not None and not instruments.active:
             instruments = None
+        if (
+            auditor is None
+            and instruments is None
+            and isinstance(trace, ColumnarTrace)
+        ):
+            # Columnar fast path: bit-identical results without the
+            # per-record overhead.  Audited/instrumented runs stay on the
+            # reference loop below (their hooks observe every record);
+            # a ColumnarTrace iterates lazily there, so either loop
+            # accepts either trace representation.
+            from repro.sim.fastpath import run_columnar
+
+            return run_columnar(
+                self,
+                trace,
+                updates=updates,
+                interval_collector=interval_collector,
+                progress_every=progress_every,
+                progress_callback=progress_callback,
+            )
         probe = registry = timers = None
         snapshot_every = 0
         if instruments is not None:

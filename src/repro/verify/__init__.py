@@ -17,11 +17,15 @@ silently: runs complete, metrics just drift.  This package catches it:
 * :mod:`repro.verify.metamorphic` -- known-effect transformations
   (delay scaling, zero capacity);
 * :mod:`repro.verify.selftest` -- seeded mutations proving the layer
-  actually detects deliberately broken schemes.
+  actually detects deliberately broken schemes;
+* :mod:`repro.verify.fastpath_diff` -- the columnar fast path's shadow
+  gate: reference loop vs batched kernels, bit-identical results and
+  final cache/d-cache/protocol state.
 
-``replay``, ``metamorphic`` and ``selftest`` import the simulation
-engine and are therefore *not* re-exported here (the engine itself
-imports :mod:`repro.verify.auditor`); import them as submodules.
+``replay``, ``metamorphic``, ``selftest`` and ``fastpath_diff`` import
+the simulation engine and are therefore *not* re-exported here (the
+engine itself imports :mod:`repro.verify.auditor`); import them as
+submodules.
 """
 
 from repro.verify.auditor import AuditConfig, AuditReport, Auditor

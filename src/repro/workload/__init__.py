@@ -11,6 +11,11 @@ sizes, Poisson request arrivals and random client/server placement.
 from repro.workload.catalog import ObjectCatalog, SizeDistribution
 from repro.workload.zipf import ZipfSampler
 from repro.workload.trace import Trace, TraceRecord, read_trace_csv, write_trace_csv
+from repro.workload.columnar import (
+    ColumnarTrace,
+    read_trace_csv_columnar,
+    write_trace_csv_columnar,
+)
 from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
 from repro.workload.scenarios import inject_flash_crowd, inject_scan
 from repro.workload.stats import fit_zipf, summarize_trace
@@ -18,6 +23,7 @@ from repro.workload.updates import UpdateEvent, generate_update_events
 
 __all__ = [
     "BoeingLikeTraceGenerator",
+    "ColumnarTrace",
     "ObjectCatalog",
     "SizeDistribution",
     "Trace",
@@ -30,6 +36,8 @@ __all__ = [
     "inject_flash_crowd",
     "inject_scan",
     "read_trace_csv",
+    "read_trace_csv_columnar",
     "summarize_trace",
     "write_trace_csv",
+    "write_trace_csv_columnar",
 ]

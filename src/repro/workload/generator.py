@@ -23,9 +23,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Iterator
+
 from repro.workload.catalog import ObjectCatalog, SizeDistribution
+from repro.workload.columnar import ColumnarTrace
 from repro.workload.trace import Trace, TraceRecord
 from repro.workload.zipf import ZipfSampler
+
+# Salt mixed into the streaming generator's seed sequence, fixed forever:
+# the chunked stream is its own canonical workload (see `stream`), and its
+# determinism contract is (seed, salt) -> stream, independent of chunking.
+_STREAM_SALT = 0x57A3
+
+# Candidate batch of the streaming diurnal thinner.  Deliberately fixed
+# (not tied to chunk_records) so the accept/reject RNG consumption -- and
+# therefore the emitted stream -- is invariant to the chunk size.
+_THIN_BATCH = 4096
 
 
 @dataclass(frozen=True)
@@ -100,10 +113,17 @@ class BoeingLikeTraceGenerator:
             )
         return self._catalog
 
-    def generate(self) -> Trace:
-        """Produce one trace; identical seeds produce identical traces."""
+    def _draw_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw the (times, clients, object_ids) columns of one trace.
+
+        Single source of the RNG consumption order shared by
+        :meth:`generate` and :meth:`generate_columnar`, so the two are
+        bit-identical by construction.  The diurnal branch draws its
+        arrival times *instead of* the homogeneous exponential stream --
+        drawing both and discarding one (the pre-fix behavior) burned RNG
+        values in the hot trace-build path and shifted every draw after it.
+        """
         cfg = self.config
-        catalog = self.catalog
         rng = np.random.default_rng(cfg.seed + 1)
 
         rank_to_object = rng.permutation(cfg.num_objects)
@@ -113,12 +133,20 @@ class BoeingLikeTraceGenerator:
         if cfg.temporal_locality > 0:
             object_ids = self._apply_temporal_locality(object_ids, rng)
 
-        inter_arrivals = rng.exponential(1.0 / cfg.request_rate, size=cfg.num_requests)
-        times = np.cumsum(inter_arrivals)
         if cfg.diurnal_amplitude > 0:
             times = self._apply_diurnal_modulation(rng)
+        else:
+            inter_arrivals = rng.exponential(
+                1.0 / cfg.request_rate, size=cfg.num_requests
+            )
+            times = np.cumsum(inter_arrivals)
         clients = rng.integers(cfg.num_clients, size=cfg.num_requests)
+        return times, clients, object_ids
 
+    def generate(self) -> Trace:
+        """Produce one trace; identical seeds produce identical traces."""
+        catalog = self.catalog
+        times, clients, object_ids = self._draw_columns()
         records = [
             TraceRecord(
                 time=float(times[i]),
@@ -127,9 +155,28 @@ class BoeingLikeTraceGenerator:
                 server_id=catalog.server(int(object_ids[i])),
                 size=catalog.size(int(object_ids[i])),
             )
-            for i in range(cfg.num_requests)
+            for i in range(self.config.num_requests)
         ]
         return Trace(records)
+
+    def generate_columnar(self) -> ColumnarTrace:
+        """Produce the same trace as :meth:`generate`, as columns.
+
+        Bit-identical to ``ColumnarTrace.from_trace(self.generate())``
+        (same RNG stream, same values) but built entirely from array ops --
+        no per-record dataclasses -- so trace construction is itself part
+        of the fast path.
+        """
+        catalog = self.catalog
+        times, clients, object_ids = self._draw_columns()
+        object_ids = object_ids.astype(np.int64, copy=False)
+        return ColumnarTrace(
+            times=times,
+            client_ids=clients,
+            object_ids=object_ids,
+            server_ids=catalog.servers[object_ids],
+            sizes=catalog.sizes[object_ids],
+        )
 
     def _apply_temporal_locality(
         self, object_ids: np.ndarray, rng: np.random.Generator
@@ -176,3 +223,133 @@ class BoeingLikeTraceGenerator:
             total += len(keep)
         times = np.concatenate(accepted)[: cfg.num_requests]
         return times
+
+    # -- streaming -------------------------------------------------------------
+
+    def stream(self, chunk_records: int = 65_536) -> Iterator[ColumnarTrace]:
+        """Yield the workload as :class:`ColumnarTrace` chunks, O(chunk) memory.
+
+        For billion-request runs the full trace cannot be materialized;
+        this generator produces consecutive chunks of at most
+        ``chunk_records`` requests whose concatenation is one valid trace
+        of ``num_requests`` requests with the configured statistical
+        properties.
+
+        Determinism contract: the emitted stream is a function of the
+        workload config alone -- **invariant to ``chunk_records``** --
+        because every drawn field consumes its own spawned RNG stream
+        (numpy's distribution generators are sequential per value, so
+        chunked draws concatenate exactly).  The stream is a *different*
+        (equally canonical) realization than :meth:`generate`, whose
+        single-stream whole-array draw order cannot be reproduced
+        incrementally; ``generate_columnar`` is the bit-identical
+        columnar twin of :meth:`generate`, ``stream`` is the scalable
+        one.
+        """
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        cfg = self.config
+        catalog = self.catalog
+        seq = np.random.SeedSequence((cfg.seed + 1, _STREAM_SALT))
+        r_perm, r_rank, r_repeat, r_offset, r_time, r_client = (
+            np.random.default_rng(s) for s in seq.spawn(6)
+        )
+        rank_to_object = r_perm.permutation(cfg.num_objects)
+        sampler = ZipfSampler(cfg.num_objects, cfg.zipf_theta)
+        window = cfg.locality_window
+        tail: list[int] = []  # last `window` emitted ids (locality carry-over)
+        arrivals = (
+            _DiurnalThinner(cfg, r_time)
+            if cfg.diurnal_amplitude > 0
+            else _HomogeneousArrivals(cfg, r_time)
+        )
+        emitted = 0
+        while emitted < cfg.num_requests:
+            n = min(chunk_records, cfg.num_requests - emitted)
+            ranks = sampler.sample(n, r_rank)
+            object_ids = rank_to_object[ranks].astype(np.int64, copy=False)
+            if cfg.temporal_locality > 0:
+                repeat = r_repeat.random(n) < cfg.temporal_locality
+                offsets = r_offset.integers(1, window + 1, size=n)
+                ids = object_ids.tolist()
+                for i in range(n):
+                    if repeat[i] and emitted + i > 0:
+                        # Global reference index max(0, g - offset), as in
+                        # _apply_temporal_locality; negative local indices
+                        # land in the previous chunks' tail (`tail` stays
+                        # frozen while this chunk is rewritten).
+                        j = max(0, emitted + i - int(offsets[i])) - emitted
+                        ids[i] = ids[j] if j >= 0 else tail[j]
+                tail = (tail + ids)[-window:]
+                object_ids = np.array(ids, dtype=np.int64)
+            times = arrivals.take(n)
+            clients = r_client.integers(cfg.num_clients, size=n)
+            yield ColumnarTrace(
+                times=times,
+                client_ids=clients,
+                object_ids=object_ids,
+                server_ids=catalog.servers[object_ids],
+                sizes=catalog.sizes[object_ids],
+                validate=False,
+            )
+            emitted += n
+
+
+class _HomogeneousArrivals:
+    """Incremental Poisson arrival times for the streaming path.
+
+    Gaps are drawn and cumulative-summed in fixed ``_THIN_BATCH`` batches
+    (never per requested chunk), so the floating-point summation pattern
+    -- and therefore every emitted time, bit for bit -- is invariant to
+    the consumer's chunk size.
+    """
+
+    def __init__(self, config: WorkloadConfig, rng: np.random.Generator) -> None:
+        self._scale = 1.0 / config.request_rate
+        self._rng = rng
+        self._t = 0.0
+        self._buffer = np.empty(0, dtype=np.float64)
+
+    def take(self, count: int) -> np.ndarray:
+        while len(self._buffer) < count:
+            gaps = self._rng.exponential(self._scale, size=_THIN_BATCH)
+            times = self._t + np.cumsum(gaps)
+            self._t = float(times[-1])
+            self._buffer = np.concatenate([self._buffer, times])
+        out = self._buffer[:count].copy()
+        self._buffer = self._buffer[count:]
+        return out
+
+
+class _DiurnalThinner:
+    """Incremental inhomogeneous-Poisson thinning for the streaming path.
+
+    Same accept/reject construction as
+    :meth:`BoeingLikeTraceGenerator._apply_diurnal_modulation`, but
+    candidates are drawn in fixed-size batches with accepted times carried
+    over between ``take`` calls, so memory stays O(batch) and the output
+    does not depend on how many times are requested at once.
+    """
+
+    def __init__(self, config: WorkloadConfig, rng: np.random.Generator) -> None:
+        self._cfg = config
+        self._rng = rng
+        self._peak = config.request_rate * (1 + config.diurnal_amplitude)
+        self._t = 0.0
+        self._buffer = np.empty(0, dtype=np.float64)
+
+    def take(self, count: int) -> np.ndarray:
+        cfg = self._cfg
+        while len(self._buffer) < count:
+            gaps = self._rng.exponential(1.0 / self._peak, size=_THIN_BATCH)
+            candidates = self._t + np.cumsum(gaps)
+            self._t = float(candidates[-1])
+            intensity = cfg.request_rate * (
+                1 + cfg.diurnal_amplitude
+                * np.sin(2 * np.pi * candidates / cfg.diurnal_period)
+            )
+            keep = candidates[self._rng.random(_THIN_BATCH) < intensity / self._peak]
+            self._buffer = np.concatenate([self._buffer, keep])
+        out = self._buffer[:count].copy()
+        self._buffer = self._buffer[count:]
+        return out

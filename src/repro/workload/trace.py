@@ -10,7 +10,9 @@ after a straightforward field mapping.
 from __future__ import annotations
 
 import csv
+from collections import Counter
 from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence
 
@@ -76,16 +78,19 @@ class Trace:
         return int(len(self._records) * warmup_fraction), len(self._records)
 
     def total_requested_bytes(self, start: int = 0) -> int:
-        return sum(r.size for r in self._records[start:])
+        # islice instead of a list-slice copy: summing the tail of a large
+        # trace must not allocate a second tail.
+        return sum(r.size for r in islice(self._records, start, None))
 
     def unique_objects(self) -> int:
         return len({r.object_id for r in self._records})
 
     def most_popular(self, top: int) -> List[int]:
-        """Ids of the ``top`` most-requested objects, by request count."""
-        counts: dict[int, int] = {}
-        for record in self._records:
-            counts[record.object_id] = counts.get(record.object_id, 0) + 1
+        """Ids of the ``top`` most-requested objects, by request count.
+
+        Ties break towards the smaller object id (count desc, id asc).
+        """
+        counts = Counter(r.object_id for r in self._records)
         ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
         return [object_id for object_id, _ in ranked[:top]]
 

@@ -1,0 +1,76 @@
+"""LoadGenerator report folding edge cases (no live cluster needed).
+
+The degenerate runs -- every request errored, or every completion landed
+in the warm-up window -- must still produce a well-formed
+:class:`~repro.serve.loadgen.LoadReport`: an all-zero summary, ``None``
+latency fields (JSON ``null``), and never a bare ``NaN`` token in the
+serialized manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.serve.loadgen import LoadGenerator, _percentiles
+from repro.workload.trace import Trace, TraceRecord
+
+
+def _tiny_trace(n: int = 10) -> Trace:
+    return Trace(
+        [
+            TraceRecord(
+                time=float(i), client_id=0, object_id=i, server_id=0, size=100
+            )
+            for i in range(n)
+        ]
+    )
+
+
+def _loadgen(trace: Trace) -> LoadGenerator:
+    # _report only touches self.trace / self.warmup_fraction; skip the
+    # cluster-wiring __init__ so the fold is testable without sockets.
+    gen = object.__new__(LoadGenerator)
+    gen.trace = trace
+    gen.warmup_fraction = 0.5
+    return gen
+
+
+class TestPercentiles:
+    def test_empty_samples_are_null_not_nan(self):
+        p50, p90, p99 = _percentiles([])
+        assert p50 is None and p90 is None and p99 is None
+
+    def test_single_sample(self):
+        assert _percentiles([4.2]) == (4.2, 4.2, 4.2)
+
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))
+        assert _percentiles(samples) == (50, 90, 99)
+
+
+class TestZeroCompletedReport:
+    def test_report_shape_and_json(self):
+        report = _loadgen(_tiny_trace())._report(
+            mode="open",
+            completed=[],
+            duration=0.25,
+            applied=0,
+            invalidated=0,
+            errors=10,
+        )
+        assert report.requests_measured == 0
+        assert report.summary.requests == 0
+        assert report.summary.mean_latency == 0.0
+        assert report.summary.latency_percentiles == (None, None, None)
+        assert report.wall_latency_mean is None
+        assert report.wall_latency_percentiles == (None, None, None)
+        assert report.errors == 10
+
+        payload = json.dumps(report.to_dict())
+        assert "NaN" not in payload and "Infinity" not in payload
+        decoded = json.loads(payload)
+        assert decoded["wall_latency_mean"] is None
+        assert decoded["wall_latency_p99"] is None
+        for value in decoded["modelled"].values():
+            assert value == 0.0 and not math.isnan(value)

@@ -96,9 +96,11 @@ def main() -> None:
     report, ingress, handled = asyncio.run(
         serve_over_tcp(architecture, trace, generator.catalog)
     )
+    rps = report.requests_per_second
     print(
         f"{report.requests_total} requests in {report.duration_seconds:.2f}s "
-        f"({report.requests_per_second:.0f} req/s), {report.errors} errors"
+        f"({f'{rps:.0f} req/s' if rps is not None else 'rps n/a'}), "
+        f"{report.errors} errors"
     )
     print(
         f"wall latency mean {report.wall_latency_mean * 1e3:.2f} ms, "

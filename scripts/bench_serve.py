@@ -1,0 +1,464 @@
+"""Live-cluster saturation benchmark: sharded serve vs open-loop load.
+
+Stands up a :class:`~repro.serve.shard.ShardedCluster` (worker processes
+connected over loopback TCP), then drives it with a **multi-process
+open-loop load generator**: ``--procs`` driver processes, each pacing a
+round-robin slice of a Poisson-retimed trace at absolute wall-clock fire
+times, so the combined arrival process offers a controlled aggregate
+rate regardless of how fast the cluster answers.  Levels sweep the
+offered rate upward and record the saturation curve -- achieved
+throughput, wall-latency percentiles, and backpressure counters per
+level -- into ``BENCH_serve.json``.
+
+The **saturation point** is the highest offered level the cluster
+sustains: achieved >= ``SUSTAIN_RATIO`` x offered, zero client-visible
+errors, and p99 wall latency under ``--p99-bound``.  Client rejections
+(``busy`` shed after retries) are backpressure, not failure: they cap
+the achieved rate and show up in the curve, which is exactly how an
+admission-controlled system is supposed to saturate.
+
+Ratios, not raw req/s, are the regression currency (same convention as
+``bench_sim.py``): the committed baseline's ``quick`` section records
+the achieved/offered ratio at a level far below any machine's
+saturation, and ``--quick --check`` fails if that ratio regresses by
+more than ``--tolerance`` or any quick level sees client-visible
+errors.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_serve.py                  # full, writes BENCH_serve.json
+    PYTHONPATH=src python scripts/bench_serve.py --quick          # CI-sized, no write
+    PYTHONPATH=src python scripts/bench_serve.py --quick --check  # CI regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import multiprocessing
+import random
+import resource
+import sys
+import time
+import traceback
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.costs.model import LatencyCostModel  # noqa: E402
+from repro.experiments.presets import build_architecture  # noqa: E402
+from repro.serve import ClusterClient, LoadGenerator, TCPTransport  # noqa: E402
+from repro.serve.shard import ShardedCluster  # noqa: E402
+from repro.sim.config import SimulationConfig  # noqa: E402
+from repro.workload.generator import (  # noqa: E402
+    BoeingLikeTraceGenerator,
+    WorkloadConfig,
+)
+from repro.workload.trace import Trace, TraceRecord  # noqa: E402
+
+# A level is "sustained" when achieved/offered stays above this.
+SUSTAIN_RATIO = 0.9
+
+PRESETS = {
+    # Sized for a small CI box: the interesting part is the *shape* of
+    # the curve (flat ratio, then the knee), not the absolute knee.
+    "full": {
+        "workload": dict(
+            num_objects=2_000,
+            num_servers=8,
+            num_clients=20_000,
+            num_requests=20_000,
+            zipf_theta=0.8,
+            seed=7,
+        ),
+        "arch": "hierarchical",
+        "scheme": "coordinated",
+        "shards": 2,
+        "procs": 2,
+        "levels": (50, 100, 200, 400, 800, 1600),
+        "seconds": 10.0,
+        "max_inflight": 512,
+        "inflight_limit": 20_000,
+        "conn_cap": 64,
+    },
+    "quick": {
+        "workload": dict(
+            num_objects=500,
+            num_servers=4,
+            num_clients=200,
+            num_requests=4_000,
+            zipf_theta=0.8,
+            seed=7,
+        ),
+        "arch": "hierarchical",
+        "scheme": "coordinated",
+        "shards": 2,
+        "procs": 1,
+        "levels": (25, 100),
+        "seconds": 6.0,
+        "max_inflight": 512,
+        "inflight_limit": 20_000,
+        "conn_cap": 32,
+    },
+}
+
+_CACHE_SIZE = 0.01
+_ARCH_SEED = 4
+
+
+def _retime(base: Trace, offered_rps: float, seconds: float, seed: int):
+    """A Poisson arrival stream at ``offered_rps`` cycled over ``base``.
+
+    Returns plain record tuples (picklable for the driver pipes); the
+    cycled base trace supplies the popularity/attachment structure, the
+    exponential inter-arrivals supply the offered load.
+    """
+    rng = random.Random(seed)
+    records = []
+    now = 0.0
+    index = 0
+    n = len(base)
+    while now < seconds:
+        r = base[index % n]
+        records.append((now, r.client_id, r.object_id, r.server_id, r.size))
+        now += rng.expovariate(offered_rps)
+        index += 1
+    return records
+
+
+def _bench_worker_main(spec: dict, conn) -> None:
+    """One persistent load-driver process (spawn-safe, module level).
+
+    Protocol: recv ``("run", records)`` -> drive the slice open-loop ->
+    send ``("result", {...})``; recv ``("exit",)`` -> return.  Crashes
+    are shipped back as ``("error", traceback)``.
+    """
+    try:
+        workload = WorkloadConfig(**spec["workload"])
+        generator = BoeingLikeTraceGenerator(workload)
+        arch = build_architecture(spec["arch"], workload, seed=_ARCH_SEED)
+        cost_model = LatencyCostModel(arch.network, generator.catalog.mean_size)
+        addresses = {int(n): tuple(a) for n, a in spec["addresses"].items()}
+
+        async def drive(records) -> dict:
+            trace = Trace(
+                [
+                    TraceRecord(
+                        time=t,
+                        client_id=c,
+                        object_id=o,
+                        server_id=srv,
+                        size=size,
+                    )
+                    for t, c, o, srv, size in records
+                ]
+            )
+            client = ClusterClient(
+                arch,
+                cost_model,
+                addresses,
+                TCPTransport(max_connections_per_address=spec["conn_cap"]),
+            )
+            loadgen = LoadGenerator(client, trace, warmup_fraction=0.2)
+            try:
+                report = await loadgen.run(
+                    mode="open",
+                    speedup=1.0,  # fire times are already wall seconds
+                    max_errors=1_000_000_000,  # count, never abort
+                    open_inflight_limit=spec["inflight_limit"],
+                    busy_retries=3,
+                )
+            finally:
+                await client.close()
+            completed = report.cache_served + report.origin_served
+            return {
+                "offered": len(trace),
+                "completed": completed,
+                "measured_rps": report.requests_per_second,
+                "errors": report.errors,
+                "rejected": report.rejected,
+                "shed": report.shed,
+                "busy_retries": report.busy_retries,
+                # Wall samples travel back for cross-process percentile
+                # merging; a level is at most a few tens of thousands.
+                "wall": [round(w, 6) for w in loadgen.last_wall_samples],
+            }
+
+        while True:
+            message = conn.recv()
+            if message[0] == "exit":
+                return
+            if message[0] != "run":
+                raise RuntimeError(f"unexpected command {message[0]!r}")
+            conn.send(("result", asyncio.run(drive(message[1]))))
+    except Exception:  # noqa: BLE001 - shipped to the parent verbatim
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _percentile(samples, q: float):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+
+
+def run_benchmark(preset_name: str) -> dict:
+    preset = PRESETS[preset_name]
+    workload = WorkloadConfig(**preset["workload"])
+    generator = BoeingLikeTraceGenerator(workload)
+    base = generator.generate()
+    arch = build_architecture(preset["arch"], workload, seed=_ARCH_SEED)
+    config = SimulationConfig(relative_cache_size=_CACHE_SIZE)
+
+    cluster = ShardedCluster(
+        arch,
+        generator.catalog,
+        preset["scheme"],
+        num_shards=preset["shards"],
+        config=config,
+        max_inflight=preset["max_inflight"],
+    )
+    addresses = cluster.start()
+    procs = preset["procs"]
+    ctx = multiprocessing.get_context("spawn")
+    workers = []
+    pipes = []
+    levels = []
+    try:
+        spec = {
+            "workload": preset["workload"],
+            "arch": preset["arch"],
+            "addresses": {n: list(a) for n, a in addresses.items()},
+            "conn_cap": preset["conn_cap"],
+            "inflight_limit": preset["inflight_limit"],
+        }
+        for worker_index in range(procs):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_bench_worker_main,
+                args=(spec, child_conn),
+                daemon=True,
+                name=f"bench-driver-{worker_index}",
+            )
+            process.start()
+            child_conn.close()
+            workers.append(process)
+            pipes.append(parent_conn)
+
+        for level_index, offered in enumerate(preset["levels"]):
+            records = _retime(
+                base, float(offered), preset["seconds"], seed=100 + level_index
+            )
+            slices = [records[p::procs] for p in range(procs)]
+            started = time.perf_counter()
+            for conn, piece in zip(pipes, slices):
+                conn.send(("run", piece))
+            results = []
+            for worker_index, conn in enumerate(pipes):
+                deadline = preset["seconds"] * 10 + 120
+                if not conn.poll(deadline):
+                    raise RuntimeError(
+                        f"driver {worker_index} stalled on level {offered}"
+                    )
+                message = conn.recv()
+                if message[0] == "error":
+                    raise RuntimeError(
+                        f"driver {worker_index} crashed:\n{message[1]}"
+                    )
+                results.append(message[1])
+            wall_clock = time.perf_counter() - started
+            offered_total = sum(r["offered"] for r in results)
+            completed = sum(r["completed"] for r in results)
+            errors = sum(r["errors"] for r in results)
+            rejected = sum(r["rejected"] for r in results)
+            shed = sum(r["shed"] for r in results)
+            walls = [w for r in results for w in r["wall"]]
+            achieved = completed / wall_clock if wall_clock > 0 else 0.0
+            level = {
+                "offered_rps": offered,
+                "offered_requests": offered_total,
+                "completed": completed,
+                "achieved_rps": round(achieved, 1),
+                "achieved_ratio": round(achieved / offered, 3),
+                "errors": errors,
+                "rejected": rejected,
+                "shed": shed,
+                "busy_retries": sum(r["busy_retries"] for r in results),
+                "wall_p50": _percentile(walls, 0.50),
+                "wall_p90": _percentile(walls, 0.90),
+                "wall_p99": _percentile(walls, 0.99),
+            }
+            levels.append(level)
+            print(
+                f"level {offered:>5} rps: achieved {level['achieved_rps']:>7} "
+                f"(ratio {level['achieved_ratio']:.2f}) "
+                f"p99 {level['wall_p99'] if level['wall_p99'] is None else round(level['wall_p99'], 4)}s "
+                f"errors {errors} rejected {rejected} shed {shed}",
+                flush=True,
+            )
+        for conn in pipes:
+            conn.send(("exit",))
+        for process in workers:
+            process.join(timeout=10.0)
+    finally:
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        cluster.stop()
+    return levels
+
+
+def summarize(preset_name: str, levels, p99_bound: float) -> dict:
+    preset = PRESETS[preset_name]
+    saturation = None
+    for level in levels:
+        ok = (
+            level["achieved_ratio"] >= SUSTAIN_RATIO
+            and level["errors"] == 0
+            and (level["wall_p99"] is None or level["wall_p99"] <= p99_bound)
+        )
+        if ok:
+            saturation = level
+    return {
+        "preset": preset_name,
+        "scheme": preset["scheme"],
+        "arch": preset["arch"],
+        "shards": preset["shards"],
+        "procs": preset["procs"],
+        "clients": preset["workload"]["num_clients"],
+        "seconds_per_level": preset["seconds"],
+        "p99_bound_s": p99_bound,
+        "sustain_ratio": SUSTAIN_RATIO,
+        "levels": levels,
+        "saturation": (
+            None
+            if saturation is None
+            else {
+                "offered_rps": saturation["offered_rps"],
+                "achieved_rps": saturation["achieved_rps"],
+                "wall_p99": saturation["wall_p99"],
+            }
+        ),
+    }
+
+
+def check_against_baseline(
+    current: dict, baseline_path: Path, tolerance: float
+) -> int:
+    """0 when the quick curve holds up against the committed baseline.
+
+    Two machine-portable invariants: the achieved/offered ratio at the
+    *lowest* quick level (far below any machine's knee, so it should sit
+    near 1.0 everywhere) must not regress beyond ``tolerance``, and no
+    quick level may show client-visible errors.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("preset") != current["preset"]:
+        baseline = baseline.get("quick", {})
+    base_levels = baseline.get("levels", [])
+    if not base_levels:
+        print(f"baseline {baseline_path} has no {current['preset']} levels")
+        return 1
+    failures = 0
+    base_low = base_levels[0]
+    cur_low = current["levels"][0]
+    floor = base_low["achieved_ratio"] * (1.0 - tolerance)
+    status = "ok  " if cur_low["achieved_ratio"] >= floor else "FAIL"
+    if cur_low["achieved_ratio"] < floor:
+        failures += 1
+    print(
+        f"{status} level {cur_low['offered_rps']} rps: ratio "
+        f"{cur_low['achieved_ratio']:.3f} (baseline "
+        f"{base_low['achieved_ratio']:.3f}, floor {floor:.3f})"
+    )
+    for level in current["levels"]:
+        status = "ok  " if level["errors"] == 0 else "FAIL"
+        if level["errors"]:
+            failures += 1
+        print(
+            f"{status} level {level['offered_rps']} rps: "
+            f"{level['errors']} client-visible errors"
+        )
+    if failures:
+        print(f"{failures} check(s) failed beyond {tolerance:.0%} tolerance")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized preset"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the report here (default: BENCH_serve.json for the "
+        "full preset, stdout only for --quick)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline and fail on regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+        help="baseline file for --check",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional ratio regression for --check",
+    )
+    parser.add_argument(
+        "--p99-bound",
+        type=float,
+        default=2.0,
+        help="p99 wall-latency bound (seconds) for calling a level sustained",
+    )
+    args = parser.parse_args(argv)
+
+    preset = "quick" if args.quick else "full"
+    report = summarize(preset, run_benchmark(preset), args.p99_bound)
+    if not args.quick:
+        # Embed a quick-preset baseline so `--quick --check` in CI
+        # compares like against like.
+        report["quick"] = summarize(
+            "quick", run_benchmark("quick"), args.p99_bound
+        )
+    report["peak_rss_mb"] = round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+    )
+    print(json.dumps(report, indent=2))
+
+    out = args.out
+    if out is None and not args.quick:
+        out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out}")
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; nothing to check against")
+            return 1
+        return (
+            1
+            if check_against_baseline(report, args.baseline, args.tolerance)
+            else 0
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -171,3 +171,50 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || true
 SERVE_PID=""
 echo "chaos smoke survived the fault plan with zero client-visible errors"
+
+echo "== sharded serve smoke (two worker processes, open-loop load) =="
+# The cluster split across two shard worker processes, driven open-loop
+# (requests fire at retimed trace timestamps regardless of completions).
+# Gates: zero client-visible errors AND zero rejections -- at this
+# offered rate the cluster must absorb everything -- plus nonzero
+# cross-shard forward counters in the drain snapshot, proving walks
+# really crossed the process boundary.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python -m repro serve \
+    --scheme coordinated --arch hierarchical --scale small \
+    --shards 2 --no-metrics \
+    --manifest "$SERVE_DIR/sharded.json" \
+    --snapshot "$SERVE_DIR/sharded_snapshot.json" &
+SERVE_PID=$!
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python -m repro loadgen \
+    --manifest "$SERVE_DIR/sharded.json" --mode open --speedup 300 \
+    --requests 1500 --wait 60 --json "$SERVE_DIR/sharded_report.json"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=""
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python - \
+    "$SERVE_DIR/sharded_report.json" "$SERVE_DIR/sharded_snapshot.json" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report["errors"] == 0, f"client-visible errors: {report['errors']}"
+assert report["rejected"] == 0, f"rejected requests: {report['rejected']}"
+snapshot = json.load(open(sys.argv[2]))
+assert snapshot["num_shards"] == 2, snapshot["num_shards"]
+xfwd = sum(
+    node["stats"].get("cross_shard_fwds", 0)
+    for node in snapshot["nodes"].values()
+)
+assert xfwd > 0, "no walk crossed the shard boundary"
+print(f"open-loop sharded smoke: {report['requests_total']} requests, "
+      f"0 errors, {xfwd} cross-shard forwards")
+EOF
+
+echo "== serve saturation throughput gate =="
+# The quick serving benchmark against the committed BENCH_serve.json
+# baseline: a two-shard cluster driven open-loop at offered rates far
+# below any machine's saturation knee.  The gate is the achieved/offered
+# *ratio* at the lowest level (machine speed cancels: an unsaturated
+# cluster achieves ~1.0 of offered anywhere) within 20% of baseline,
+# plus zero client-visible errors at every level.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python scripts/bench_serve.py \
+    --quick --check

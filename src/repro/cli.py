@@ -596,13 +596,19 @@ def _cmd_audit_selftest(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _serve_manifest(args: argparse.Namespace, addresses, metrics) -> dict:
+def _serve_manifest(
+    args: argparse.Namespace, addresses, metrics, shards=None
+) -> dict:
     """Everything a remote load generator needs to target this cluster.
 
     Topology, attachment and routing are deterministic functions of
     (arch, scale, seed, theta), so shipping those parameters lets the
     client rebuild the exact architecture instead of serializing it.
+    ``shards`` maps shard id -> owned node ids; a single-process serve
+    is recorded as one shard owning everything.
     """
+    if shards is None:
+        shards = {0: sorted(addresses)}
     return {
         "scheme": args.scheme,
         "arch": args.arch,
@@ -612,6 +618,11 @@ def _serve_manifest(args: argparse.Namespace, addresses, metrics) -> dict:
         "relative_cache_size": args.size,
         "dcache_ratio": args.dcache_ratio,
         "warmup_fraction": args.warmup,
+        "num_shards": getattr(args, "shards", 1),
+        "max_inflight": getattr(args, "max_inflight", None),
+        "shards": {
+            str(shard): nodes for shard, nodes in sorted(shards.items())
+        },
         "nodes": {str(n): list(a) for n, a in sorted(addresses.items())},
         "metrics": {str(n): list(a) for n, a in sorted(metrics.items())},
     }
@@ -652,6 +663,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry=RetryPolicy(attempts=args.retry_attempts)
     )
 
+    if args.shards > 1:
+        if fault_plan is not None:
+            print(
+                "--fault-plan is not supported with --shards > 1 "
+                "(inject faults on a single-process serve)",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_sharded(args, arch, generator, config, resilience, preset)
+
     async def run() -> None:
         transport = TCPTransport(host=args.host, call_timeout=args.rpc_timeout)
         if fault_plan is not None:
@@ -667,6 +688,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             transport=transport,
             resilience=resilience,
             seed=args.seed,
+            max_inflight=args.max_inflight,
         )
         addresses = await cluster.start()
         metrics = {}
@@ -694,6 +716,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"drained; state snapshot -> {snapshot_path}")
 
     asyncio.run(run())
+    return 0
+
+
+def _serve_sharded(args, arch, generator, config, resilience, preset) -> int:
+    """Multi-process serve: one worker per shard, coordinated over pipes.
+
+    The parent never hosts a node -- it spawns the shard workers, writes
+    the merged manifest, and sleeps on SIGINT/SIGTERM; shutdown drains
+    every worker and (with ``--snapshot``) lands the final per-node
+    stats on disk.
+    """
+    import json
+    import signal as signal_module
+    import threading
+    from pathlib import Path
+
+    from repro.serve.shard import ShardedCluster
+
+    cluster = ShardedCluster(
+        arch,
+        generator.catalog,
+        args.scheme,
+        num_shards=args.shards,
+        config=config,
+        resilience=resilience,
+        seed=args.seed,
+        host=args.host,
+        max_inflight=args.max_inflight,
+        rpc_timeout=args.rpc_timeout,
+        metrics=not args.no_metrics,
+    )
+    addresses = cluster.start()
+    shards = {
+        shard: cluster.plan.nodes_of(shard) for shard in range(args.shards)
+    }
+    manifest = _serve_manifest(
+        args, addresses, cluster.metrics_addresses, shards=shards
+    )
+    Path(args.manifest).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"serving {len(addresses)} nodes over {args.shards} shard processes: "
+        f"{args.scheme} on {args.arch} ({preset.name} scale, seed {args.seed})",
+        flush=True,
+    )
+    print(f"manifest -> {args.manifest}", flush=True)
+    stop = threading.Event()
+    for sig in (signal_module.SIGINT, signal_module.SIGTERM):
+        signal_module.signal(sig, lambda *_: stop.set())
+    stop.wait()
+    final = cluster.stop()
+    if args.snapshot:
+        snap = {
+            "scheme": args.scheme,
+            "architecture": arch.name,
+            "num_shards": args.shards,
+            "nodes": {str(n): final[n] for n in sorted(final)},
+        }
+        Path(args.snapshot).write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"drained; state snapshot -> {args.snapshot}")
     return 0
 
 
@@ -756,6 +841,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 mode=args.mode,
                 concurrency=args.concurrency,
                 speedup=args.speedup,
+                max_errors=args.max_errors,
+                open_inflight_limit=args.inflight_limit or None,
+                busy_retries=args.busy_retries,
             )
         finally:
             await client.close()
@@ -767,7 +855,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"{report.requests_total} requests "
         f"({report.requests_measured} measured)"
     )
-    print(f"  throughput        {report.requests_per_second:8.0f} req/s")
+    if report.requests_per_second is None:
+        print("  throughput        n/a (degenerate measurement window)")
+    else:
+        print(f"  throughput        {report.requests_per_second:8.0f} req/s")
     if report.wall_latency_mean is None:
         print("  wall latency      n/a (no completed requests)")
     else:
@@ -783,6 +874,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print(f"  mean hops         {s.mean_hops:.3f}")
     if report.errors:
         print(f"  errors            {report.errors}")
+    if report.rejected or report.shed or report.busy_retries:
+        print(
+            f"  backpressure      rejected {report.rejected}, "
+            f"shed {report.shed}, busy retries {report.busy_retries}"
+        )
+    if report.aborted:
+        print(f"  aborted           errors exceeded --max-errors "
+              f"({args.max_errors}); partial report")
     if args.json:
         import json
 
@@ -1091,6 +1190,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="total tries per upstream call before failing over",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the topology over this many worker processes "
+        "(consistent-hash node assignment; 1 = single process)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="per-node admission bound: shed request walks past this many "
+        "in flight with a retryable `busy` frame (default: unbounded)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -1133,6 +1246,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--json", default=None, help="also write the report as JSON here"
+    )
+    loadgen.add_argument(
+        "--max-errors",
+        type=int,
+        default=0,
+        help="abort (gracefully, still emitting the report) once this many "
+        "request errors have been counted",
+    )
+    loadgen.add_argument(
+        "--inflight-limit",
+        type=int,
+        default=0,
+        help="open-loop only: cap in-flight requests, shedding fires past "
+        "the cap (0 = unbounded)",
+    )
+    loadgen.add_argument(
+        "--busy-retries",
+        type=int,
+        default=2,
+        help="client-side retries when a node sheds with a `busy` frame "
+        "before counting the request as rejected",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 

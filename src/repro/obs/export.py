@@ -44,6 +44,8 @@ _NODE_FIELDS = (
     ("rpc_retries", "retry", "rpc_retries_total"),
     ("failovers", "failov", "failovers_total"),
     ("breaker_trips", "brkr", "breaker_trips_total"),
+    ("busy_rejections", "busy", "busy_rejections_total"),
+    ("cross_shard_fwds", "xfwd", "cross_shard_fwds_total"),
 )
 
 

@@ -39,6 +39,13 @@ class NodeStats:
     followed, upstream hops skipped by the walk's failover, and circuit
     breakers tripping open.  All zero on a fault-free run -- which is
     exactly what the empty-plan equivalence oracle asserts.
+
+    The scale-out block: ``busy_rejections`` counts requests this node
+    shed under admission control (its inflight bound was hit), and
+    ``cross_shard_fwds`` counts upstream forwards that left the node's
+    shard -- both zero for an unsharded, unbounded cluster, and always
+    zero under sequential replay (one request in flight can never trip
+    an inflight bound).
     """
 
     __slots__ = (
@@ -57,6 +64,8 @@ class NodeStats:
         "rpc_retries",
         "failovers",
         "breaker_trips",
+        "busy_rejections",
+        "cross_shard_fwds",
     )
 
     def __init__(self) -> None:
@@ -75,6 +84,8 @@ class NodeStats:
         self.rpc_retries = 0
         self.failovers = 0
         self.breaker_trips = 0
+        self.busy_rejections = 0
+        self.cross_shard_fwds = 0
 
     @property
     def requests_seen(self) -> int:

@@ -27,12 +27,20 @@ from repro.serve.protocol import (
     CallTimeout,
     FrameCorruption,
     FrameDecoder,
+    NodeBusy,
     NodeUnreachable,
     ProtocolError,
     RemoteProtocolError,
     decode_payload,
     encode_frame,
     is_retryable,
+)
+from repro.serve.shard import (
+    HashRing,
+    ShardedCluster,
+    ShardPlan,
+    ShardSpec,
+    fetch_stats,
 )
 from repro.serve.transport import (
     CircuitBreaker,
@@ -50,20 +58,26 @@ __all__ = [
     "ClusterClient",
     "FrameCorruption",
     "FrameDecoder",
+    "HashRing",
     "InProcessTransport",
     "LoadGenerator",
     "LoadReport",
     "MAX_FRAME_BYTES",
     "MetricsServer",
+    "NodeBusy",
     "NodeUnreachable",
     "ProtocolError",
     "RETRYABLE_ERRORS",
     "RemoteProtocolError",
     "ResilienceConfig",
     "RetryPolicy",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedCluster",
     "TCPTransport",
     "Transport",
     "decode_payload",
     "encode_frame",
+    "fetch_stats",
     "is_retryable",
 ]

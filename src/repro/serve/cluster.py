@@ -63,12 +63,15 @@ class Cluster:
         scheme_name: str = "",
         resilience: Optional[ResilienceConfig] = None,
         seed: int = 0,
+        max_inflight: Optional[int] = None,
     ) -> None:
         self.architecture = architecture
         self.cost_model = cost_model
         self.scheme_factory = scheme_factory
         self.transport = transport if transport is not None else InProcessTransport()
         self.scheme_name = scheme_name
+        # Per-node admission bound (None = unbounded); see CacheNode.
+        self.max_inflight = max_inflight
         self.resilience = (
             resilience if resilience is not None else ResilienceConfig()
         )
@@ -96,6 +99,7 @@ class Cluster:
         transport: Optional[Transport] = None,
         resilience: Optional[ResilienceConfig] = None,
         seed: int = 0,
+        max_inflight: Optional[int] = None,
         **params,
     ) -> "Cluster":
         """Derive per-node schemes exactly as the experiment runner does.
@@ -122,6 +126,7 @@ class Cluster:
             scheme_name=scheme_name,
             resilience=resilience,
             seed=seed,
+            max_inflight=max_inflight,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -138,6 +143,7 @@ class Cluster:
                 self._forward,
                 resilience=self.resilience,
                 rng=random.Random(f"{self.seed}:{node_id}"),
+                max_inflight=self.max_inflight,
             )
             self.nodes[node_id] = node
             self.addresses[node_id] = await self.transport.start_node(

@@ -25,7 +25,21 @@ Three driving modes:
   modelled summary deterministic for a given outcome set.
 * ``open`` -- requests fire at their trace timestamps (compressed by
   ``speedup``) regardless of completions, measuring behavior under an
-  offered load rather than a load ceiling.
+  offered load rather than a load ceiling.  A single pacer coroutine
+  walks the trace and spawns one task per due request, so memory is
+  O(in-flight requests), never O(trace); ``open_inflight_limit`` caps
+  the in-flight set, with over-cap fires counted as ``shed`` (the
+  client-side queue overflowing under an offered load the system cannot
+  absorb).
+
+Failure accounting (closed/open modes): a server's ``busy`` frame is
+retried ``busy_retries`` times with a short backoff; a request still
+``busy`` after that counts as ``rejected`` -- explicit backpressure, not
+a failure.  Any other exception (protocol violations *and* raw
+transport/OS errors) counts as an error; once ``errors > max_errors``
+the run stops issuing new requests and drains what is in flight, but the
+partial :class:`LoadReport` is always produced (``aborted=True``) --
+never lost to a cancelled gather.
 """
 
 from __future__ import annotations
@@ -33,13 +47,13 @@ from __future__ import annotations
 import asyncio
 import math
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.metrics.collector import MetricsCollector, MetricsSummary
 from repro.schemes.base import RequestOutcome
 from repro.serve.cluster import Cluster
-from repro.serve.protocol import MSG_GET, ProtocolError
+from repro.serve.protocol import MSG_GET, NodeBusy
 from repro.workload.trace import Trace, TraceRecord
 from repro.workload.updates import UpdateEvent
 
@@ -90,7 +104,12 @@ class LoadReport:
     requests_measured: int
     summary: MetricsSummary
     duration_seconds: float
-    requests_per_second: float
+    # Measured-window throughput: completions past warm-up divided by the
+    # wall span from the first measured issue to the last measured
+    # completion.  None (JSON null) when the window is degenerate (no
+    # measured completions, or a span below timer resolution) -- never a
+    # misleading 0.0.
+    requests_per_second: Optional[float]
     # None (JSON null) when no request completed -- never NaN.
     wall_latency_mean: Optional[float]
     wall_latency_percentiles: Tuple[
@@ -99,6 +118,16 @@ class LoadReport:
     updates_applied: int = 0
     copies_invalidated: int = 0
     errors: int = 0
+    # Backpressure accounting: requests the cluster shed with ``busy``
+    # frames even after client-side retries, and fires the open-loop
+    # pacer dropped because the in-flight cap was reached.  Neither is an
+    # error -- both are the system explicitly refusing offered load.
+    rejected: int = 0
+    shed: int = 0
+    busy_retries: int = 0
+    # True when the run stopped early because ``errors > max_errors``;
+    # the report still covers everything that completed.
+    aborted: bool = False
     # Where completed requests were served, over ALL completions (warm-up
     # included): cache_served + origin_served == completed requests, the
     # conservation law the chaos fault matrix asserts under node crashes.
@@ -122,6 +151,10 @@ class LoadReport:
             "updates_applied": self.updates_applied,
             "copies_invalidated": self.copies_invalidated,
             "errors": self.errors,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "busy_retries": self.busy_retries,
+            "aborted": self.aborted,
             "modelled": {
                 "mean_latency": s.mean_latency,
                 "mean_response_ratio": s.mean_response_ratio,
@@ -161,6 +194,30 @@ class _Completed:
     outcome: RequestOutcome
     latency: float
     wall_seconds: float
+    # perf_counter stamps bounding the round trip (measured-window rps).
+    started: float = 0.0
+    finished: float = 0.0
+
+
+@dataclass
+class _Counters:
+    """Mutable per-run failure/backpressure tally shared by the workers."""
+
+    max_errors: int
+    errors: int = 0
+    rejected: int = 0
+    shed: int = 0
+    busy_retries: int = 0
+    stop: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def record_error(self) -> None:
+        self.errors += 1
+        if self.errors > self.max_errors:
+            self.stop.set()
+
+    @property
+    def aborted(self) -> bool:
+        return self.stop.is_set()
 
 
 class LoadGenerator:
@@ -184,8 +241,14 @@ class LoadGenerator:
 
     # -- one request ---------------------------------------------------------
 
-    async def _issue(self, record: TraceRecord) -> Tuple[RequestOutcome, float]:
-        """Send one ``get`` and rebuild the simulator-shape outcome."""
+    async def _issue(
+        self, record: TraceRecord
+    ) -> Tuple[RequestOutcome, float, float, float]:
+        """Send one ``get`` and rebuild the simulator-shape outcome.
+
+        Returns ``(outcome, wall_seconds, started, finished)`` with the
+        perf_counter stamps bounding the round trip.
+        """
         address = self.cluster.ingress_address(record.client_id)
         started = time.perf_counter()
         reply = await self.cluster.transport.call(
@@ -199,7 +262,7 @@ class LoadGenerator:
                 "time": record.time,
             },
         )
-        wall = time.perf_counter() - started
+        finished = time.perf_counter()
         path = self._request_path(record.client_id, record.server_id)
         outcome = RequestOutcome(
             path=path,
@@ -208,7 +271,26 @@ class LoadGenerator:
             inserted_nodes=tuple(reply["inserted"]),
             evicted_objects=reply["evictions"],
         )
-        return outcome, wall
+        return outcome, finished - started, started, finished
+
+    async def _issue_with_backoff(
+        self,
+        record: TraceRecord,
+        counters: _Counters,
+        busy_retries: int,
+        busy_backoff: float,
+    ) -> Tuple[RequestOutcome, float, float, float]:
+        """One logical request: retry ``busy`` frames before giving up."""
+        attempt = 0
+        while True:
+            try:
+                return await self._issue(record)
+            except NodeBusy:
+                if attempt >= busy_retries:
+                    raise
+                attempt += 1
+                counters.busy_retries += 1
+                await asyncio.sleep(busy_backoff * attempt)
 
     def _modelled_latency(self, outcome: RequestOutcome) -> float:
         return self._path_cost(
@@ -223,6 +305,9 @@ class LoadGenerator:
         concurrency: int = 1,
         speedup: float = 1000.0,
         max_errors: int = 0,
+        open_inflight_limit: Optional[int] = None,
+        busy_retries: int = 2,
+        busy_backoff: float = 0.002,
     ) -> LoadReport:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -230,19 +315,27 @@ class LoadGenerator:
             raise ValueError("concurrency must be at least 1")
         if speedup <= 0:
             raise ValueError("speedup must be positive")
+        if open_inflight_limit is not None and open_inflight_limit < 1:
+            raise ValueError("open_inflight_limit must be at least 1")
+        if busy_retries < 0:
+            raise ValueError("busy_retries must be non-negative")
         started = time.perf_counter()
+        counters = _Counters(max_errors=max_errors)
+        self._busy_retries = busy_retries
+        self._busy_backoff = busy_backoff
         if mode == "sequential":
             completed, applied, invalidated = await self._run_sequential()
-            errors = 0
         elif mode == "closed":
-            completed, errors = await self._run_closed(concurrency, max_errors)
+            completed = await self._run_closed(concurrency, counters)
             applied = invalidated = 0
         else:
-            completed, errors = await self._run_open(speedup, max_errors)
+            completed = await self._run_open(
+                speedup, counters, open_inflight_limit
+            )
             applied = invalidated = 0
         duration = time.perf_counter() - started
         return self._report(
-            mode, completed, duration, applied, invalidated, errors
+            mode, completed, duration, applied, invalidated, counters
         )
 
     async def _run_sequential(self) -> Tuple[List[_Completed], int, int]:
@@ -251,6 +344,8 @@ class LoadGenerator:
         Updates are applied the moment simulation time passes them --
         between requests, exactly where the engine applies them -- so an
         in-process run is step-for-step identical to the simulator.
+        Deliberately strict: any failure propagates, because this is the
+        differential-oracle mode and a partial replay proves nothing.
         """
         completed: List[_Completed] = []
         updates = self.updates
@@ -267,78 +362,116 @@ class LoadGenerator:
                 )
                 applied += 1
                 update_index += 1
-            outcome, wall = await self._issue(record)
+            outcome, wall, began, ended = await self._issue(record)
             completed.append(
-                _Completed(index, outcome, self._modelled_latency(outcome), wall)
+                _Completed(
+                    index,
+                    outcome,
+                    self._modelled_latency(outcome),
+                    wall,
+                    began,
+                    ended,
+                )
             )
         return completed, applied, invalidated
 
+    async def _fire(
+        self, index: int, record: TraceRecord,
+        completed: List[_Completed], counters: _Counters,
+    ) -> None:
+        """Issue one request, folding every failure into the counters.
+
+        Nothing escapes: a ``busy`` that outlives its retries is a
+        rejection, anything else -- protocol violations and raw
+        transport/OS errors alike -- is counted and, past ``max_errors``,
+        flips the stop flag.  No exception ever propagates to cancel the
+        sibling in-flight requests.
+        """
+        try:
+            outcome, wall, began, ended = await self._issue_with_backoff(
+                record, counters, self._busy_retries, self._busy_backoff
+            )
+        except NodeBusy:
+            counters.rejected += 1
+            return
+        except Exception:
+            counters.record_error()
+            return
+        completed.append(
+            _Completed(
+                index,
+                outcome,
+                self._modelled_latency(outcome),
+                wall,
+                began,
+                ended,
+            )
+        )
+
     async def _run_closed(
-        self, concurrency: int, max_errors: int
-    ) -> Tuple[List[_Completed], int]:
+        self, concurrency: int, counters: _Counters
+    ) -> List[_Completed]:
         """Fixed worker pool, one outstanding request per worker."""
         records = list(enumerate(self.trace))
         cursor = 0
         completed: List[_Completed] = []
-        errors = 0
 
         async def worker() -> None:
-            nonlocal cursor, errors
-            while True:
+            nonlocal cursor
+            while not counters.stop.is_set():
                 position = cursor
                 if position >= len(records):
                     return
                 cursor = position + 1
                 index, record = records[position]
-                try:
-                    outcome, wall = await self._issue(record)
-                except ProtocolError:
-                    errors += 1
-                    if errors > max_errors:
-                        raise
-                    continue
-                completed.append(
-                    _Completed(
-                        index, outcome, self._modelled_latency(outcome), wall
-                    )
-                )
+                await self._fire(index, record, completed, counters)
 
         await asyncio.gather(*(worker() for _ in range(concurrency)))
-        return completed, errors
+        return completed
 
     async def _run_open(
-        self, speedup: float, max_errors: int
-    ) -> Tuple[List[_Completed], int]:
-        """Fire requests at their (compressed) trace timestamps."""
+        self,
+        speedup: float,
+        counters: _Counters,
+        inflight_limit: Optional[int],
+    ) -> List[_Completed]:
+        """Fire requests at their (compressed) trace timestamps.
+
+        One pacer coroutine walks the trace in order, sleeps until each
+        record's absolute fire time, and spawns a task for it -- the fire
+        schedule is identical to materializing every task up front, but
+        memory stays O(in-flight) and startup does not stampede the event
+        loop with O(trace) simultaneous timers.
+        """
         loop = asyncio.get_running_loop()
         epoch = loop.time()
         trace_start = self.trace[0].time
         completed: List[_Completed] = []
-        errors = 0
+        inflight: Set[asyncio.Task] = set()
 
-        async def fire(index: int, record: TraceRecord) -> None:
-            nonlocal errors
+        for index, record in enumerate(self.trace):
+            if counters.stop.is_set():
+                break
             offset = (record.time - trace_start) / speedup
             delay = epoch + offset - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
-            try:
-                outcome, wall = await self._issue(record)
-            except ProtocolError:
-                errors += 1
-                if errors > max_errors:
-                    raise
-                return
-            completed.append(
-                _Completed(
-                    index, outcome, self._modelled_latency(outcome), wall
-                )
+            if inflight_limit is not None and len(inflight) >= inflight_limit:
+                # One event-loop yield lets finished requests run their
+                # done-callbacks before the shed decision; open-loop
+                # semantics forbid actually waiting for capacity.
+                await asyncio.sleep(0)
+                if len(inflight) >= inflight_limit:
+                    counters.shed += 1
+                    continue
+            task = loop.create_task(
+                self._fire(index, record, completed, counters)
             )
-
-        await asyncio.gather(
-            *(fire(index, record) for index, record in enumerate(self.trace))
-        )
-        return completed, errors
+            inflight.add(task)
+            task.add_done_callback(inflight.discard)
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+        return completed
 
     # -- reporting -----------------------------------------------------------
 
@@ -349,7 +482,7 @@ class LoadGenerator:
         duration: float,
         applied: int,
         invalidated: int,
-        errors: int,
+        counters: _Counters,
     ) -> LoadReport:
         """Fold completions into the paper's collector, in trace order."""
         warmup_end, total = self.trace.split_warmup(self.warmup_fraction)
@@ -357,6 +490,9 @@ class LoadGenerator:
         wall: List[float] = []
         cache_served = 0
         origin_served = 0
+        window_start = math.inf
+        window_end = -math.inf
+        measured = 0
         for item in sorted(completed, key=lambda c: c.index):
             wall.append(item.wall_seconds)
             if item.outcome.served_by_cache:
@@ -365,6 +501,11 @@ class LoadGenerator:
                 origin_served += 1
             if item.index >= warmup_end:
                 collector.record(item.outcome, item.latency)
+                measured += 1
+                if item.started < window_start:
+                    window_start = item.started
+                if item.finished > window_end:
+                    window_end = item.finished
         if collector.requests:
             summary = collector.summary()
         else:
@@ -383,6 +524,11 @@ class LoadGenerator:
                 mean_write_load=0.0,
                 latency_percentiles=(None, None, None),
             )
+        window = window_end - window_start
+        # Raw wall samples outlive the report for callers that merge
+        # percentiles across processes (multi-driver benchmarks); the
+        # frozen LoadReport itself only carries the aggregates.
+        self.last_wall_samples = wall
         return LoadReport(
             mode=mode,
             requests_total=total,
@@ -390,7 +536,7 @@ class LoadGenerator:
             summary=summary,
             duration_seconds=duration,
             requests_per_second=(
-                len(completed) / duration if duration > 0 else 0.0
+                measured / window if measured and window > 0 else None
             ),
             wall_latency_mean=(
                 sum(wall) / len(wall) if wall else None
@@ -398,7 +544,11 @@ class LoadGenerator:
             wall_latency_percentiles=_percentiles(wall),
             updates_applied=applied,
             copies_invalidated=invalidated,
-            errors=errors,
+            errors=counters.errors,
+            rejected=counters.rejected,
+            shed=counters.shed,
+            busy_retries=counters.busy_retries,
+            aborted=counters.aborted,
             cache_served=cache_served,
             origin_served=origin_served,
         )

@@ -30,6 +30,7 @@ bounded retry loop with exponential backoff and seeded jitter around the
 retryable failures (:data:`~repro.serve.protocol.RETRYABLE_ERRORS` --
 deadlines, unreachable peers, damaged frames).  When an upstream hop
 stays dead after retries, the walk *fails over*: the dead hop is skipped
+(and an overloaded hop answering ``busy`` is treated the same way)
 and the next node on the (full, unmodified) path is tried, degrading the
 request to a longer effective miss path instead of an error.  The
 response then tells :meth:`~repro.schemes.base.CachingScheme.
@@ -39,6 +40,13 @@ registry's resilience counters (``rpc_timeouts``, ``rpc_retries``,
 ``failovers``, ``breaker_trips``); on a fault-free run every one of them
 stays zero and the node's behavior is bit-identical to the pre-resilience
 protocol.
+
+**Admission control.**  With ``max_inflight`` set, a ``get``/``fwd``
+arriving while the node already has that many walks in flight is shed
+with a retryable ``busy`` frame *before* any cache state is touched
+(counted as ``busy_rejections``).  One request in flight can never trip
+the bound, so sequential replay -- the simulator-equivalence oracle --
+is unaffected by any ``max_inflight`` value.
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ from __future__ import annotations
 import asyncio
 import random
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Dict, Optional, Sequence
+from typing import Awaitable, Callable, Dict, Mapping, Optional, Sequence
 
 from repro.core.coordinated import CoordinatedScheme
 from repro.core.piggyback import (
@@ -60,6 +68,7 @@ from repro.obs.instruments import Instruments
 from repro.obs.registry import StatRegistry
 from repro.schemes.base import CachingScheme
 from repro.serve.protocol import (
+    MSG_BUSY,
     MSG_FWD,
     MSG_GET,
     MSG_INV,
@@ -116,11 +125,25 @@ class CacheNode:
         registry: Optional[StatRegistry] = None,
         resilience: Optional[ResilienceConfig] = None,
         rng: Optional[random.Random] = None,
+        max_inflight: Optional[int] = None,
+        shard_of: Optional[Mapping[int, int]] = None,
     ) -> None:
+        """``max_inflight`` bounds concurrently admitted request walks
+        (``None`` = unbounded); a request arriving at the bound is shed
+        with a retryable ``busy`` frame before touching any cache state.
+        ``shard_of`` maps node id -> shard id so upstream forwards that
+        leave this node's shard are counted (``cross_shard_fwds``)."""
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         self.node_id = node_id
         self.scheme = scheme
         self._resolve_path = resolve_path
         self._forward = forward
+        self.max_inflight = max_inflight
+        self._shard_of = dict(shard_of) if shard_of is not None else None
+        self._home_shard = (
+            self._shard_of.get(node_id) if self._shard_of is not None else None
+        )
         self.resilience = (
             resilience if resilience is not None else ResilienceConfig()
         )
@@ -150,6 +173,21 @@ class CacheNode:
     async def handle(self, message: dict) -> dict:
         """The transport-facing handler for every frame kind."""
         kind = message["type"]
+        if (
+            self.max_inflight is not None
+            and kind in (MSG_GET, MSG_FWD)
+            and self.inflight >= self.max_inflight
+        ):
+            # Admission control: shed the walk before any cache state is
+            # touched.  Control frames (inv/stats/ping) are always
+            # admitted -- they are cheap and the operator needs them most
+            # exactly when the data plane is saturated.
+            self.registry.node(self.node_id).busy_rejections += 1
+            return {
+                "type": MSG_BUSY,
+                "node": self.node_id,
+                "inflight": self.inflight,
+            }
         self.inflight += 1
         try:
             if kind == MSG_FWD:
@@ -277,6 +315,11 @@ class CacheNode:
                 "reports": reports,
                 "skipped": skipped,
             }
+            if (
+                self._shard_of is not None
+                and self._shard_of.get(path[next_index]) != self._home_shard
+            ):
+                stats.cross_shard_fwds += 1
             try:
                 reply = await self._call_upstream(path[next_index], upstream)
                 break

@@ -14,6 +14,10 @@ kinds mirror the paper's online protocol (section 2.3):
 * ``inv``/``inv-ok``     -- push invalidation of one object.
 * ``stats``/``stats-ok`` -- a node's live counter snapshot.
 * ``ping``/``pong``      -- liveness probe.
+* ``busy``  -- admission control: the node's inflight bound is hit and
+  the request was shed *before* touching any cache state.  Surfaces at
+  the caller as :class:`NodeBusy`, which is retryable -- backing off and
+  trying again (or failing over past the overloaded hop) is always safe.
 * ``error`` -- a structured protocol failure.
 
 JSON floats round-trip exactly (shortest-repr encoding), which is what
@@ -50,6 +54,7 @@ MSG_STATS = "stats"
 MSG_STATS_OK = "stats-ok"
 MSG_PING = "ping"
 MSG_PONG = "pong"
+MSG_BUSY = "busy"
 MSG_ERROR = "error"
 
 
@@ -73,11 +78,23 @@ class FrameCorruption(ProtocolError):
     """A frame arrived damaged and was rejected by the receiving side."""
 
 
+class NodeBusy(ProtocolError):
+    """The peer shed the request under admission control (``busy`` frame).
+
+    Raised by the *calling* side when a reply is a ``busy`` frame.  The
+    receiving node rejected the request before touching any cache state,
+    so retrying (after backoff) or failing over past the overloaded hop
+    is always safe.
+    """
+
+
 # Failures that a caller may safely retry or route around: the frame never
-# produced a *trusted* reply, so trying again (or another upstream) is the
-# correct reaction.  A RemoteProtocolError is deliberately NOT here -- the
-# peer was alive and answered; its handler failing is not transient.
-RETRYABLE_ERRORS = (CallTimeout, NodeUnreachable, FrameCorruption)
+# produced a *trusted* reply (or, for ``busy``, the peer explicitly shed
+# the request before mutating anything), so trying again (or another
+# upstream) is the correct reaction.  A RemoteProtocolError is
+# deliberately NOT here -- the peer was alive and answered; its handler
+# failing is not transient.
+RETRYABLE_ERRORS = (CallTimeout, NodeUnreachable, FrameCorruption, NodeBusy)
 
 
 def is_retryable(error: BaseException) -> bool:
@@ -200,8 +217,18 @@ def error_message(error: Exception) -> dict:
 
 
 def raise_if_error(message: dict) -> dict:
-    """Raise :class:`RemoteProtocolError` when the reply is an error frame."""
-    if message.get("type") == MSG_ERROR:
+    """Raise :class:`RemoteProtocolError` when the reply is an error frame.
+
+    A ``busy`` frame -- the peer shedding the request under admission
+    control -- surfaces as the retryable :class:`NodeBusy` instead.
+    """
+    kind = message.get("type")
+    if kind == MSG_BUSY:
+        raise NodeBusy(
+            f"node {message.get('node')} shed the request "
+            f"(inflight {message.get('inflight')})"
+        )
+    if kind == MSG_ERROR:
         raise RemoteProtocolError(
             f"{message.get('error', 'error')}: {message.get('detail', '')}"
         )

@@ -1,0 +1,515 @@
+"""Multi-process sharding of the live cluster.
+
+One Python process cannot push a cascade past a single core.  This
+module splits an :class:`~repro.sim.architecture.Architecture` across
+worker **shards** -- separate OS processes, each hosting the
+:class:`~repro.serve.node.CacheNode` instances of the network nodes it
+owns -- wired together over the existing TCP transport, so a request
+walk crosses shard boundaries with ordinary ``fwd`` frames and nothing
+above the transport changes.
+
+Three pieces:
+
+* :class:`HashRing` / :class:`ShardPlan` -- a consistent-hash
+  assignment of network nodes to shards.  The ring is what makes the
+  split *stable*: growing from N to N+1 shards remaps only the nodes
+  that land on the new shard's ring points, not the whole topology.
+  The **client edge** falls out of the same map: a client's ingress
+  shard is the shard that owns its attachment node
+  (:meth:`ShardPlan.client_shard`), so any frontend that can hash a
+  node id routes clients without consulting a directory.
+* :class:`ShardSpec` / :func:`_shard_worker_main` -- the picklable
+  work order shipped to each ``spawn`` worker, and the worker's
+  entrypoint: bind the owned nodes on TCP, rendezvous the address maps
+  through a pipe, serve until told to stop, then drain and report
+  final per-node stats.
+* :class:`ShardedCluster` -- the parent-side orchestrator: spawns the
+  workers, merges and re-broadcasts the address map, and tears the
+  fleet down in order.
+
+Semantics are unchanged by construction: every node still runs the same
+scheme steps on the same private state, paths still come from the shared
+routing table, and same-shard forwards short-circuit through the
+in-process transport (codec round trip included).  Admission control
+(``max_inflight`` -> ``busy`` frames, see :mod:`repro.serve.node`) is
+the backpressure story: an overloaded shard sheds instead of queueing
+without bound, and clients retry or fail over around it.  The
+``cross_shard_fwds`` counter makes the partitioning observable -- a
+two-shard run of any non-trivial topology must show boundary crossings.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.node import ResilienceConfig
+from repro.serve.protocol import MSG_STATS
+from repro.sim.architecture import Architecture
+from repro.sim.config import SimulationConfig
+from repro.workload.catalog import ObjectCatalog
+
+# Virtual points per shard on the hash ring: enough to spread small
+# topologies evenly, cheap enough that ring construction is trivial.
+DEFAULT_REPLICAS = 64
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 64-bit ring position (sha1; never Python's salted hash)."""
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing of integer keys onto shard ids.
+
+    Each shard contributes ``replicas`` virtual points; a key is owned
+    by the first point at or clockwise after its hash.  Deterministic
+    across processes and Python versions by construction.
+    """
+
+    def __init__(self, shard_ids: List[int], replicas: int = DEFAULT_REPLICAS):
+        if not shard_ids:
+            raise ValueError("ring needs at least one shard")
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in shard_ids:
+            for replica in range(replicas):
+                points.append((_ring_hash(f"shard:{shard}:{replica}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def assign(self, key: int) -> int:
+        """The shard owning ``key`` (clockwise successor on the ring)."""
+        position = bisect.bisect_right(self._hashes, _ring_hash(f"node:{key}"))
+        if position == len(self._hashes):
+            position = 0
+        return self._shards[position]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A complete nodes->shards assignment for one architecture."""
+
+    num_shards: int
+    assignment: Dict[int, int]
+
+    @classmethod
+    def compute(
+        cls,
+        architecture: Architecture,
+        num_shards: int,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> "ShardPlan":
+        """Ring-assign every network node; guarantee no shard is empty.
+
+        The consistent-hash pass can starve a shard on small topologies;
+        the deterministic repair loop moves the largest-id node from the
+        most-loaded shard into each empty one, so every worker process
+        always has at least one node to host.
+        """
+        nodes = sorted(architecture.network.nodes())
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if num_shards > len(nodes):
+            raise ValueError(
+                f"cannot spread {len(nodes)} nodes over {num_shards} shards"
+            )
+        ring = HashRing(list(range(num_shards)), replicas=replicas)
+        assignment = {node: ring.assign(node) for node in nodes}
+        members: Dict[int, List[int]] = {s: [] for s in range(num_shards)}
+        for node, shard in assignment.items():
+            members[shard].append(node)
+        for shard in range(num_shards):
+            while not members[shard]:
+                donor = max(
+                    members, key=lambda s: (len(members[s]), -s)
+                )
+                moved = max(members[donor])
+                members[donor].remove(moved)
+                members[shard].append(moved)
+                assignment[moved] = shard
+        return cls(num_shards=num_shards, assignment=dict(assignment))
+
+    def nodes_of(self, shard_id: int) -> List[int]:
+        return sorted(
+            node for node, s in self.assignment.items() if s == shard_id
+        )
+
+    def client_shard(self, architecture: Architecture, client_id: int) -> int:
+        """The ingress shard of a client: its attachment node's owner."""
+        return self.assignment[architecture.client_nodes[client_id]]
+
+
+@dataclass
+class ShardSpec:
+    """Everything one worker process needs to host its shard.
+
+    Shipped through ``multiprocessing`` pickling at spawn; every field
+    is plain data.  ``assignment`` is the *full* plan (the worker needs
+    it to stamp ``cross_shard_fwds``), ``nodes`` the subset it owns.
+    """
+
+    shard_id: int
+    nodes: List[int]
+    assignment: Dict[int, int]
+    architecture: Architecture
+    catalog: ObjectCatalog
+    scheme_name: str
+    config: SimulationConfig
+    params: dict = field(default_factory=dict)
+    resilience: Optional[ResilienceConfig] = None
+    seed: int = 0
+    host: str = "127.0.0.1"
+    max_inflight: Optional[int] = None
+    rpc_timeout: Optional[float] = None
+    metrics: bool = False
+
+
+def _shard_worker_main(spec: ShardSpec, conn) -> None:
+    """Entrypoint of one shard worker process (spawn-safe, module level).
+
+    Pipe protocol, in order:
+
+    1. worker -> parent: ``("addresses", {node: (host, port)}, metrics)``
+    2. parent -> worker: ``("peers", {node: (host, port)})`` -- the
+       merged map of *every* shard's nodes;
+    3. worker -> parent: ``("ready",)`` -- the peer map is installed;
+       only after every shard acks may the parent admit traffic (a
+       frame could otherwise reach a worker that cannot forward yet);
+    4. parent -> worker: ``("stop",)`` -- drain in-flight walks, reply
+       ``("stats", {node: {...}})`` with the final counters, exit.
+
+    Any crash is reported as ``("error", traceback_text)`` so the parent
+    fails loudly instead of hanging on a dead pipe.
+    """
+    import asyncio
+    import random
+    import signal
+
+    # The parent owns shutdown (pipe "stop"); a terminal Ctrl-C -- or a
+    # SIGTERM fanned out to the process group by wrappers like
+    # `timeout` -- must not race the workers into dying before they
+    # have drained and reported their final stats.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+    from repro.costs.model import LatencyCostModel
+    from repro.serve.metrics_http import MetricsServer
+    from repro.serve.node import CacheNode
+    from repro.serve.transport import InProcessTransport, TCPTransport
+    from repro.sim.factory import build_scheme
+
+    async def serve() -> None:
+        architecture = spec.architecture
+        catalog = spec.catalog
+        cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
+        capacity = spec.config.capacity_bytes(catalog.total_bytes)
+        dcache_entries = spec.config.dcache_entries(
+            catalog.total_bytes, catalog.mean_size
+        )
+        resilience = (
+            spec.resilience if spec.resilience is not None else
+            ResilienceConfig()
+        )
+        transport = TCPTransport(
+            host=spec.host, call_timeout=spec.rpc_timeout
+        )
+        local = InProcessTransport()
+        peers: Dict[int, Tuple[str, int]] = {}
+        owned = set(spec.nodes)
+
+        async def forward(node_id: int, message: dict) -> dict:
+            # Same-shard hops short-circuit in process (through the real
+            # codec); cross-shard hops are ordinary TCP frames.
+            if node_id in owned:
+                return await local.call(node_id, message)
+            return await transport.call(peers[node_id], message)
+
+        nodes: Dict[int, CacheNode] = {}
+        addresses: Dict[int, Tuple[str, int]] = {}
+        metrics_servers: List[MetricsServer] = []
+        metrics_addresses: Dict[int, Tuple[str, int]] = {}
+        for node_id in sorted(owned):
+            node = CacheNode(
+                node_id,
+                build_scheme(
+                    spec.scheme_name,
+                    cost_model,
+                    capacity,
+                    dcache_entries,
+                    **spec.params,
+                ),
+                architecture.request_path,
+                forward,
+                resilience=resilience,
+                rng=random.Random(f"{spec.seed}:{node_id}"),
+                max_inflight=spec.max_inflight,
+                shard_of=spec.assignment,
+            )
+            nodes[node_id] = node
+            addresses[node_id] = await transport.start_node(
+                node_id, node.handle
+            )
+            await local.start_node(node_id, node.handle)
+            if spec.metrics:
+                server = MetricsServer(node.registry, host=spec.host, port=0)
+                metrics_servers.append(server)
+                metrics_addresses[node_id] = await server.start()
+        conn.send(("addresses", addresses, metrics_addresses))
+
+        loop = asyncio.get_running_loop()
+        message = await loop.run_in_executor(None, conn.recv)
+        if message[0] != "peers":
+            raise RuntimeError(f"expected peers, got {message[0]!r}")
+        peers.update(
+            {int(n): (h, p) for n, (h, p) in message[1].items()}
+        )
+        conn.send(("ready",))
+
+        message = await loop.run_in_executor(None, conn.recv)
+        if message[0] != "stop":
+            raise RuntimeError(f"expected stop, got {message[0]!r}")
+        # Drain: let in-flight walks unwind before the sockets go away.
+        deadline = loop.time() + 10.0
+        while any(node.inflight for node in nodes.values()):
+            if loop.time() >= deadline:
+                break
+            await asyncio.sleep(0.01)
+        stats = {
+            node_id: {
+                "requests_handled": node.requests_handled,
+                "cached_bytes": node.scheme.total_cached_bytes(),
+                "stats": node.registry.snapshot().get(node_id, {}),
+            }
+            for node_id, node in sorted(nodes.items())
+        }
+        for server in metrics_servers:
+            await server.close()
+        await transport.close()
+        await local.close()
+        conn.send(("stats", stats))
+
+    try:
+        asyncio.run(serve())
+    except Exception:  # noqa: BLE001 - shipped to the parent verbatim
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class ShardedCluster:
+    """A cluster split across worker processes, one shard each.
+
+    Synchronous orchestration API (the workers run their own event
+    loops): :meth:`start` blocks until every shard is bound and knows
+    every peer address, :meth:`stop` drains the fleet and collects the
+    final per-node stats into :attr:`final_stats`.
+    """
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        catalog: ObjectCatalog,
+        scheme_name: str,
+        num_shards: int,
+        config: Optional[SimulationConfig] = None,
+        params: Optional[dict] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        max_inflight: Optional[int] = None,
+        rpc_timeout: Optional[float] = None,
+        metrics: bool = False,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        self.architecture = architecture
+        self.catalog = catalog
+        self.scheme_name = scheme_name
+        self.config = config if config is not None else SimulationConfig()
+        self.params = dict(params) if params else {}
+        self.resilience = resilience
+        self.seed = seed
+        self.host = host
+        self.max_inflight = max_inflight
+        self.rpc_timeout = rpc_timeout
+        self.metrics = metrics
+        self.plan = ShardPlan.compute(
+            architecture, num_shards, replicas=replicas
+        )
+        self.addresses: Dict[int, Tuple[str, int]] = {}
+        self.metrics_addresses: Dict[int, Tuple[str, int]] = {}
+        self.final_stats: Dict[int, dict] = {}
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        self._pipes: List = []
+        self._started = False
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    def start(self, timeout: float = 60.0) -> Dict[int, Tuple[str, int]]:
+        """Spawn every shard; returns the merged node address map."""
+        if self._started:
+            raise RuntimeError("sharded cluster already started")
+        ctx = multiprocessing.get_context("spawn")
+        for shard_id in range(self.plan.num_shards):
+            spec = ShardSpec(
+                shard_id=shard_id,
+                nodes=self.plan.nodes_of(shard_id),
+                assignment=self.plan.assignment,
+                architecture=self.architecture,
+                catalog=self.catalog,
+                scheme_name=self.scheme_name,
+                config=self.config,
+                params=self.params,
+                resilience=self.resilience,
+                seed=self.seed,
+                host=self.host,
+                max_inflight=self.max_inflight,
+                rpc_timeout=self.rpc_timeout,
+                metrics=self.metrics,
+            )
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(spec, child_conn),
+                daemon=True,
+                name=f"repro-shard-{shard_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._pipes.append(parent_conn)
+        try:
+            for shard_id, conn in enumerate(self._pipes):
+                message = self._recv(conn, shard_id, timeout)
+                if message[0] != "addresses":
+                    raise RuntimeError(
+                        f"shard {shard_id} failed to bind: {message[1]}"
+                    )
+                self.addresses.update(message[1])
+                self.metrics_addresses.update(message[2])
+            peers = {
+                node: list(address)
+                for node, address in self.addresses.items()
+            }
+            for conn in self._pipes:
+                conn.send(("peers", peers))
+            for shard_id, conn in enumerate(self._pipes):
+                message = self._recv(conn, shard_id, timeout)
+                if message[0] != "ready":
+                    raise RuntimeError(
+                        f"shard {shard_id} failed to install the peer map"
+                    )
+        except BaseException:
+            self._kill()
+            raise
+        self._started = True
+        return dict(self.addresses)
+
+    def ingress_address(self, client_id: int) -> Tuple[str, int]:
+        return self.addresses[
+            self.architecture.client_nodes[client_id]
+        ]
+
+    def stop(self, timeout: float = 30.0) -> Dict[int, dict]:
+        """Drain and stop every shard; returns the final per-node stats."""
+        if not self._started:
+            self._kill()
+            return {}
+        for conn in self._pipes:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for shard_id, conn in enumerate(self._pipes):
+            try:
+                message = self._recv(conn, shard_id, timeout)
+            except RuntimeError:
+                continue  # dead worker: surfaced by the missing stats
+            if message[0] == "stats":
+                self.final_stats.update(message[1])
+        for process in self._processes:
+            process.join(timeout=timeout)
+        self._kill()
+        self._started = False
+        return dict(self.final_stats)
+
+    @staticmethod
+    def _recv(conn, shard_id: int, timeout: float):
+        if not conn.poll(timeout):
+            raise RuntimeError(
+                f"shard {shard_id} did not answer within {timeout:.0f}s"
+            )
+        try:
+            message = conn.recv()
+        except (EOFError, OSError) as error:
+            raise RuntimeError(
+                f"shard {shard_id} died before answering"
+            ) from error
+        if message[0] == "error":
+            raise RuntimeError(
+                f"shard {shard_id} crashed:\n{message[1]}"
+            )
+        return message
+
+    def _kill(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                # Workers ignore SIGTERM by design (the pipe owns
+                # shutdown), so escalate to SIGKILL if one lingers.
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        for conn in self._pipes:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._processes.clear()
+        self._pipes.clear()
+
+    def __enter__(self) -> "ShardedCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+async def fetch_stats(
+    addresses: Dict[int, Tuple[str, int]]
+) -> Dict[int, dict]:
+    """Pull ``stats`` frames from a set of live nodes (any transport peer).
+
+    The client-side complement of the workers' final-stats report: lets
+    tests and smoke scripts assert on counters (``busy_rejections``,
+    ``cross_shard_fwds``, hits/misses) while the fleet is still serving.
+    """
+    from repro.serve.transport import TCPTransport
+
+    transport = TCPTransport()
+    stats: Dict[int, dict] = {}
+    try:
+        for node_id in sorted(addresses):
+            reply = await transport.call(
+                addresses[node_id], {"type": MSG_STATS}
+            )
+            stats[node_id] = reply
+    finally:
+        await transport.close()
+    return stats

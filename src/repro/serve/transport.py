@@ -222,23 +222,35 @@ class TCPTransport(Transport):
         max_frame_bytes: int = MAX_FRAME_BYTES,
         call_timeout: Optional[float] = None,
         drain_timeout: float = 5.0,
+        max_connections_per_address: Optional[int] = None,
     ) -> None:
         """``call_timeout`` is the per-RPC deadline (``None`` = wait forever);
         ``drain_timeout`` bounds how long :meth:`close` waits for server-side
-        connection loops to exit."""
+        connection loops to exit; ``max_connections_per_address`` caps how
+        many connections this transport holds toward one destination
+        (``None`` = one per concurrent call) -- excess callers queue for a
+        slot, bounding the process's file descriptors under heavy open-loop
+        load."""
         if call_timeout is not None and call_timeout <= 0:
             raise ValueError("call_timeout must be positive")
         if drain_timeout <= 0:
             raise ValueError("drain_timeout must be positive")
+        if (
+            max_connections_per_address is not None
+            and max_connections_per_address < 1
+        ):
+            raise ValueError("max_connections_per_address must be at least 1")
         self.host = host
         self.max_frame_bytes = max_frame_bytes
         self.call_timeout = call_timeout
         self.drain_timeout = drain_timeout
+        self.max_connections_per_address = max_connections_per_address
         self._servers: List[asyncio.base_events.Server] = []
         self._pools: Dict[
             Tuple[str, int],
             List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
         ] = {}
+        self._conn_slots: Dict[Tuple[str, int], asyncio.Semaphore] = {}
         self._conn_tasks: set = set()
         self._conn_writers: set = set()
         self._closed = False
@@ -319,6 +331,18 @@ class TCPTransport(Transport):
 
     async def call(self, address, message: dict) -> dict:
         address = (address[0], address[1])
+        if self.max_connections_per_address is None:
+            return await self._call_on_connection(address, message)
+        slot = self._conn_slots.get(address)
+        if slot is None:
+            slot = asyncio.Semaphore(self.max_connections_per_address)
+            self._conn_slots[address] = slot
+        async with slot:
+            return await self._call_on_connection(address, message)
+
+    async def _call_on_connection(
+        self, address: Tuple[str, int], message: dict
+    ) -> dict:
         reader, writer = await self._connection(address)
         try:
             if self.call_timeout is None:
@@ -380,3 +404,12 @@ class TCPTransport(Transport):
                     asyncio.gather(*tasks, return_exceptions=True),
                     timeout=self.drain_timeout,
                 )
+        # Anything still running past the drain deadline is a handler
+        # stuck mid-dispatch (e.g. asleep); cancel it so close() never
+        # leaves dangling tasks behind in the event loop.
+        stragglers = [t for t in self._conn_tasks if not t.done()]
+        for task in stragglers:
+            task.cancel()
+        if stragglers:
+            await asyncio.gather(*stragglers, return_exceptions=True)
+        self._conn_slots.clear()

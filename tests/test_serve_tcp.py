@@ -155,3 +155,153 @@ class TestTCPLoopback:
         assert health_status == 200
         assert json.loads(health_body) == {"live": True, "ready": True}
         assert missing_status == 404
+
+
+class TestTransportPool:
+    """Connection-pool behavior under concurrency, timeouts, and close().
+
+    These drive a bare :class:`TCPTransport` with purpose-built handlers
+    (no cluster): the pool must never hand a caller a connection that
+    may still carry another call's late reply, must bound per-address
+    connections when asked, and must never hang ``close()`` on an
+    in-flight dispatch.
+    """
+
+    def test_concurrent_callers_all_complete_and_pool_reuses(self):
+        from repro.serve.transport import TCPTransport
+
+        async def scenario():
+            transport = TCPTransport()
+
+            async def handler(message):
+                await asyncio.sleep(0.01)
+                return {"type": "pong", "echo": message["n"]}
+
+            address = await transport.start_node(0, handler)
+            first = await asyncio.gather(
+                *(
+                    transport.call(address, {"type": "ping", "n": i})
+                    for i in range(16)
+                )
+            )
+            pooled = len(transport._pools.get(tuple(address), []))
+            # A second concurrent round must reuse the pooled
+            # connections rather than opening a fresh set.
+            second = await asyncio.gather(
+                *(
+                    transport.call(address, {"type": "ping", "n": 100 + i})
+                    for i in range(16)
+                )
+            )
+            pooled_after = len(transport._pools.get(tuple(address), []))
+            await transport.close()
+            return first, second, pooled, pooled_after
+
+        first, second, pooled, pooled_after = run(scenario())
+        assert sorted(r["echo"] for r in first) == list(range(16))
+        assert sorted(r["echo"] for r in second) == [
+            100 + i for i in range(16)
+        ]
+        assert 1 <= pooled <= 16
+        assert pooled_after <= pooled
+
+    def test_timed_out_connection_is_never_reused(self):
+        """A late reply on a timed-out connection must never reach the
+        next caller: the tainted connection is discarded, not pooled."""
+        from repro.serve.protocol import CallTimeout
+        from repro.serve.transport import TCPTransport
+
+        async def scenario():
+            transport = TCPTransport(call_timeout=0.15)
+            release = asyncio.Event()
+
+            async def handler(message):
+                if message["n"] == 1:
+                    await release.wait()  # outlive the caller's deadline
+                return {"type": "pong", "echo": message["n"]}
+
+            address = await transport.start_node(0, handler)
+            with pytest.raises(CallTimeout):
+                await transport.call(address, {"type": "ping", "n": 1})
+            assert not transport._pools.get(tuple(address))
+            # Unblock the slow handler: its late reply now sits on the
+            # dead connection.  The next call must open a fresh one and
+            # see its own echo, not the stale reply.
+            release.set()
+            reply = await transport.call(address, {"type": "ping", "n": 2})
+            for _ in range(5):  # a few more round trips stay coherent
+                again = await transport.call(
+                    address, {"type": "ping", "n": 3}
+                )
+                assert again["echo"] == 3
+            await transport.close()
+            return reply
+
+        assert run(scenario())["echo"] == 2
+
+    def test_close_with_inflight_call_does_not_hang(self):
+        from repro.serve.protocol import ProtocolError
+        from repro.serve.transport import TCPTransport
+
+        async def scenario():
+            transport = TCPTransport(drain_timeout=0.3)
+            never = asyncio.Event()
+
+            async def handler(message):
+                await never.wait()
+                return {"type": "pong"}
+
+            address = await transport.start_node(0, handler)
+            call = asyncio.ensure_future(
+                transport.call(address, {"type": "ping"})
+            )
+            await asyncio.sleep(0.05)  # let the call reach the handler
+            started = asyncio.get_running_loop().time()
+            await transport.close()
+            elapsed = asyncio.get_running_loop().time() - started
+            outcome = await asyncio.gather(call, return_exceptions=True)
+            return elapsed, outcome[0]
+
+        elapsed, outcome = run(scenario())
+        # close() waited for the drain window, cancelled the stuck
+        # dispatch, and returned -- it must not wait forever.
+        assert elapsed < 5.0
+        assert isinstance(outcome, (ProtocolError, ConnectionError))
+
+    def test_connection_cap_bounds_server_side_concurrency(self):
+        from repro.serve.transport import TCPTransport
+
+        async def scenario():
+            transport = TCPTransport(max_connections_per_address=2)
+            inflight = 0
+            peak = 0
+
+            async def handler(message):
+                nonlocal inflight, peak
+                inflight += 1
+                peak = max(peak, inflight)
+                await asyncio.sleep(0.02)
+                inflight -= 1
+                return {"type": "pong", "echo": message["n"]}
+
+            address = await transport.start_node(0, handler)
+            replies = await asyncio.gather(
+                *(
+                    transport.call(address, {"type": "ping", "n": i})
+                    for i in range(12)
+                )
+            )
+            await transport.close()
+            return replies, peak
+
+        replies, peak = run(scenario())
+        # All twelve calls completed, but never more than the two
+        # allowed connections' worth of dispatches ran at once.
+        assert sorted(r["echo"] for r in replies) == list(range(12))
+        assert peak <= 2
+
+    def test_connection_cap_validation(self):
+        from repro.serve.transport import TCPTransport
+
+        with pytest.raises(ValueError):
+            TCPTransport(max_connections_per_address=0)

@@ -209,6 +209,75 @@ print(f"open-loop sharded smoke: {report['requests_total']} requests, "
       f"0 errors, {xfwd} cross-shard forwards")
 EOF
 
+echo "== observability smoke (traced shards + results warehouse) =="
+# The PR-8 pipeline end to end: a short traced two-shard cluster writes
+# per-shard span files; a one-point sweep leaves results + run-record
+# sidecars; the loadgen report and a /metrics scrape land next to them;
+# everything is ingested into one temporary sqlite warehouse.  Gates:
+# the scheme-arch canned query returns exactly the sweep's row count,
+# re-ingesting an artifact adds zero rows, and the spans reconstruct
+# into a request tree covering both shard processes.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro sweep \
+    --arch hierarchical --schemes lru --sizes 0.05 --scale small \
+    --metrics latency --node-stats --save "$SERVE_DIR/points.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python -m repro serve \
+    --scheme coordinated --arch hierarchical --scale small \
+    --shards 2 --trace-out "$SERVE_DIR/spans.jsonl" \
+    --manifest "$SERVE_DIR/traced.json" &
+SERVE_PID=$!
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python -m repro loadgen \
+    --manifest "$SERVE_DIR/traced.json" --mode closed --concurrency 4 \
+    --requests 1000 --wait 60 --report-out "$SERVE_DIR/traced_report.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python - \
+    "$SERVE_DIR/traced.json" "$SERVE_DIR/scrape.prom" <<'EOF'
+import json, sys, urllib.request
+
+manifest = json.load(open(sys.argv[1]))
+with open(sys.argv[2], "w") as out:
+    for node, (host, port) in sorted(manifest["metrics"].items()):
+        out.write(urllib.request.urlopen(
+            f"http://{host}:{port}/metrics", timeout=10
+        ).read().decode())
+print(f"scraped /metrics of {len(manifest['metrics'])} nodes")
+EOF
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=""
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro warehouse \
+    --db "$SERVE_DIR/warehouse.sqlite" ingest \
+    "$SERVE_DIR/points.json" "$SERVE_DIR/points.json.records.json" \
+    "$SERVE_DIR/traced_report.json" "$SERVE_DIR/scrape.prom" \
+    "$SERVE_DIR"/spans.shard*.jsonl
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - \
+    "$SERVE_DIR/warehouse.sqlite" "$SERVE_DIR/points.json" \
+    "$SERVE_DIR"/spans.shard*.jsonl <<'EOF'
+import sys
+
+from repro.obs import read_trace_events, reconstruct_traces
+from repro.obs.warehouse import Warehouse
+
+with Warehouse(sys.argv[1]) as warehouse:
+    headers, rows = warehouse.query("scheme-arch")
+    assert len(rows) == 1, f"expected the sweep's single point: {rows}"
+    headers, rows = warehouse.query("loadgen")
+    assert len(rows) == 1, rows
+    headers, rows = warehouse.query("metrics-latest")
+    assert rows, "no /metrics samples ingested"
+    headers, rows = warehouse.query("trace-shards")
+    shards = headers.index("shards")
+    assert rows and max(row[shards] for row in rows) >= 2, rows
+    before = warehouse.table_counts()
+    assert warehouse.ingest(sys.argv[2]).total_added == 0
+    assert warehouse.table_counts() == before, "re-ingest changed rows"
+events = [e for path in sys.argv[3:] for e in read_trace_events(path)]
+trees = reconstruct_traces(events)
+cross = [t for t in trees.values() if len(t.shards()) >= 2]
+assert cross, "no reconstructed trace covers both shard processes"
+print(f"warehouse smoke: {len(trees)} traces reconstructed, "
+      f"{len(cross)} crossing shards; idempotent re-ingest verified")
+print(cross[0].format())
+EOF
+
 echo "== serve saturation throughput gate =="
 # The quick serving benchmark against the committed BENCH_serve.json
 # baseline: a two-shard cluster driven open-loop at offered rates far

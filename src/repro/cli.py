@@ -44,6 +44,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Sequence
 
@@ -662,6 +663,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     resilience = ResilienceConfig(
         retry=RetryPolicy(attempts=args.retry_attempts)
     )
+    tracing = None
+    if args.trace_out:
+        from repro.serve import TracingConfig
+
+        tracing = TracingConfig(
+            path=args.trace_out, sample_every=args.trace_sample_every
+        )
 
     if args.shards > 1:
         if fault_plan is not None:
@@ -689,6 +697,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             resilience=resilience,
             seed=args.seed,
             max_inflight=args.max_inflight,
+            tracing=tracing,
         )
         addresses = await cluster.start()
         metrics = {}
@@ -746,6 +755,8 @@ def _serve_sharded(args, arch, generator, config, resilience, preset) -> int:
         max_inflight=args.max_inflight,
         rpc_timeout=args.rpc_timeout,
         metrics=not args.no_metrics,
+        trace_path=args.trace_out,
+        trace_sample_every=args.trace_sample_every,
     )
     addresses = cluster.start()
     shards = {
@@ -882,13 +893,73 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if report.aborted:
         print(f"  aborted           errors exceeded --max-errors "
               f"({args.max_errors}); partial report")
-    if args.json:
+    if args.report_out:
         import json
 
-        with open(args.json, "w") as f:
+        with open(args.report_out, "w") as f:
             json.dump(report.to_dict(), f, indent=2, sort_keys=True)
-        print(f"  report -> {args.json}")
+        print(f"  report -> {args.report_out}")
     return 0
+
+
+def _cmd_warehouse(args: argparse.Namespace) -> int:
+    from repro.obs.warehouse import (
+        CANNED_QUERIES,
+        Warehouse,
+        format_table,
+        write_csv,
+    )
+
+    with Warehouse(args.db) as warehouse:
+        if args.action == "ingest":
+            failures = 0
+            for path in args.paths:
+                try:
+                    result = warehouse.ingest(path)
+                except (OSError, ValueError) as error:
+                    print(f"{path}: {error}", file=sys.stderr)
+                    failures += 1
+                    continue
+                print(result.format_line())
+            return 1 if failures else 0
+        if args.action == "query":
+            if args.sql:
+                headers, rows = warehouse.sql(args.sql)
+            elif args.name:
+                try:
+                    headers, rows = warehouse.query(args.name)
+                except KeyError as error:
+                    print(error.args[0], file=sys.stderr)
+                    return 2
+            else:
+                print("canned queries (repro warehouse query NAME):")
+                for name in sorted(CANNED_QUERIES):
+                    print(f"  {name:<18} {CANNED_QUERIES[name].description}")
+                return 0
+            if args.csv:
+                sys.stdout.write(write_csv(headers, rows))
+            else:
+                print(format_table(headers, rows))
+            return 0
+        if args.action == "report":
+            print(warehouse.report())
+            return 0
+        # poll: scrape the /metrics endpoints of a running serve cluster.
+        import time
+
+        from repro.obs.warehouse import poll_metrics
+
+        try:
+            manifest = _load_manifest(args.manifest, args.wait)
+        except FileNotFoundError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        for i in range(args.count):
+            if i:
+                time.sleep(args.interval)
+            added = poll_metrics(warehouse, manifest, scraped_at=time.time())
+            print(f"scrape {i + 1}/{args.count}: {added} samples")
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1204,6 +1275,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-node admission bound: shed request walks past this many "
         "in flight with a retryable `busy` frame (default: unbounded)",
     )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        help="record per-hop request spans to this JSONL file (with "
+        "--shards > 1 each shard writes PATH.shardN.jsonl); off by "
+        "default, and the untraced request path is bit-identical",
+    )
+    serve.add_argument(
+        "--trace-sample-every",
+        type=int,
+        default=1,
+        help="trace every Nth ingress request (1 = every request); "
+        "sampling decides at ingress, so sampled traces are complete",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -1245,7 +1330,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for the manifest to appear",
     )
     loadgen.add_argument(
-        "--json", default=None, help="also write the report as JSON here"
+        "--report-out",
+        "--json",
+        dest="report_out",
+        default=None,
+        help="also write the full report as JSON here (ingestable by "
+        "`repro warehouse ingest`)",
     )
     loadgen.add_argument(
         "--max-errors",
@@ -1270,12 +1360,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 
+    warehouse = sub.add_parser(
+        "warehouse",
+        help="sqlite results warehouse: ingest artifacts, run canned "
+        "comparison queries",
+    )
+    warehouse.add_argument(
+        "--db",
+        default="warehouse.sqlite",
+        help="warehouse database path (created on first use)",
+    )
+    wsub = warehouse.add_subparsers(dest="action", required=True)
+    w_ingest = wsub.add_parser(
+        "ingest",
+        help="ingest artifacts (results/checkpoint/run records/bench "
+        "baselines/loadgen reports/span traces/prometheus scrapes); "
+        "idempotent -- re-ingesting changes zero rows",
+    )
+    w_ingest.add_argument("paths", nargs="+", help="artifact files")
+    w_query = wsub.add_parser(
+        "query", help="run a canned comparison query (no name: list catalog)"
+    )
+    w_query.add_argument("name", nargs="?", default=None)
+    w_query.add_argument(
+        "--sql", default=None, help="run this SQL instead of a canned query"
+    )
+    w_query.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+    wsub.add_parser(
+        "report", help="table row counts plus every non-empty canned query"
+    )
+    w_poll = wsub.add_parser(
+        "poll",
+        help="scrape a running cluster's /metrics endpoints into the "
+        "warehouse timeseries",
+    )
+    w_poll.add_argument(
+        "--manifest",
+        default="cluster.json",
+        help="manifest JSON written by `serve`",
+    )
+    w_poll.add_argument(
+        "--count", type=int, default=1, help="number of scrapes"
+    )
+    w_poll.add_argument(
+        "--interval",
+        type=float,
+        default=5.0,
+        help="seconds between scrapes",
+    )
+    w_poll.add_argument(
+        "--wait",
+        type=float,
+        default=10.0,
+        help="seconds to wait for the manifest to appear",
+    )
+    warehouse.set_defaults(func=_cmd_warehouse)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # A downstream pager/head closed the pipe mid-print (e.g.
+        # ``repro warehouse query ... | head``).  Point stdout at
+        # devnull so the interpreter's exit-time flush cannot raise
+        # again, and report the conventional failure code.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -5,7 +5,9 @@ Four parts (see ``docs/architecture.md``, "Observing a run"):
 * :mod:`repro.obs.probe` -- structured, sampleable events;
 * :mod:`repro.obs.registry` -- the per-node cache stat registry;
 * :mod:`repro.obs.timers` -- lightweight phase timers;
-* :mod:`repro.obs.export` -- JSONL traces, node tables, Prometheus text.
+* :mod:`repro.obs.export` -- JSONL traces, node tables, Prometheus text;
+* :mod:`repro.obs.spans` -- cross-shard request-tree reconstruction;
+* :mod:`repro.obs.warehouse` -- the sqlite results warehouse.
 
 Everything hangs off an :class:`~repro.obs.instruments.Instruments`
 bundle passed to ``SimulationEngine.run(..., instruments=...)``; with no
@@ -14,7 +16,9 @@ bundle (the default) the simulator runs the exact uninstrumented path.
 
 from repro.obs.export import (
     JsonlTraceWriter,
+    escape_label_value,
     format_node_stats,
+    parse_prometheus_text,
     prometheus_text,
     read_trace_events,
     summarize_trace_events,
@@ -22,7 +26,9 @@ from repro.obs.export import (
 from repro.obs.instruments import CacheObserver, DcacheObserver, Instruments
 from repro.obs.probe import EVENT_KINDS, Probe
 from repro.obs.registry import NodeStats, StatRegistry
+from repro.obs.spans import Span, SpanTree, reconstruct_traces
 from repro.obs.timers import PhaseTimers
+from repro.obs.warehouse import Warehouse
 
 __all__ = [
     "CacheObserver",
@@ -33,9 +39,15 @@ __all__ = [
     "NodeStats",
     "PhaseTimers",
     "Probe",
+    "Span",
+    "SpanTree",
     "StatRegistry",
+    "Warehouse",
+    "escape_label_value",
     "format_node_stats",
+    "parse_prometheus_text",
     "prometheus_text",
     "read_trace_events",
+    "reconstruct_traces",
     "summarize_trace_events",
 ]

@@ -22,9 +22,10 @@ tests pin down).
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, Optional, Set
 
 # Columns of the per-node table / Prometheus dump, in display order,
 # mapping field name -> (short header, prometheus metric suffix).
@@ -113,6 +114,21 @@ class TraceSummary:
     freed_bytes_by_node: Dict[int, int] = field(default_factory=dict)
     dcache_evictions_by_node: Dict[int, int] = field(default_factory=dict)
     invalidated_copies: int = 0
+    # Serve-side distributed-tracing spans (kind "span").  Spans describe
+    # protocol hops, not simulator requests, so they fold into their own
+    # totals and never perturb the request/hit accounting above.
+    spans: int = 0
+    span_trace_ids: Set[str] = field(default_factory=set)
+    spans_by_node: Dict[int, int] = field(default_factory=dict)
+    span_shards: Set[int] = field(default_factory=set)
+    span_retries: int = 0
+    span_failovers: int = 0
+    span_errors: int = 0
+
+    @property
+    def span_traces(self) -> int:
+        """Distinct request walks covered by the folded spans."""
+        return len(self.span_trace_ids)
 
     def format(self) -> str:
         lines = [f"{self.events} events"]
@@ -147,6 +163,22 @@ class TraceSummary:
             lines.append(f"d-cache evictions: {total}")
         if self.invalidated_copies:
             lines.append(f"invalidated copies: {self.invalidated_copies}")
+        if self.spans:
+            shards = (
+                f" over {len(self.span_shards)} shards"
+                if self.span_shards
+                else ""
+            )
+            lines.append(
+                f"serve spans: {self.spans} across "
+                f"{self.span_traces} traces{shards}"
+            )
+            if self.span_retries or self.span_failovers or self.span_errors:
+                lines.append(
+                    f"  retries {self.span_retries}, "
+                    f"failovers {self.span_failovers}, "
+                    f"errors {self.span_errors}"
+                )
         return "\n".join(lines)
 
 
@@ -189,6 +221,23 @@ def summarize_trace_events(events: Iterable[dict]) -> TraceSummary:
             )
         elif kind == "invalidation":
             summary.invalidated_copies += int(event.get("copies", 0))
+        elif kind == "span":
+            summary.spans += 1
+            trace_id = event.get("trace")
+            if trace_id is not None:
+                summary.span_trace_ids.add(str(trace_id))
+            node = event.get("node")
+            if node is not None:
+                summary.spans_by_node[node] = (
+                    summary.spans_by_node.get(node, 0) + 1
+                )
+            shard = event.get("shard")
+            if shard is not None:
+                summary.span_shards.add(shard)
+            summary.span_retries += int(event.get("retries", 0) or 0)
+            summary.span_failovers += int(event.get("failovers", 0) or 0)
+            if event.get("status") not in (None, "ok"):
+                summary.span_errors += 1
     return summary
 
 
@@ -223,21 +272,97 @@ def format_node_stats(node_stats: Dict[int, dict]) -> str:
     return "\n".join(lines)
 
 
+def escape_label_value(value) -> str:
+    """Escape one Prometheus label value per the text-exposition spec.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside ``label="..."``.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_suffix(counter: str) -> str:
+    """Prometheus metric suffix for a counter the table does not know."""
+    return _METRIC_NAME_BAD.sub("_", counter) + "_total"
+
+
 def prometheus_text(
     node_stats: Dict[int, dict], prefix: str = "repro_cache"
 ) -> str:
     """Prometheus text-exposition dump of the per-node counters.
 
     Counters use the ``_total`` convention; the occupancy high-water
-    mark is exported as a plain gauge.
+    mark is exported as a plain gauge.  The known registry counters
+    render in table order with their stable metric names; any *extra*
+    numeric counter present in a stats dict (a newer registry talking to
+    an older exporter) is appended generically instead of being silently
+    dropped from scrapes.  Label values are escaped per the exposition
+    format, so arbitrary node ids can never corrupt a scrape.
     """
     lines = []
-    for name, _, suffix in _NODE_FIELDS:
+    known = {name for name, _, _ in _NODE_FIELDS}
+    nodes = sorted(node_stats, key=_node_sort_key)
+    extra = sorted(
+        {
+            counter
+            for node in nodes
+            for counter, value in node_stats[node].items()
+            if counter not in known and isinstance(value, (int, float))
+        }
+    )
+    fields = [
+        (name, suffix, "gauge" if name == "occupancy_hwm" else "counter")
+        for name, _, suffix in _NODE_FIELDS
+    ] + [(name, _metric_suffix(name), "counter") for name in extra]
+    for name, suffix, kind in fields:
         metric = f"{prefix}_{suffix}"
-        kind = "gauge" if name == "occupancy_hwm" else "counter"
         lines.append(f"# HELP {metric} per-node {name.replace('_', ' ')}")
         lines.append(f"# TYPE {metric} {kind}")
-        for node in sorted(node_stats, key=_node_sort_key):
+        for node in nodes:
             value = node_stats[node].get(name, 0)
-            lines.append(f'{metric}{{node="{node}"}} {value}')
+            lines.append(
+                f'{metric}{{node="{escape_label_value(node)}"}} {value}'
+            )
     return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Iterator[tuple]:
+    """Parse text-exposition lines back into ``(metric, labels, value)``.
+
+    The inverse of :func:`prometheus_text` for the subset of the format
+    this package emits (no timestamps, no exemplars): comment lines are
+    skipped, label values are unescaped, and unparsable lines are
+    ignored rather than fatal, so scrapes from foreign exporters can be
+    ingested best-effort.
+    """
+    sample = re.compile(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)\s*$'
+    )
+    label = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = sample.match(line)
+        if match is None:
+            continue
+        try:
+            value = float(match.group(4))
+        except ValueError:
+            continue
+        labels = {}
+        for name, raw in label.findall(match.group(3) or ""):
+            labels[name] = (
+                raw.replace('\\"', '"')
+                .replace("\\n", "\n")
+                .replace("\\\\", "\\")
+            )
+        yield match.group(1), labels, value

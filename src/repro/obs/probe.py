@@ -40,6 +40,7 @@ EVENT_KINDS = (
     "dcache-eviction",  # descriptor dropped out of a d-cache
     "invalidation",     # origin update dropped cached copies
     "snapshot",         # periodic stat-registry snapshot
+    "span",             # one serve-side hop of a distributed request walk
 )
 
 

@@ -1,0 +1,226 @@
+"""Reassembling distributed request traces from serve-side span events.
+
+The serving layer (``repro.serve.tracing``) emits one ``span`` event per
+protocol hop of a request walk -- ingress ``get``, each upstream
+``fwd``, push invalidations -- through the standard probe/JSONL
+machinery, with every span carrying its trace id, its own span id and
+the id of the span that forwarded to it.  Spans from a sharded cluster
+land in per-shard JSONL files written by independent processes; nothing
+about ordering or file boundaries can be assumed.
+
+:func:`reconstruct_traces` folds any iterable of trace events (span
+events mixed freely with simulator events) back into one
+:class:`SpanTree` per trace id: parent/child links restored from the
+ids, children ordered by path position, and the walk-level facts --
+nodes visited in order, shards covered, hops skipped by failover --
+recomputed from the spans alone so they can be checked against the
+frame path the cluster reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+__all__ = ["Span", "SpanTree", "reconstruct_traces"]
+
+
+@dataclass
+class Span:
+    """One reconstructed protocol hop of a traced request walk."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    node: Optional[int] = None
+    shard: Optional[int] = None
+    op: str = "walk"
+    status: str = "ok"
+    index: Optional[int] = None
+    path: Optional[List[int]] = None
+    skipped: List[int] = field(default_factory=list)
+    hit_index: Optional[int] = None
+    object_id: Optional[int] = None
+    size: Optional[int] = None
+    time: Optional[float] = None
+    start: Optional[float] = None
+    wall: Optional[float] = None
+    upstream: Optional[float] = None
+    lookup: Optional[float] = None
+    decide: Optional[float] = None
+    deliver: Optional[float] = None
+    retries: int = 0
+    failovers: int = 0
+    piggyback_bytes: int = 0
+    crossed_shard: bool = False
+    inflight: Optional[int] = None
+    children: List["Span"] = field(default_factory=list)
+
+    @classmethod
+    def from_event(cls, event: dict) -> Optional["Span"]:
+        """Build a span from one trace event; ``None`` if not a span."""
+        if event.get("kind") != "span":
+            return None
+        trace_id = event.get("trace")
+        span_id = event.get("span")
+        if trace_id is None or span_id is None:
+            return None
+        path = event.get("path")
+        return cls(
+            trace_id=str(trace_id),
+            span_id=str(span_id),
+            parent_id=(
+                str(event["parent"]) if event.get("parent") is not None
+                else None
+            ),
+            node=event.get("node"),
+            shard=event.get("shard"),
+            op=str(event.get("op", "walk")),
+            status=str(event.get("status", "ok")),
+            index=event.get("index"),
+            path=list(path) if isinstance(path, (list, tuple)) else None,
+            skipped=list(event.get("skipped", ()) or ()),
+            hit_index=event.get("hit_index"),
+            object_id=event.get("object"),
+            size=event.get("size"),
+            time=event.get("t"),
+            start=event.get("start"),
+            wall=event.get("wall"),
+            upstream=event.get("upstream"),
+            lookup=event.get("lookup"),
+            decide=event.get("decide"),
+            deliver=event.get("deliver"),
+            retries=int(event.get("retries", 0) or 0),
+            failovers=int(event.get("failovers", 0) or 0),
+            piggyback_bytes=int(event.get("piggyback", 0) or 0),
+            crossed_shard=bool(event.get("xshard", False)),
+            inflight=event.get("inflight"),
+        )
+
+    def _sort_key(self):
+        index = self.index if self.index is not None else -1
+        return (index, self.span_id)
+
+
+@dataclass
+class SpanTree:
+    """All spans of one trace, re-linked into their forwarding tree.
+
+    ``roots`` is normally a single ingress span; a trace whose root span
+    was sampled away (or lives in a file not ingested) reconstructs into
+    a forest with every orphaned subtree promoted to a root, so partial
+    traces still render instead of vanishing.
+    """
+
+    trace_id: str
+    spans: List[Span]
+    roots: List[Span]
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+    def walk_spans(self) -> List[Span]:
+        """The request-walk hops (op ``walk``), in path order."""
+        return sorted(
+            (s for s in self.spans if s.op == "walk"),
+            key=Span._sort_key,
+        )
+
+    def nodes_visited(self) -> List[int]:
+        """Node ids of the walk hops, in path order."""
+        return [s.node for s in self.walk_spans() if s.node is not None]
+
+    def shards(self) -> Set[int]:
+        """Every shard a span of this trace executed on."""
+        return {s.shard for s in self.spans if s.shard is not None}
+
+    def skipped_indices(self) -> List[int]:
+        """Path positions bypassed by failover, in walk order.
+
+        A skipped node never executes, so it has no span; the skip is
+        recorded on the surviving hop that forwarded past it.
+        """
+        merged: List[int] = []
+        for span in self.walk_spans():
+            for index in span.skipped:
+                if index not in merged:
+                    merged.append(index)
+        return sorted(merged)
+
+    def hit_index(self) -> Optional[int]:
+        """The path position that served the request, if any span knows."""
+        for span in self.walk_spans():
+            if span.hit_index is not None:
+                return span.hit_index
+        return None
+
+    def total_retries(self) -> int:
+        return sum(s.retries for s in self.spans)
+
+    def total_failovers(self) -> int:
+        return sum(s.failovers for s in self.spans)
+
+    def format(self) -> str:
+        """ASCII rendering of the forwarding tree, one span per line."""
+        lines = [f"trace {self.trace_id}: {self.span_count} spans"]
+
+        def render(span: Span, depth: int) -> None:
+            where = f"node {span.node}"
+            if span.shard is not None:
+                where += f"@shard{span.shard}"
+            detail = [span.op, span.status]
+            if span.index is not None:
+                detail.append(f"index={span.index}")
+            if span.hit_index is not None:
+                detail.append(f"hit_index={span.hit_index}")
+            if span.skipped:
+                detail.append(f"skipped={span.skipped}")
+            if span.retries:
+                detail.append(f"retries={span.retries}")
+            if span.wall is not None:
+                detail.append(f"wall={span.wall * 1e3:.3f}ms")
+            lines.append(
+                "  " * (depth + 1) + f"{where}  " + " ".join(detail)
+            )
+            for child in sorted(span.children, key=Span._sort_key):
+                render(child, depth + 1)
+
+        for root in sorted(self.roots, key=Span._sort_key):
+            render(root, 0)
+        return "\n".join(lines)
+
+
+def reconstruct_traces(events: Iterable[dict]) -> Dict[str, SpanTree]:
+    """Reassemble span events into one :class:`SpanTree` per trace id.
+
+    Tolerates mixed event kinds (simulator events are skipped), any
+    event order (per-shard files concatenate in any sequence), duplicate
+    span ids (last event wins), and missing parents (the orphan becomes
+    an extra root rather than being dropped).
+    """
+    by_trace: Dict[str, Dict[str, Span]] = {}
+    for event in events:
+        span = Span.from_event(event)
+        if span is None:
+            continue
+        by_trace.setdefault(span.trace_id, {})[span.span_id] = span
+    trees: Dict[str, SpanTree] = {}
+    for trace_id, spans in by_trace.items():
+        roots: List[Span] = []
+        for span in spans.values():
+            parent = (
+                spans.get(span.parent_id)
+                if span.parent_id is not None
+                else None
+            )
+            if parent is None or parent is span:
+                roots.append(span)
+            else:
+                parent.children.append(span)
+        trees[trace_id] = SpanTree(
+            trace_id=trace_id,
+            spans=sorted(spans.values(), key=Span._sort_key),
+            roots=roots,
+        )
+    return trees

@@ -42,6 +42,7 @@ from repro.serve.shard import (
     ShardSpec,
     fetch_stats,
 )
+from repro.serve.tracing import NodeTracer, TracingConfig, shard_trace_path
 from repro.serve.transport import (
     CircuitBreaker,
     InProcessTransport,
@@ -65,6 +66,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "MetricsServer",
     "NodeBusy",
+    "NodeTracer",
     "NodeUnreachable",
     "ProtocolError",
     "RETRYABLE_ERRORS",
@@ -75,9 +77,11 @@ __all__ = [
     "ShardSpec",
     "ShardedCluster",
     "TCPTransport",
+    "TracingConfig",
     "Transport",
     "decode_payload",
     "encode_frame",
     "fetch_stats",
     "is_retryable",
+    "shard_trace_path",
 ]

@@ -38,10 +38,14 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.costs.model import CostModel, LatencyCostModel
+from repro.obs.export import JsonlTraceWriter
+from repro.obs.probe import Probe
+from repro.obs.timers import PhaseTimers
 from repro.schemes.base import CachingScheme
 from repro.serve.metrics_http import MetricsServer
 from repro.serve.node import CacheNode, ResilienceConfig
 from repro.serve.protocol import MSG_INV, RETRYABLE_ERRORS
+from repro.serve.tracing import NodeTracer, TracingConfig
 from repro.serve.transport import InProcessTransport, Transport
 from repro.sim.architecture import Architecture
 from repro.sim.config import SimulationConfig
@@ -64,6 +68,7 @@ class Cluster:
         resilience: Optional[ResilienceConfig] = None,
         seed: int = 0,
         max_inflight: Optional[int] = None,
+        tracing: Optional[TracingConfig] = None,
     ) -> None:
         self.architecture = architecture
         self.cost_model = cost_model
@@ -72,6 +77,13 @@ class Cluster:
         self.scheme_name = scheme_name
         # Per-node admission bound (None = unbounded); see CacheNode.
         self.max_inflight = max_inflight
+        # Distributed tracing (None = off, the exact untraced path); the
+        # JSONL span writer and phase timers are shared by every node.
+        self.tracing = tracing
+        self.trace_writer: Optional[JsonlTraceWriter] = None
+        self.phase_timers: Optional[PhaseTimers] = None
+        self._trace_probe: Optional[Probe] = None
+        self._inv_seq = 0
         self.resilience = (
             resilience if resilience is not None else ResilienceConfig()
         )
@@ -100,6 +112,7 @@ class Cluster:
         resilience: Optional[ResilienceConfig] = None,
         seed: int = 0,
         max_inflight: Optional[int] = None,
+        tracing: Optional[TracingConfig] = None,
         **params,
     ) -> "Cluster":
         """Derive per-node schemes exactly as the experiment runner does.
@@ -127,6 +140,7 @@ class Cluster:
             resilience=resilience,
             seed=seed,
             max_inflight=max_inflight,
+            tracing=tracing,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -135,7 +149,22 @@ class Cluster:
         """Instantiate and serve every node; returns the address map."""
         if self._started:
             raise RuntimeError("cluster already started")
+        if self.tracing is not None:
+            self.trace_writer = JsonlTraceWriter(self.tracing.path)
+            self.phase_timers = PhaseTimers()
+            self._trace_probe = Probe(
+                self.trace_writer,
+                sample_every=self.tracing.sample_every,
+                sample_rate=self.tracing.sample_rate,
+                seed=self.tracing.seed,
+                kinds=("span",),
+            )
         for node_id in sorted(self.architecture.network.nodes()):
+            tracer = None
+            if self._trace_probe is not None:
+                tracer = NodeTracer(
+                    node_id, self._trace_probe, timers=self.phase_timers
+                )
             node = CacheNode(
                 node_id,
                 self.scheme_factory(),
@@ -144,6 +173,7 @@ class Cluster:
                 resilience=self.resilience,
                 rng=random.Random(f"{self.seed}:{node_id}"),
                 max_inflight=self.max_inflight,
+                tracer=tracer,
             )
             self.nodes[node_id] = node
             self.addresses[node_id] = await self.transport.start_node(
@@ -256,6 +286,10 @@ class Cluster:
             await server.close()
         self.metrics_servers.clear()
         await self.transport.close()
+        if self.trace_writer is not None:
+            self.trace_writer.close()
+            self.trace_writer = None
+            self._trace_probe = None
         self._started = False
         return snap
 
@@ -299,11 +333,19 @@ class Cluster:
         the standard stale-replica window of push invalidation.
         """
         removed = 0
+        ctx = None
+        if self._trace_probe is not None and self._trace_probe.sample("span"):
+            # One trace per broadcast: every node's inv span shares it,
+            # so the fan-out reconstructs as one flat tree.
+            self._inv_seq += 1
+            ctx = {"id": f"tinv.{self._inv_seq}", "parent": None}
         for node_id in sorted(self.addresses):
+            frame = {"type": MSG_INV, "object_id": object_id}
+            if ctx is not None:
+                frame["trace"] = ctx
             try:
                 reply = await self.transport.call(
-                    self.addresses[node_id],
-                    {"type": MSG_INV, "object_id": object_id},
+                    self.addresses[node_id], frame
                 )
             except RETRYABLE_ERRORS:
                 self.invalidate_skips += 1

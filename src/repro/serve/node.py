@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, Mapping, Optional, Sequence
 
@@ -83,12 +84,28 @@ from repro.serve.protocol import (
     NodeUnreachable,
     ProtocolError,
 )
+from repro.serve.tracing import NodeTracer
 from repro.serve.transport import CircuitBreaker, RetryPolicy
 
 # async (node_id, message) -> reply: how a node reaches its upstream peer.
 Forwarder = Callable[[int, dict], Awaitable[dict]]
 # (client_id, server_id) -> delivery path, shared routing state.
 PathResolver = Callable[[int, int], Sequence[int]]
+
+
+def _timed(span: Optional[dict], key: str, fn, *args, **kwargs):
+    """Run one scheme step, accumulating its wall time into the span.
+
+    With no span this is a plain call -- the untraced path pays nothing
+    beyond the ``None`` test, preserving the zero-overhead-when-off
+    contract.
+    """
+    if span is None:
+        return fn(*args, **kwargs)
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    span[key] = span.get(key, 0.0) + (time.perf_counter() - t0)
+    return result
 
 
 @dataclass(frozen=True)
@@ -127,12 +144,16 @@ class CacheNode:
         rng: Optional[random.Random] = None,
         max_inflight: Optional[int] = None,
         shard_of: Optional[Mapping[int, int]] = None,
+        tracer: Optional[NodeTracer] = None,
     ) -> None:
         """``max_inflight`` bounds concurrently admitted request walks
         (``None`` = unbounded); a request arriving at the bound is shed
         with a retryable ``busy`` frame before touching any cache state.
         ``shard_of`` maps node id -> shard id so upstream forwards that
-        leave this node's shard are counted (``cross_shard_fwds``)."""
+        leave this node's shard are counted (``cross_shard_fwds``).
+        ``tracer`` opts the node into distributed tracing (see
+        :mod:`repro.serve.tracing`); ``None`` runs the exact untraced
+        code path."""
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         self.node_id = node_id
@@ -157,6 +178,7 @@ class CacheNode:
         # are fed by the handler below, mirroring the engine's feeds.
         scheme.attach_instruments(Instruments(registry=self.registry))
         self._coordinated = isinstance(scheme, CoordinatedScheme)
+        self._tracer = tracer
         self.requests_handled = 0
         self.inflight = 0
         # Per-node monotone clock: under concurrent load generation,
@@ -183,6 +205,27 @@ class CacheNode:
             # admitted -- they are cheap and the operator needs them most
             # exactly when the data plane is saturated.
             self.registry.node(self.node_id).busy_rejections += 1
+            tracer = self._tracer
+            if tracer is not None:
+                ctx = message.get("trace")
+                if ctx is not None:
+                    # The shed hop of an already-traced walk: without
+                    # this span the trace would show the forwarding
+                    # parent retrying into a void.
+                    tracer.emit(
+                        {
+                            "trace": ctx.get("id"),
+                            "span": tracer.new_span_id(),
+                            "parent": ctx.get("parent"),
+                            "node": self.node_id,
+                            "shard": tracer.shard,
+                            "op": "walk",
+                            "status": "busy",
+                            "t": message.get("time"),
+                            "object": message.get("object_id"),
+                            "inflight": self.inflight,
+                        }
+                    )
             return {
                 "type": MSG_BUSY,
                 "node": self.node_id,
@@ -231,6 +274,16 @@ class CacheNode:
                 f"not to node {self.node_id}"
             )
         walk["path"] = path
+        tracer = self._tracer
+        if tracer is not None:
+            # Ingress is where a walk gains (or is sampled out of) its
+            # trace: a context minted here rides every fwd frame of the
+            # walk, so sampled traces are always complete trees.
+            ctx = message.get("trace")
+            if ctx is None and tracer.sample_walk():
+                ctx = {"id": tracer.new_trace_id(), "parent": None}
+            if ctx is not None:
+                walk["trace"] = ctx
         return await self._handle_walk(walk)
 
     async def _handle_walk(self, message: dict) -> dict:
@@ -256,47 +309,131 @@ class CacheNode:
         else:
             self._clock = now
         self.requests_handled += 1
+        tracer = self._tracer
+        ctx = message.get("trace") if tracer is not None else None
+        if ctx is None:
+            # Untraced walk (tracing off, or sampled out at ingress):
+            # the exact pre-tracing code path.
+            return await self._walk(
+                message, path, index, object_id, size, now, reports, None
+            )
+        span = {
+            "trace": ctx.get("id"),
+            "span": tracer.new_span_id(),
+            "parent": ctx.get("parent"),
+            "node": self.node_id,
+            "shard": tracer.shard,
+            "op": "walk",
+            "status": "ok",
+            "t": now,
+            "object": object_id,
+            "size": size,
+            "index": index,
+            "path": list(path),
+            "skipped": [],
+            "retries": 0,
+            "failovers": 0,
+            "piggyback": 0,
+            "xshard": False,
+            "inflight": self.inflight,
+            "start": time.time(),
+        }
+        begin = time.perf_counter()
+        try:
+            reply = await self._walk(
+                message, path, index, object_id, size, now, reports, span
+            )
+        except BaseException as error:
+            # The walk died at or above this hop (exhausted failover,
+            # remote handler error); the span records it so partial
+            # traces still show how far the request got.
+            span["status"] = type(error).__name__
+            span["wall"] = time.perf_counter() - begin
+            tracer.emit(span)
+            raise
+        span["hit_index"] = reply.get("hit_index")
+        span["wall"] = time.perf_counter() - begin
+        tracer.emit(span)
+        return reply
+
+    async def _walk(
+        self,
+        message: dict,
+        path: list,
+        index: int,
+        object_id,
+        size: int,
+        now: float,
+        reports: list,
+        span: Optional[dict],
+    ) -> dict:
+        """The walk body; ``span`` (when tracing) only observes it."""
         last = len(path) - 1
         scheme = self.scheme
 
         if index == last:
             # Origin attachment: the origin itself serves; decide from the
             # piggybacked reports and start the downstream unwind.
-            decision = scheme.decide_step(
-                path, last, self._decoded_reports(reports), object_id, size, now
+            decision = _timed(
+                span,
+                "decide",
+                scheme.decide_step,
+                path,
+                last,
+                self._decoded_reports(reports),
+                object_id,
+                size,
+                now,
             )
-            return {
+            reply = {
                 "type": MSG_RESP,
                 "hit_index": last,
                 "decision": decision,
                 "inserted": [],
                 "evictions": 0,
             }
+            if span is not None:
+                reply["trace"] = {"id": span["trace"], "span": span["span"]}
+            return reply
 
-        hit, report = scheme.lookup_step(self.node_id, object_id, size, now)
+        hit, report = _timed(
+            span, "lookup", scheme.lookup_step, self.node_id, object_id, size, now
+        )
         stats = self.registry.node(self.node_id)
         if hit:
             stats.hits += 1
             stats.bytes_read += size
-            decision = scheme.decide_step(
-                path, index, self._decoded_reports(reports), object_id, size, now
+            decision = _timed(
+                span,
+                "decide",
+                scheme.decide_step,
+                path,
+                index,
+                self._decoded_reports(reports),
+                object_id,
+                size,
+                now,
             )
-            return {
+            reply = {
                 "type": MSG_RESP,
                 "hit_index": index,
                 "decision": decision,
                 "inserted": [],
                 "evictions": 0,
             }
+            if span is not None:
+                reply["trace"] = {"id": span["trace"], "span": span["span"]}
+            return reply
 
         stats.misses += 1
         if report is not None:
             payload = report.to_dict() if hasattr(report, "to_dict") else report
             reports.append(payload)
             if self._coordinated:
-                stats.piggyback_bytes += (
-                    REPORT_BYTES if payload.get("d") else TAG_BYTES
-                )
+                added = REPORT_BYTES if payload.get("d") else TAG_BYTES
+                stats.piggyback_bytes += added
+                if span is not None:
+                    span["piggyback"] += added
         # Forward upstream, failing over past dead hops: each candidate
         # frame keeps the FULL original path (the decision's node-id set
         # and the cost accounting both need it) plus the indices the walk
@@ -315,21 +452,47 @@ class CacheNode:
                 "reports": reports,
                 "skipped": skipped,
             }
+            if span is not None:
+                upstream["trace"] = {
+                    "id": span["trace"],
+                    "parent": span["span"],
+                }
             if (
                 self._shard_of is not None
                 and self._shard_of.get(path[next_index]) != self._home_shard
             ):
                 stats.cross_shard_fwds += 1
+                if span is not None:
+                    span["xshard"] = True
             try:
-                reply = await self._call_upstream(path[next_index], upstream)
+                if span is None:
+                    reply = await self._call_upstream(path[next_index], upstream)
+                else:
+                    t0 = time.perf_counter()
+                    try:
+                        reply = await self._call_upstream(
+                            path[next_index], upstream, span
+                        )
+                    finally:
+                        # Cumulative over failover candidates: the whole
+                        # time this hop spent waiting on upstreams,
+                        # retries and backoff included.
+                        span["upstream"] = span.get("upstream", 0.0) + (
+                            time.perf_counter() - t0
+                        )
                 break
             except RETRYABLE_ERRORS:
                 if next_index >= last:
                     raise
                 stats.failovers += 1
                 skipped.append(next_index)
+                if span is not None:
+                    span["failovers"] += 1
+                    span["skipped"].append(next_index)
                 if self._coordinated:
                     stats.piggyback_bytes += SKIPPED_NODE_BYTES
+                    if span is not None:
+                        span["piggyback"] += SKIPPED_NODE_BYTES
                 next_index += 1
         if reply.get("type") != MSG_RESP:
             raise ProtocolError(
@@ -341,8 +504,17 @@ class CacheNode:
         # dead, its router still forwards); apply the shipped decision at
         # this node, charging that whole segment.
         decision = reply["decision"]
-        inserted, evictions = scheme.deliver_step(
-            index, path, decision, object_id, size, now, came_from=next_index
+        inserted, evictions = _timed(
+            span,
+            "deliver",
+            scheme.deliver_step,
+            index,
+            path,
+            decision,
+            object_id,
+            size,
+            now,
+            came_from=next_index,
         )
         if inserted:
             reply["inserted"].append(self.node_id)
@@ -352,14 +524,20 @@ class CacheNode:
         if self._coordinated:
             if self.node_id in decision["cache_at"]:
                 stats.piggyback_bytes += DECISION_BYTES
+                if span is not None:
+                    span["piggyback"] += DECISION_BYTES
             if next_index == reply["hit_index"]:
                 # First downstream carrier of the response accumulator --
                 # the hop directly below the serving node in the chain of
                 # nodes that actually answered.
                 stats.piggyback_bytes += ACCUMULATOR_BYTES
+                if span is not None:
+                    span["piggyback"] += ACCUMULATOR_BYTES
         return reply
 
-    async def _call_upstream(self, node: int, message: dict) -> dict:
+    async def _call_upstream(
+        self, node: int, message: dict, span: Optional[dict] = None
+    ) -> dict:
         """One logical upstream call: breaker gate + bounded retry loop.
 
         Timeouts, unreachable peers and damaged frames are retried with
@@ -394,6 +572,8 @@ class CacheNode:
                         stats.breaker_trips += 1
                     raise
                 stats.rpc_retries += 1
+                if span is not None:
+                    span["retries"] += 1
                 delay = policy.delay(attempt - 1, self._rng)
                 if delay > 0:
                     await asyncio.sleep(delay)
@@ -416,7 +596,33 @@ class CacheNode:
             object_id = message["object_id"]
         except KeyError as missing:
             raise ProtocolError(f"inv frame missing field {missing}") from None
+        tracer = self._tracer
+        ctx = message.get("trace") if tracer is not None else None
+        if ctx is None:
+            removed = self.scheme.invalidate_step(self.node_id, object_id)
+            return {
+                "type": MSG_INV_OK,
+                "node": self.node_id,
+                "removed": removed,
+            }
+        start = time.time()
+        t0 = time.perf_counter()
         removed = self.scheme.invalidate_step(self.node_id, object_id)
+        tracer.emit(
+            {
+                "trace": ctx.get("id"),
+                "span": tracer.new_span_id(),
+                "parent": ctx.get("parent"),
+                "node": self.node_id,
+                "shard": tracer.shard,
+                "op": "inv",
+                "status": "ok",
+                "object": object_id,
+                "removed": removed,
+                "start": start,
+                "wall": time.perf_counter() - t0,
+            }
+        )
         return {"type": MSG_INV_OK, "node": self.node_id, "removed": removed}
 
     def _handle_stats(self) -> dict:

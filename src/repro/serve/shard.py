@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.serve.node import ResilienceConfig
 from repro.serve.protocol import MSG_STATS
+from repro.serve.tracing import shard_trace_path
 from repro.sim.architecture import Architecture
 from repro.sim.config import SimulationConfig
 from repro.workload.catalog import ObjectCatalog
@@ -172,6 +173,11 @@ class ShardSpec:
     max_inflight: Optional[int] = None
     rpc_timeout: Optional[float] = None
     metrics: bool = False
+    # Distributed tracing: this worker's own span JSONL file (workers
+    # are separate processes and cannot share a file handle), or None
+    # for the exact untraced path.
+    trace_path: Optional[str] = None
+    trace_sample_every: int = 1
 
 
 def _shard_worker_main(spec: ShardSpec, conn) -> None:
@@ -203,8 +209,11 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
 
     from repro.costs.model import LatencyCostModel
+    from repro.obs.export import JsonlTraceWriter
+    from repro.obs.probe import Probe
     from repro.serve.metrics_http import MetricsServer
     from repro.serve.node import CacheNode
+    from repro.serve.tracing import NodeTracer
     from repro.serve.transport import InProcessTransport, TCPTransport
     from repro.sim.factory import build_scheme
 
@@ -238,6 +247,15 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
         addresses: Dict[int, Tuple[str, int]] = {}
         metrics_servers: List[MetricsServer] = []
         metrics_addresses: Dict[int, Tuple[str, int]] = {}
+        trace_writer = None
+        trace_probe = None
+        if spec.trace_path is not None:
+            trace_writer = JsonlTraceWriter(spec.trace_path)
+            trace_probe = Probe(
+                trace_writer,
+                sample_every=spec.trace_sample_every,
+                kinds=("span",),
+            )
         for node_id in sorted(owned):
             node = CacheNode(
                 node_id,
@@ -254,6 +272,11 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
                 rng=random.Random(f"{spec.seed}:{node_id}"),
                 max_inflight=spec.max_inflight,
                 shard_of=spec.assignment,
+                tracer=(
+                    NodeTracer(node_id, trace_probe, shard=spec.shard_id)
+                    if trace_probe is not None
+                    else None
+                ),
             )
             nodes[node_id] = node
             addresses[node_id] = await transport.start_node(
@@ -296,6 +319,10 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
             await server.close()
         await transport.close()
         await local.close()
+        if trace_writer is not None:
+            # Close before acking stop: the parent may read the span
+            # files the moment stop() returns.
+            trace_writer.close()
         conn.send(("stats", stats))
 
     try:
@@ -333,6 +360,8 @@ class ShardedCluster:
         rpc_timeout: Optional[float] = None,
         metrics: bool = False,
         replicas: int = DEFAULT_REPLICAS,
+        trace_path: Optional[str] = None,
+        trace_sample_every: int = 1,
     ) -> None:
         self.architecture = architecture
         self.catalog = catalog
@@ -345,6 +374,9 @@ class ShardedCluster:
         self.max_inflight = max_inflight
         self.rpc_timeout = rpc_timeout
         self.metrics = metrics
+        # Base span-file path; worker i writes shard_trace_path(base, i).
+        self.trace_path = trace_path
+        self.trace_sample_every = trace_sample_every
         self.plan = ShardPlan.compute(
             architecture, num_shards, replicas=replicas
         )
@@ -358,6 +390,15 @@ class ShardedCluster:
     @property
     def num_shards(self) -> int:
         return self.plan.num_shards
+
+    def trace_paths(self) -> List[str]:
+        """The per-shard span files a traced fleet writes, in shard order."""
+        if self.trace_path is None:
+            return []
+        return [
+            str(shard_trace_path(self.trace_path, shard))
+            for shard in range(self.plan.num_shards)
+        ]
 
     def start(self, timeout: float = 60.0) -> Dict[int, Tuple[str, int]]:
         """Spawn every shard; returns the merged node address map."""
@@ -380,6 +421,12 @@ class ShardedCluster:
                 max_inflight=self.max_inflight,
                 rpc_timeout=self.rpc_timeout,
                 metrics=self.metrics,
+                trace_path=(
+                    str(shard_trace_path(self.trace_path, shard_id))
+                    if self.trace_path is not None
+                    else None
+                ),
+                trace_sample_every=self.trace_sample_every,
             )
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(

@@ -8,7 +8,9 @@ import pytest
 
 from repro.cli import main
 from repro.obs.export import (
+    escape_label_value,
     format_node_stats,
+    parse_prometheus_text,
     prometheus_text,
     summarize_trace_events,
 )
@@ -69,6 +71,59 @@ class TestPrometheus:
         text = prometheus_text(sample_stats(), prefix="x")
         assert 'x_hits_total{node="2"} 3' in text
 
+    def test_help_precedes_type_per_metric(self):
+        text = prometheus_text(sample_stats())
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE"):
+                name = line.split()[2]
+                assert lines[i - 1].startswith(f"# HELP {name} ")
+
+    def test_label_escaping(self):
+        assert escape_label_value('pla"in') == 'pla\\"in'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("two\nlines") == "two\\nlines"
+        stats = {'no"de\n1': {"hits": 1, "misses": 0}}
+        text = prometheus_text(stats)
+        assert 'node="no\\"de\\n1"' in text
+
+    def test_resilience_and_shard_counters_exported(self):
+        stats = sample_stats()
+        stats[2]["busy_rejections"] = 6
+        stats[2]["cross_shard_fwds"] = 9
+        text = prometheus_text(stats)
+        assert "# TYPE repro_cache_busy_rejections_total counter" in text
+        assert 'repro_cache_busy_rejections_total{node="2"} 6' in text
+        assert 'repro_cache_cross_shard_fwds_total{node="2"} 9' in text
+        # A node lacking the counter still scrapes (as zero).
+        assert 'repro_cache_busy_rejections_total{node="10"} 0' in text
+
+    def test_unknown_counters_pass_through(self):
+        stats = {1: {"hits": 1, "misses": 2, "future_counter": 5}}
+        text = prometheus_text(stats)
+        assert "# TYPE repro_cache_future_counter_total counter" in text
+        assert 'repro_cache_future_counter_total{node="1"} 5' in text
+
+    def test_parse_inverts_render(self):
+        stats = sample_stats()
+        stats[2]["busy_rejections"] = 4
+        samples = list(parse_prometheus_text(prometheus_text(stats)))
+        assert samples, "parser saw no samples"
+        by_metric = {
+            (metric, labels["node"]): value
+            for metric, labels, value in samples
+        }
+        assert by_metric[("repro_cache_hits_total", "2")] == 3
+        assert by_metric[("repro_cache_busy_rejections_total", "2")] == 4
+        assert by_metric[("repro_cache_occupancy_hwm_bytes", "10")] == 0
+
+    def test_parse_unescapes_labels(self):
+        text = 'm_total{node="a\\"b\\nc\\\\d"} 1\n'
+        ((metric, labels, value),) = parse_prometheus_text(text)
+        assert metric == "m_total"
+        assert labels["node"] == 'a"b\nc\\d'
+        assert value == 1.0
+
 
 class TestTraceSummary:
     def test_folds_all_kinds(self):
@@ -94,6 +149,44 @@ class TestTraceSummary:
         text = summary.format()
         assert "7 events" in text
         assert "1 cache-served" in text
+
+    def test_mixed_sim_events_and_serve_spans(self):
+        """Satellite gate: spans fold into their own totals and never
+        leak into the simulator-side request/hit accounting."""
+        events = [
+            {"kind": "request", "hit_node": 4},
+            {"kind": "request", "hit_node": None},
+            {"kind": "span", "trace": "t3.1", "span": "s3.2", "node": 3,
+             "shard": 0, "status": "ok", "retries": 1},
+            {"kind": "span", "trace": "t3.1", "span": "s8.1", "node": 8,
+             "shard": 1, "status": "ok", "failovers": 1},
+            {"kind": "span", "trace": "t3.3", "span": "s3.4", "node": 3,
+             "status": "NodeUnreachable"},
+            {"kind": "placement", "inserted": [4]},
+        ]
+        summary = summarize_trace_events(events)
+        # Sim-side accounting untouched by the interleaved spans.
+        assert summary.requests == 2
+        assert summary.origin_served == 1
+        assert summary.hits_by_node == {4: 1}
+        assert summary.insertions_by_node == {4: 1}
+        # Span-side accounting attributed to spans alone.
+        assert summary.spans == 3
+        assert summary.span_traces == 2
+        assert summary.spans_by_node == {3: 2, 8: 1}
+        assert summary.span_shards == {0, 1}
+        assert summary.span_retries == 1
+        assert summary.span_failovers == 1
+        assert summary.span_errors == 1
+        text = summary.format()
+        assert "serve spans: 3 across 2 traces over 2 shards" in text
+        assert "retries 1, failovers 1, errors 1" in text
+
+    def test_span_without_ids_still_counts_safely(self):
+        summary = summarize_trace_events([{"kind": "span"}])
+        assert summary.spans == 1
+        assert summary.span_traces == 0
+        assert summary.spans_by_node == {}
 
 
 class TestSimObservabilityFlags:

@@ -1,0 +1,153 @@
+"""Span-tree reconstruction: ids back into request trees.
+
+Pure-data tests over :mod:`repro.obs.spans`: synthetic span events (the
+exact dicts the serve tracer emits) must reassemble into parent-linked
+trees regardless of event order, file interleaving, duplicates, missing
+parents or foreign event kinds mixed in.  The live end of the pipeline
+-- real clusters emitting real spans -- is covered by
+``tests/test_serve_tracing.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.spans import Span, SpanTree, reconstruct_traces
+from repro.serve.tracing import shard_trace_path
+
+
+def walk_event(trace, span, parent, node, index, **extra):
+    event = {
+        "kind": "span",
+        "trace": trace,
+        "span": span,
+        "parent": parent,
+        "node": node,
+        "index": index,
+        "op": "walk",
+        "status": "ok",
+    }
+    event.update(extra)
+    return event
+
+
+def chain_events():
+    """A three-hop walk 3 -> 8 -> 0, served at index 2."""
+    return [
+        walk_event("t3.1", "s3.2", None, 3, 0, shard=0,
+                   path=[3, 8, 0], piggyback=10),
+        walk_event("t3.1", "s8.1", "s3.2", 8, 1, shard=1, xshard=True),
+        walk_event("t3.1", "s0.1", "s8.1", 0, 2, shard=1, hit_index=2),
+    ]
+
+
+class TestReconstruction:
+    def test_chain_links_and_order(self):
+        trees = reconstruct_traces(chain_events())
+        assert set(trees) == {"t3.1"}
+        tree = trees["t3.1"]
+        assert tree.span_count == 3
+        assert len(tree.roots) == 1
+        root = tree.roots[0]
+        assert root.span_id == "s3.2" and root.index == 0
+        assert [s.node for s in tree.walk_spans()] == [3, 8, 0]
+        assert tree.nodes_visited() == [3, 8, 0]
+        assert tree.shards() == {0, 1}
+        assert tree.hit_index() == 2
+        # One child per hop down the chain.
+        assert root.children[0].span_id == "s8.1"
+        assert root.children[0].children[0].span_id == "s0.1"
+
+    def test_order_and_interleaving_agnostic(self):
+        events = chain_events()
+        other = [
+            walk_event("t5.1", "s5.2", None, 5, 0),
+            walk_event("t5.1", "s9.1", "s5.2", 9, 1, hit_index=1),
+        ]
+        shuffled = [other[1], events[2], events[0], other[0], events[1]]
+        trees = reconstruct_traces(shuffled)
+        assert trees["t3.1"].nodes_visited() == [3, 8, 0]
+        assert trees["t5.1"].nodes_visited() == [5, 9]
+
+    def test_foreign_kinds_and_malformed_spans_skipped(self):
+        events = chain_events() + [
+            {"kind": "request", "hit_node": 4},
+            {"kind": "eviction", "node": 2, "victims": [1]},
+            {"kind": "span", "trace": None, "span": "sX"},
+            {"kind": "span", "span": "orphaned-no-trace"},
+            {},
+        ]
+        trees = reconstruct_traces(events)
+        assert set(trees) == {"t3.1"}
+        assert trees["t3.1"].span_count == 3
+
+    def test_duplicate_span_last_event_wins(self):
+        events = chain_events()
+        events.append(
+            walk_event("t3.1", "s0.1", "s8.1", 0, 2, hit_index=2, retries=4)
+        )
+        tree = reconstruct_traces(events)["t3.1"]
+        assert tree.span_count == 3
+        assert tree.total_retries() == 4
+
+    def test_missing_parent_promotes_orphan_to_root(self):
+        events = chain_events()
+        del events[1]  # the middle hop's span was sampled away / lost
+        tree = reconstruct_traces(events)["t3.1"]
+        assert tree.span_count == 2
+        assert {root.span_id for root in tree.roots} == {"s3.2", "s0.1"}
+        # The walk view still renders both surviving hops in path order.
+        assert tree.nodes_visited() == [3, 0]
+
+    def test_self_parent_cannot_recurse(self):
+        event = walk_event("t1.1", "s1.1", "s1.1", 1, 0)
+        tree = reconstruct_traces([event])["t1.1"]
+        assert len(tree.roots) == 1
+        assert tree.roots[0].children == []
+
+    def test_failover_facts(self):
+        events = [
+            walk_event("t3.1", "s3.2", None, 3, 0, path=[3, 8, 5, 0]),
+            walk_event("t3.1", "s5.1", "s3.2", 5, 2, skipped=[1],
+                       failovers=1, retries=2),
+            walk_event("t3.1", "s0.1", "s5.1", 0, 3, hit_index=3),
+        ]
+        tree = reconstruct_traces(events)["t3.1"]
+        assert tree.skipped_indices() == [1]
+        assert tree.total_failovers() == 1
+        assert tree.total_retries() == 2
+        assert tree.nodes_visited() == [3, 5, 0]
+
+    def test_inv_spans_form_flat_forest(self):
+        events = [
+            {"kind": "span", "trace": "tinv.1", "span": f"s{n}.1",
+             "parent": None, "node": n, "op": "inv", "status": "ok"}
+            for n in (0, 3, 8)
+        ]
+        tree = reconstruct_traces(events)["tinv.1"]
+        assert tree.span_count == 3
+        assert len(tree.roots) == 3
+        assert tree.walk_spans() == []  # inv spans are not walk hops
+        assert tree.hit_index() is None
+
+    def test_format_renders_every_span(self):
+        tree = reconstruct_traces(chain_events())["t3.1"]
+        text = tree.format()
+        assert "trace t3.1: 3 spans" in text
+        assert "node 8@shard1" in text
+        assert "hit_index=2" in text
+
+    def test_from_event_rejects_non_spans(self):
+        assert Span.from_event({"kind": "request"}) is None
+        assert Span.from_event({"kind": "span", "trace": "t"}) is None
+
+
+class TestShardTracePath:
+    def test_suffix_inserted_before_extension(self):
+        assert shard_trace_path("trace.jsonl", 0) == Path("trace.shard0.jsonl")
+        assert shard_trace_path(Path("/x/t.jsonl"), 3) == Path(
+            "/x/t.shard3.jsonl"
+        )
+
+    def test_bare_name_gets_suffix_appended(self):
+        assert shard_trace_path("spans", 1) == Path("spans.shard1")

@@ -278,6 +278,77 @@ print(f"warehouse smoke: {len(trees)} traces reconstructed, "
 print(cross[0].format())
 EOF
 
+echo "== coherency comparison smoke (in-band vs. channel) =="
+# The PR-9 axis end to end.  Two real sim runs (same workload, same
+# update stream) produce the in-band and channel sides of the
+# comparison; a live channel-mode cluster then runs under a fault plan
+# that drops 40% of broker fan-out frames, so convergence must come
+# from gap detection + catch-up replay.  Gates: the loadgen report
+# shows drops AND catch-ups AND zero pending after the drain sync, the
+# SIGTERM snapshot agrees, and the warehouse's coherency-modes query
+# lines both modes up from the sim sweep and the live run.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro sim \
+    --arch hierarchical --schemes lru --scale small --size 0.05 \
+    --coherency inband --update-rate 0.5 \
+    --save "$SERVE_DIR/coh_inband.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro sim \
+    --arch hierarchical --schemes lru --scale small --size 0.05 \
+    --coherency channel --channel-poll-interval 20 --update-rate 0.5 \
+    --save "$SERVE_DIR/coh_channel.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python -m repro serve \
+    --scheme lru --arch hierarchical --scale small \
+    --coherency channel --no-metrics \
+    --fault-plan examples/broker_fault_plan.json \
+    --manifest "$SERVE_DIR/channel.json" \
+    --snapshot "$SERVE_DIR/channel_snapshot.json" &
+SERVE_PID=$!
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python -m repro loadgen \
+    --manifest "$SERVE_DIR/channel.json" --mode sequential \
+    --update-rate 0.5 --requests 1500 --wait 60 \
+    --report-out "$SERVE_DIR/channel_report.json"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+SERVE_PID=""
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} $BOUND python - \
+    "$SERVE_DIR/channel_report.json" "$SERVE_DIR/channel_snapshot.json" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+coh = report["coherency"]
+assert coh["mode"] == "channel", coh["mode"]
+assert coh["event_drops"] > 0, "fault plan dropped no fan-out frames"
+assert coh["node_catchups"] > 0, "drops recovered without any catchup?"
+assert coh["pending"] == 0, f"drain sync left {coh['pending']} pending"
+snapshot = json.load(open(sys.argv[2]))
+snap_coh = snapshot["coherency"]
+assert snap_coh["pending"] == 0, snap_coh["pending"]
+assert snapshot["channel"]["broker"]["events_published"] > 0
+print(f"channel smoke: {coh['events_published']} events, "
+      f"{coh['event_drops']} dropped fan-outs recovered via "
+      f"{coh['node_catchups']} catchups, 0 pending at drain")
+EOF
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro warehouse \
+    --db "$SERVE_DIR/coherency.sqlite" ingest \
+    "$SERVE_DIR/coh_inband.json" "$SERVE_DIR/coh_channel.json" \
+    "$SERVE_DIR/channel_report.json" "$SERVE_DIR/channel_snapshot.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro warehouse \
+    --db "$SERVE_DIR/coherency.sqlite" query coherency-modes
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - \
+    "$SERVE_DIR/coherency.sqlite" <<'EOF'
+import sys
+
+from repro.obs.warehouse import Warehouse
+
+with Warehouse(sys.argv[1]) as warehouse:
+    headers, rows = warehouse.query("coherency-modes")
+    modes = {row[headers.index("mode")] for row in rows}
+    contexts = {row[headers.index("context")] for row in rows}
+    assert modes == {"inband", "channel"}, modes
+    assert {"sim", "loadgen", "snapshot"} <= contexts, contexts
+    print(f"coherency-modes: {len(rows)} rows covering {sorted(modes)} "
+          f"across {sorted(contexts)}")
+EOF
+
 echo "== serve saturation throughput gate =="
 # The quick serving benchmark against the committed BENCH_serve.json
 # baseline: a two-shard cluster driven open-loop at offered rates far

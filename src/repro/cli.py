@@ -151,6 +151,121 @@ def _preset(args: argparse.Namespace):
     return preset
 
 
+def _add_coherency_args(parser: argparse.ArgumentParser) -> None:
+    """The coherency flag group shared by sim / serve / loadgen."""
+    group = parser.add_argument_group(
+        "coherency",
+        "invalidation transport (see repro.coherency and "
+        "docs/coherency.md); without --coherency, updates use the "
+        "paper's implicit in-band design",
+    )
+    group.add_argument(
+        "--coherency",
+        choices=("inband", "channel"),
+        default=None,
+        help="invalidation transport: piggybacked in-band inv frames or "
+        "the out-of-band pub/sub channel",
+    )
+    group.add_argument(
+        "--channel-poll-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="channel mode, simulator only: trace time between subscriber "
+        "polls (0 = zero-latency delivery, the oracle configuration)",
+    )
+    group.add_argument(
+        "--group-count",
+        type=int,
+        default=0,
+        help="bucket the catalog into this many invalidation groups, so "
+        "one update event invalidates many objects (0 = one group per "
+        "object)",
+    )
+    group.add_argument(
+        "--group-skew",
+        type=float,
+        default=0.8,
+        help="Zipf skew of the group-size distribution (with --group-count)",
+    )
+
+
+def _build_coherency(args: argparse.Namespace):
+    """Optional CoherencyConfig from the coherency flag group.
+
+    Raises ValueError on inconsistent flags (including the combinations
+    CoherencyConfig itself rejects) so callers print the message and
+    exit 2.
+    """
+    from repro.coherency import CoherencyConfig
+
+    if args.coherency is None:
+        if args.channel_poll_interval or args.group_count:
+            raise ValueError(
+                "--channel-poll-interval / --group-count require --coherency"
+            )
+        return None
+    return CoherencyConfig(
+        mode=args.coherency,
+        poll_interval=args.channel_poll_interval,
+        group_count=args.group_count or None,
+        group_skew=args.group_skew,
+    )
+
+
+def _build_updates(coherency, groups, num_objects, duration, rate, seed):
+    """The update-event stream behind ``--update-rate``.
+
+    With grouped coherency the stream targets whole groups -- both
+    modes then invalidate the same object sets (in-band expands each
+    group event to per-object inv broadcasts), which is what makes the
+    in-band vs. channel comparison apples-to-apples.  Without groups it
+    targets single objects.
+    """
+    if rate <= 0:
+        return []
+    from repro.workload.updates import (
+        generate_group_update_events,
+        generate_update_events,
+    )
+
+    if coherency is not None and coherency.grouped:
+        if groups is None:
+            groups = coherency.build_groups(num_objects)
+        return generate_group_update_events(groups, duration, rate, seed=seed)
+    return generate_update_events(num_objects, duration, rate, seed=seed)
+
+
+def _format_coherency(stats: dict, indent: str = "    ") -> str:
+    """One-paragraph human summary of a coherency accounting dict."""
+    p50 = stats.get("staleness_p50")
+    p99 = stats.get("staleness_p99")
+    staleness = (
+        "staleness p50/p99 " f"{p50:.4f} / {p99:.4f}"
+        if p50 is not None and p99 is not None
+        else "no staleness windows"
+    )
+    lines = [
+        f"{indent}coherency[{stats['mode']}]: "
+        f"{stats['events_published']} events, "
+        f"protocol {stats['protocol_bytes']} B "
+        f"(inv {stats['inv_bytes']} B, channel {stats['channel_bytes']} B)",
+        f"{indent}  stale hits {stats['stale_hits']} "
+        f"({stats['stale_bytes']} B), "
+        f"copies invalidated {stats['copies_invalidated']}, {staleness}",
+    ]
+    extras = []
+    for key in ("catchups", "gaps", "duplicates", "event_drops"):
+        if stats.get(key):
+            extras.append(f"{key} {stats[key]}")
+    pending = stats.get("pending")
+    if pending:
+        extras.append(f"pending {pending}")
+    if extras:
+        lines.append(f"{indent}  channel health: {', '.join(extras)}")
+    return "\n".join(lines)
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     preset = _preset(args)
     arch = build_architecture("en-route", preset.workload, seed=args.seed)
@@ -459,9 +574,27 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     if args.timeseries_out and not args.timeseries_window:
         print("--timeseries-out requires --timeseries-window", file=sys.stderr)
         return 2
+    try:
+        coherency = _build_coherency(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if coherency is not None and not args.update_rate:
+        print("--coherency requires --update-rate > 0 "
+              "(a coherency mode with no updates measures nothing)",
+              file=sys.stderr)
+        return 2
     generator = preset.generator()
     trace = (
         generator.generate_columnar() if args.columnar else generator.generate()
+    )
+    updates = _build_updates(
+        coherency,
+        None,
+        generator.catalog.num_objects,
+        trace.duration,
+        args.update_rate,
+        args.seed,
     )
     arch = build_architecture(args.arch, preset.workload, seed=args.seed)
     audit: bool | AuditConfig = False
@@ -480,9 +613,14 @@ def _cmd_sim(args: argparse.Namespace) -> int:
              f"cache {args.size:.2%}"
     if args.audit:
         header += f", audited every {args.audit_every} requests"
+    if updates:
+        header += f", {len(updates)} update events"
+        if coherency is not None:
+            header += f" via {coherency.mode}"
     print(header)
     multi = len(args.schemes) > 1
     total_violations = 0
+    points = []
     for name in args.schemes:
         task = GridTask(scheme=name, config=config, params={})
         instruments, writer = _build_sim_instruments(args, name, multi)
@@ -500,10 +638,13 @@ def _cmd_sim(args: argparse.Namespace) -> int:
                 audit=audit,
                 instruments=instruments,
                 interval_collector=interval,
+                updates=updates,
+                coherency=coherency,
             )
         finally:
             if writer is not None:
                 writer.close()
+        points.append(point)
         s = point.summary
         line = (
             f"  {name:14s} latency {s.mean_latency:8.5f}  "
@@ -518,6 +659,8 @@ def _cmd_sim(args: argparse.Namespace) -> int:
             else:
                 line += f"  [{record.audit_checks} checks, audit ok]"
         print(line, flush=True)
+        if point.coherency is not None:
+            print(_format_coherency(point.coherency))
         for raw in record.audit_violations:
             print(f"    {AuditViolation.from_dict(raw).format()}")
         total_violations += len(record.audit_violations)
@@ -546,6 +689,9 @@ def _cmd_sim(args: argparse.Namespace) -> int:
                 print(f"    timeseries: {len(series)} windows -> {out_path}")
             else:
                 print(series_to_csv(series), end="")
+    if args.save:
+        save_points_json(points, args.save)
+        print(f"saved {len(points)} points to {args.save}")
     if args.audit:
         verdict = (
             "audit clean: no violations"
@@ -598,7 +744,12 @@ def _cmd_audit_selftest(args: argparse.Namespace) -> int:
 
 
 def _serve_manifest(
-    args: argparse.Namespace, addresses, metrics, shards=None
+    args: argparse.Namespace,
+    addresses,
+    metrics,
+    shards=None,
+    coherency=None,
+    channel=None,
 ) -> dict:
     """Everything a remote load generator needs to target this cluster.
 
@@ -606,11 +757,13 @@ def _serve_manifest(
     (arch, scale, seed, theta), so shipping those parameters lets the
     client rebuild the exact architecture instead of serializing it.
     ``shards`` maps shard id -> owned node ids; a single-process serve
-    is recorded as one shard owning everything.
+    is recorded as one shard owning everything.  ``coherency`` is the
+    serve-side CoherencyConfig (or None); ``channel`` carries the
+    broker address and group parameters a channel-mode client needs.
     """
     if shards is None:
         shards = {0: sorted(addresses)}
-    return {
+    document = {
         "scheme": args.scheme,
         "arch": args.arch,
         "scale": args.scale,
@@ -626,7 +779,11 @@ def _serve_manifest(
         },
         "nodes": {str(n): list(a) for n, a in sorted(addresses.items())},
         "metrics": {str(n): list(a) for n, a in sorted(metrics.items())},
+        "coherency": coherency.to_dict() if coherency is not None else None,
     }
+    if channel is not None:
+        document["channel"] = channel
+    return document
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -639,6 +796,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.scheme not in SCHEME_NAMES:
         print(f"unknown scheme {args.scheme!r}", file=sys.stderr)
+        return 2
+    try:
+        coherency = _build_coherency(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if coherency is not None and coherency.poll_interval:
+        print(
+            "--channel-poll-interval is a simulator knob; the live "
+            "channel pushes events to subscribers (set it to 0)",
+            file=sys.stderr,
+        )
+        return 2
+    if coherency is not None and args.shards > 1:
+        print(
+            "--coherency is not supported with --shards > 1 "
+            "(the channel broker lives in the serve process)",
+            file=sys.stderr,
+        )
         return 2
     preset = _preset(args)
     generator = preset.generator()
@@ -698,20 +874,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_inflight=args.max_inflight,
             tracing=tracing,
+            coherency=coherency,
         )
         addresses = await cluster.start()
         metrics = {}
         if not args.no_metrics:
             metrics = await cluster.enable_metrics(host=args.host)
-        manifest = _serve_manifest(args, addresses, metrics)
+        channel = None
+        if cluster.broker is not None:
+            channel = {
+                "broker": list(cluster.broker_address),
+                "groups": dict(cluster.groups.params),
+            }
+        manifest = _serve_manifest(
+            args, addresses, metrics, coherency=coherency, channel=channel
+        )
         Path(args.manifest).write_text(
             json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         )
-        print(
+        banner = (
             f"serving {len(addresses)} nodes: {args.scheme} on {args.arch} "
-            f"({preset.name} scale, seed {args.seed})",
-            flush=True,
+            f"({preset.name} scale, seed {args.seed})"
         )
+        if coherency is not None:
+            banner += f", coherency {coherency.mode}"
+            if cluster.broker is not None:
+                banner += f" (broker on {cluster.broker_address})"
+        print(banner, flush=True)
         print(f"manifest -> {args.manifest}", flush=True)
         snapshot_path = Path(args.snapshot) if args.snapshot else None
         await cluster.serve_forever(snapshot_path=snapshot_path)
@@ -817,15 +1006,48 @@ def _load_manifest(path: str, wait: float) -> dict:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.coherency import CoherencyConfig
     from repro.costs.model import LatencyCostModel
     from repro.serve import ClusterClient, LoadGenerator, TCPTransport
+    from repro.workload.groups import GroupAssignment
     from repro.workload.trace import Trace
 
+    try:
+        requested = _build_coherency(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     try:
         manifest = _load_manifest(args.manifest, args.wait)
     except FileNotFoundError as error:
         print(str(error), file=sys.stderr)
         return 2
+    # The serve manifest is authoritative for the coherency mode -- the
+    # cluster was built with it.  Flags here only assert expectations;
+    # the one liberty allowed is requesting in-band against a server
+    # that configured nothing (in-band is the implicit default).
+    manifest_raw = manifest.get("coherency")
+    coherency = (
+        CoherencyConfig.from_dict(manifest_raw) if manifest_raw else None
+    )
+    if requested is not None:
+        if coherency is None:
+            if requested.mode != "inband":
+                print(
+                    "--coherency channel requested, but the serve manifest "
+                    "has no coherency section (restart serve with "
+                    "--coherency channel)",
+                    file=sys.stderr,
+                )
+                return 2
+            coherency = requested
+        elif requested.to_dict() != coherency.to_dict():
+            print(
+                f"--coherency flags disagree with the serve manifest "
+                f"(server was started with {manifest_raw})",
+                file=sys.stderr,
+            )
+            return 2
     scale = _SCALES[manifest["scale"]].with_seed(manifest["seed"])
     if manifest.get("theta") is not None:
         scale = scale.with_theta(manifest["theta"])
@@ -841,9 +1063,43 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         int(node): (host, port)
         for node, (host, port) in manifest["nodes"].items()
     }
-    client = ClusterClient(arch, cost_model, addresses, TCPTransport())
+    groups = None
+    broker_address = None
+    channel_info = manifest.get("channel")
+    if channel_info is not None:
+        groups = GroupAssignment.from_params(channel_info["groups"])
+        broker_address = tuple(channel_info["broker"])
+    elif coherency is not None:
+        groups = coherency.build_groups(generator.catalog.num_objects)
+    updates = _build_updates(
+        coherency,
+        groups,
+        generator.catalog.num_objects,
+        trace.duration,
+        args.update_rate,
+        manifest["seed"],
+    )
+    if updates and args.mode == "closed":
+        print(
+            "--update-rate requires --mode sequential or open "
+            "(closed mode has no notion of trace time to pace updates)",
+            file=sys.stderr,
+        )
+        return 2
+    client = ClusterClient(
+        arch,
+        cost_model,
+        addresses,
+        TCPTransport(),
+        coherency=coherency,
+        groups=groups,
+        broker_address=broker_address,
+    )
     loadgen = LoadGenerator(
-        client, trace, warmup_fraction=manifest["warmup_fraction"]
+        client,
+        trace,
+        updates=updates,
+        warmup_fraction=manifest["warmup_fraction"],
     )
 
     async def run():
@@ -890,14 +1146,26 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             f"  backpressure      rejected {report.rejected}, "
             f"shed {report.shed}, busy retries {report.busy_retries}"
         )
+    if report.updates_applied:
+        print(
+            f"  updates           {report.updates_applied} applied, "
+            f"{report.copies_invalidated} copies invalidated"
+        )
+    if report.coherency is not None:
+        print(_format_coherency(report.coherency, indent="  "))
     if report.aborted:
         print(f"  aborted           errors exceeded --max-errors "
               f"({args.max_errors}); partial report")
     if args.report_out:
         import json
 
+        document = report.to_dict()
+        # Context keys so the warehouse can label the row without
+        # needing the manifest next to the report.
+        document["scheme"] = manifest["scheme"]
+        document["arch"] = manifest["arch"]
         with open(args.report_out, "w") as f:
-            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+            json.dump(document, f, indent=2, sort_keys=True)
         print(f"  report -> {args.report_out}")
     return 0
 
@@ -1088,6 +1356,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=3.0,
         help="d-cache size as a multiple of the main cache's object count",
     )
+    sim.add_argument(
+        "--update-rate",
+        type=float,
+        default=0.0,
+        help="drive a Poisson stream of server-side updates at this "
+        "aggregate rate (events per unit trace time; 0 = read-only)",
+    )
+    sim.add_argument(
+        "--save",
+        default=None,
+        help="write the per-scheme points (with coherency accounting) "
+        "to this JSON file (ingestable by `repro warehouse ingest`)",
+    )
+    _add_coherency_args(sim)
     sim.add_argument(
         "--columnar",
         action="store_true",
@@ -1289,6 +1571,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace every Nth ingress request (1 = every request); "
         "sampling decides at ingress, so sampled traces are complete",
     )
+    _add_coherency_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -1358,6 +1641,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="client-side retries when a node sheds with a `busy` frame "
         "before counting the request as rejected",
     )
+    loadgen.add_argument(
+        "--update-rate",
+        type=float,
+        default=0.0,
+        help="interleave a Poisson stream of origin updates at this "
+        "aggregate rate (sequential/open modes; 0 = read-only)",
+    )
+    _add_coherency_args(loadgen)
     loadgen.set_defaults(func=_cmd_loadgen)
 
     warehouse = sub.add_parser(

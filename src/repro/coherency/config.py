@@ -1,0 +1,101 @@
+"""Coherency mode selection and validation.
+
+One :class:`CoherencyConfig` travels from the CLI flags
+(``--coherency``, ``--channel-poll-interval``, ``--group-count``,
+``--group-skew``) into the simulator and the serving cluster.  The
+validation here is the single source of truth for which combinations
+make sense, so ``repro sim``, ``repro serve`` and ``repro loadgen``
+all reject nonsense identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workload.groups import GroupAssignment
+
+MODES = ("inband", "channel")
+
+
+@dataclass(frozen=True)
+class CoherencyConfig:
+    """How invalidations reach the caches.
+
+    ``mode="inband"`` is the paper's implicit design: inv frames walk
+    the distribution tree synchronously.  ``mode="channel"`` is the
+    squid-channels design: caches subscribe to a pub/sub channel and
+    poll it every ``poll_interval`` time units (0 means zero-latency
+    delivery, the differential-oracle configuration).
+
+    ``group_count=None`` means per-object groups (each object alone in
+    its own group); a positive count buckets objects into Zipf-skewed
+    groups (skew ``group_skew``, seed ``group_seed``) so one update
+    event invalidates many objects.  Groups apply to *both* modes --
+    in-band consumes a group stream by expanding it to per-object
+    events -- which is what makes the two modes comparable on the same
+    workload.
+    """
+
+    mode: str = "inband"
+    poll_interval: float = 0.0
+    group_count: Optional[int] = None
+    group_skew: float = 0.8
+    group_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown coherency mode {self.mode!r} "
+                f"(expected one of {', '.join(MODES)})"
+            )
+        if self.poll_interval < 0:
+            raise ValueError("poll_interval must be non-negative")
+        if self.mode == "inband" and self.poll_interval != 0.0:
+            raise ValueError(
+                "poll_interval only applies to channel mode "
+                "(in-band invalidation is synchronous)"
+            )
+        if self.group_count is not None and self.group_count < 1:
+            raise ValueError("group_count must be >= 1")
+        if self.group_skew < 0:
+            raise ValueError("group_skew must be non-negative")
+
+    @property
+    def grouped(self) -> bool:
+        return self.group_count is not None
+
+    def build_groups(self, num_objects: int) -> GroupAssignment:
+        """The deterministic group assignment this config describes."""
+        if self.group_count is None:
+            return GroupAssignment.per_object(num_objects)
+        return GroupAssignment.generate(
+            num_objects=num_objects,
+            group_count=self.group_count,
+            skew=self.group_skew,
+            seed=self.group_seed,
+        )
+
+    def to_dict(self) -> dict:
+        """Manifest / artifact form (rebuildable via :meth:`from_dict`)."""
+        return {
+            "mode": self.mode,
+            "poll_interval": self.poll_interval,
+            "group_count": self.group_count,
+            "group_skew": self.group_skew,
+            "group_seed": self.group_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "CoherencyConfig":
+        return cls(
+            mode=raw.get("mode", "inband"),
+            poll_interval=float(raw.get("poll_interval", 0.0)),
+            group_count=(
+                int(raw["group_count"])
+                if raw.get("group_count") is not None
+                else None
+            ),
+            group_skew=float(raw.get("group_skew", 0.8)),
+            group_seed=int(raw.get("group_seed", 0)),
+        )

@@ -1,0 +1,116 @@
+"""Coherency-protocol accounting.
+
+:class:`CoherencyStats` is the invalidation-side sibling of
+:class:`~repro.core.piggyback.ProtocolStats`: it prices what keeping
+caches fresh costs -- in wire bytes (inv frames in-band, sub/event/
+catchup/poll frames on the channel) and in *staleness* (how long stale
+copies lingered, and how many stale bytes were served off them before
+removal).  Both coherency modes fill the same structure so the
+in-band vs. channel comparison (the warehouse ``coherency-modes``
+query) reads from one schema.
+
+Wire-size assumptions follow the style of the piggyback constants
+(:mod:`repro.core.piggyback`): small fixed frames, tunable per call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+# Channel wire-frame sizes: an event is {group, seq, time}, a poll is a
+# per-group cursor probe, a subscription registers one group, a catchup
+# names a group plus a starting sequence number.
+EVENT_BYTES = 16
+POLL_BYTES = 8
+SUB_BYTES = 8
+CATCHUP_BYTES = 16
+
+
+def staleness_percentile(windows: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile over staleness windows (None when empty).
+
+    Same rule as the latency percentiles in
+    :mod:`repro.metrics.collector`: the smallest value with at least
+    ``q * n`` samples at or below it.
+    """
+    if not windows:
+        return None
+    ordered = sorted(windows)
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+
+
+@dataclass
+class CoherencyStats:
+    """Counters for one coherency mode over one run.
+
+    ``staleness_windows`` holds one entry per stale copy actually
+    removed at a subscriber: the time between the origin update and the
+    removal of the cached copy.  ``stale_copies_evicted`` counts stale
+    copies that capacity eviction removed before the channel got to
+    them (no window is recorded -- the channel cannot take credit).
+
+    In-band runs fill ``inv_frames`` / ``inv_bytes`` and publish
+    events with zero staleness by construction (the frames walk the
+    tree synchronously); channel runs fill the subscription / event /
+    poll counters and the staleness accounting.
+    """
+
+    mode: str = "inband"
+    events_published: int = 0
+    event_deliveries: int = 0
+    polls: int = 0
+    subscriptions: int = 0
+    catchups: int = 0
+    channel_bytes: int = 0
+    inv_frames: int = 0
+    inv_bytes: int = 0
+    stale_hits: int = 0
+    stale_bytes: int = 0
+    copies_invalidated: int = 0
+    stale_copies_evicted: int = 0
+    staleness_windows: List[float] = field(default_factory=list)
+
+    def record_window(self, window: float) -> None:
+        self.staleness_windows.append(window)
+
+    @property
+    def staleness_p50(self) -> Optional[float]:
+        return staleness_percentile(self.staleness_windows, 0.50)
+
+    @property
+    def staleness_p99(self) -> Optional[float]:
+        return staleness_percentile(self.staleness_windows, 0.99)
+
+    @property
+    def staleness_max(self) -> Optional[float]:
+        return max(self.staleness_windows) if self.staleness_windows else None
+
+    @property
+    def protocol_bytes(self) -> int:
+        """Total coherency wire bytes, whichever mode paid them."""
+        return self.channel_bytes + self.inv_bytes
+
+    def to_dict(self) -> dict:
+        """JSON form carried by results, reports and snapshots."""
+        return {
+            "mode": self.mode,
+            "events_published": self.events_published,
+            "event_deliveries": self.event_deliveries,
+            "polls": self.polls,
+            "subscriptions": self.subscriptions,
+            "catchups": self.catchups,
+            "channel_bytes": self.channel_bytes,
+            "inv_frames": self.inv_frames,
+            "inv_bytes": self.inv_bytes,
+            "protocol_bytes": self.protocol_bytes,
+            "stale_hits": self.stale_hits,
+            "stale_bytes": self.stale_bytes,
+            "copies_invalidated": self.copies_invalidated,
+            "stale_copies_evicted": self.stale_copies_evicted,
+            "staleness_windows": len(self.staleness_windows),
+            "staleness_p50": self.staleness_p50,
+            "staleness_p99": self.staleness_p99,
+            "staleness_max": self.staleness_max,
+        }

@@ -22,6 +22,7 @@ TAG_BYTES = 2           # the "no descriptor" tag
 DECISION_BYTES = 4      # one node id in the response's cache_at set
 ACCUMULATOR_BYTES = 8   # the response's running cost variable
 SKIPPED_NODE_BYTES = 4  # one bypassed-hop record when failover shortens a walk
+INV_FRAME_BYTES = 12    # one in-band invalidation frame (object id + type)
 
 
 @dataclass
@@ -32,6 +33,13 @@ class ProtocolStats:
     travel; :meth:`overhead_bytes` converts them to a wire-byte estimate
     so the paper's "communication overhead ... is small" claim (section
     2.3) can be checked against the object bytes actually moved.
+
+    ``invalidations`` counts in-band ``inv`` frames delivered to cache
+    nodes (one per node per update event -- the invalidation broadcast
+    fans out to every cache), so invalidation traffic no longer rides
+    free in the overhead estimate.  Out-of-band channel coherency never
+    increments it; its traffic is priced separately in
+    :class:`~repro.coherency.stats.CoherencyStats`.
     """
 
     requests: int = 0
@@ -39,6 +47,7 @@ class ProtocolStats:
     no_descriptor_tags: int = 0
     decisions: int = 0
     responses_with_accumulator: int = 0
+    invalidations: int = 0
 
     def overhead_bytes(
         self,
@@ -46,6 +55,7 @@ class ProtocolStats:
         tag_bytes: int = TAG_BYTES,
         decision_bytes: int = DECISION_BYTES,
         accumulator_bytes: int = ACCUMULATOR_BYTES,
+        inv_frame_bytes: int = INV_FRAME_BYTES,
     ) -> int:
         """Total protocol bytes under the given wire-size assumptions."""
         return (
@@ -53,6 +63,7 @@ class ProtocolStats:
             + self.no_descriptor_tags * tag_bytes
             + self.decisions * decision_bytes
             + self.responses_with_accumulator * accumulator_bytes
+            + self.invalidations * inv_frame_bytes
         )
 
 

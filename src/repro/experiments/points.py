@@ -11,15 +11,23 @@ which re-exports it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.metrics.collector import MetricsSummary
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (scheme, cache size) measurement."""
+    """One (scheme, cache size) measurement.
+
+    ``coherency`` is ``None`` unless the point ran with an explicit
+    coherency policy (see :mod:`repro.coherency`): the policy's
+    accounting dict, carried through results JSON so the warehouse can
+    compare in-band vs. channel runs.
+    """
 
     architecture: str
     scheme: str
     relative_cache_size: float
     summary: MetricsSummary
+    coherency: Optional[dict] = None

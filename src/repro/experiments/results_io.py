@@ -35,12 +35,15 @@ _RECORDS_SCHEMA_VERSION = 1
 
 def point_to_dict(point: SweepPoint) -> dict:
     """One sweep point as a JSON-ready dictionary."""
-    return {
+    document = {
         "architecture": point.architecture,
         "scheme": point.scheme,
         "relative_cache_size": point.relative_cache_size,
         "summary": dataclasses.asdict(point.summary),
     }
+    if point.coherency is not None:
+        document["coherency"] = point.coherency
+    return document
 
 
 def point_from_dict(raw: dict) -> SweepPoint:
@@ -53,6 +56,7 @@ def point_from_dict(raw: dict) -> SweepPoint:
         scheme=raw["scheme"],
         relative_cache_size=raw["relative_cache_size"],
         summary=MetricsSummary(**summary),
+        coherency=raw.get("coherency"),
     )
 
 

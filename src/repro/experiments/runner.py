@@ -200,6 +200,8 @@ def execute_point(
     node_stats: bool = False,
     instruments: Optional[Instruments] = None,
     interval_collector=None,
+    updates: Sequence = (),
+    coherency=None,
 ) -> Tuple[SweepPoint, RunRecord]:
     """Run one grid point in this process; returns its point and record.
 
@@ -219,6 +221,16 @@ def execute_point(
     bundle carries a registry).  ``interval_collector`` is forwarded to
     :meth:`SimulationEngine.run` verbatim.  All three are observational
     only -- metrics and checkpoint identities are unchanged.
+
+    ``updates`` threads a time-ordered update-event stream (per-object
+    or group-targeted) through the replay, and ``coherency`` -- a
+    :class:`~repro.coherency.config.CoherencyConfig` -- selects how
+    those updates reach the caches (in-band broadcast vs. pub/sub
+    channel).  With a coherency config the point's accounting lands on
+    ``SweepPoint.coherency``; without one the engine keeps its implicit
+    in-band behavior and surfaces nothing, bit-identical to before the
+    seam existed.  Checkpoint identities deliberately ignore both --
+    the update stream is an input, not a grid axis.
     """
     config = task.config
     key = task.key(architecture.name)
@@ -235,6 +247,11 @@ def execute_point(
         params.setdefault("ncl_structure", "mirrored")
     if instruments is None and node_stats:
         instruments = Instruments(registry=StatRegistry())
+    policy = None
+    if coherency is not None:
+        from repro.coherency.policy import build_policy
+
+        policy = build_policy(coherency, catalog.num_objects)
     scheme = build_scheme(
         task.scheme, cost_model, capacity, dcache_entries, **params
     )
@@ -243,9 +260,11 @@ def execute_point(
     )
     result = engine.run(
         trace,
+        updates=updates,
         auditor=auditor,
         instruments=instruments,
         interval_collector=interval_collector,
+        coherency=policy,
     )
     if auditor is not None and auditor.config.shadow_replay:
         from repro.verify.replay import shadow_replay_violations
@@ -265,6 +284,7 @@ def execute_point(
         scheme=scheme.name,
         relative_cache_size=config.relative_cache_size,
         summary=result.summary,
+        coherency=result.coherency,
     )
     record = RunRecord(
         key=key,

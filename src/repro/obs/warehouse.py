@@ -192,6 +192,31 @@ CREATE TABLE IF NOT EXISTS load_reports (
     source TEXT,
     content_hash TEXT NOT NULL UNIQUE
 );
+CREATE TABLE IF NOT EXISTS coherency (
+    id INTEGER PRIMARY KEY,
+    mode TEXT,
+    architecture TEXT,
+    scheme TEXT,
+    context TEXT,
+    events_published INTEGER,
+    event_deliveries INTEGER,
+    polls INTEGER,
+    subscriptions INTEGER,
+    catchups INTEGER,
+    channel_bytes INTEGER,
+    inv_frames INTEGER,
+    inv_bytes INTEGER,
+    protocol_bytes INTEGER,
+    stale_hits INTEGER,
+    stale_bytes INTEGER,
+    copies_invalidated INTEGER,
+    stale_copies_evicted INTEGER,
+    staleness_p50 REAL,
+    staleness_p99 REAL,
+    origin_load REAL,
+    source TEXT,
+    content_hash TEXT NOT NULL UNIQUE
+);
 CREATE TABLE IF NOT EXISTS metrics_samples (
     id INTEGER PRIMARY KEY,
     scraped_at REAL,
@@ -317,6 +342,16 @@ CANNED_QUERIES: Dict[str, CannedQuery] = {
             "SELECT source, mode, requests_total, requests_per_second, "
             "wall_latency_p99, hit_ratio, errors, rejected, shed "
             "FROM load_reports ORDER BY source",
+        ),
+        CannedQuery(
+            "coherency-modes",
+            "In-band vs. channel invalidation across ingested sim points, "
+            "loadgen reports and snapshots: protocol overhead bytes, "
+            "origin load, stale-hit bytes and the staleness tail",
+            "SELECT mode, architecture, scheme, context, events_published, "
+            "protocol_bytes, origin_load, stale_hits, stale_bytes, "
+            "staleness_p50, staleness_p99 FROM coherency "
+            "ORDER BY architecture, scheme, context, mode",
         ),
         CannedQuery(
             "slow-traces",
@@ -598,6 +633,97 @@ class Warehouse:
             ),
             identity["point"],
         )
+        coherency = raw.get("coherency")
+        if isinstance(coherency, dict):
+            requests = summary.get("requests")
+            hit_ratio = summary.get("hit_ratio")
+            origin_load = (
+                requests * (1.0 - hit_ratio)
+                if requests is not None and hit_ratio is not None
+                else None
+            )
+            self._add_coherency(
+                result,
+                coherency,
+                architecture=raw.get("architecture"),
+                scheme=raw.get("scheme"),
+                context="sim",
+                origin_load=origin_load,
+                source=source,
+                identity={"coherency_of": identity},
+            )
+
+    def _add_coherency(
+        self,
+        result: IngestResult,
+        stats: dict,
+        architecture: Optional[str],
+        scheme: Optional[str],
+        context: str,
+        origin_load: Optional[float],
+        source: str,
+        identity,
+    ) -> None:
+        """One coherency-accounting row (shared by every artifact family).
+
+        ``context`` records which artifact carried the accounting --
+        ``sim`` (a sweep point), ``loadgen`` (a load report) or
+        ``snapshot`` (a cluster state snapshot) -- so the
+        ``coherency-modes`` comparison can line up like with like.
+        ``origin_load`` is requests that reached the origin: the cache
+        relief an invalidation design gives up.
+        """
+        self._insert(
+            result,
+            "coherency",
+            (
+                "mode",
+                "architecture",
+                "scheme",
+                "context",
+                "events_published",
+                "event_deliveries",
+                "polls",
+                "subscriptions",
+                "catchups",
+                "channel_bytes",
+                "inv_frames",
+                "inv_bytes",
+                "protocol_bytes",
+                "stale_hits",
+                "stale_bytes",
+                "copies_invalidated",
+                "stale_copies_evicted",
+                "staleness_p50",
+                "staleness_p99",
+                "origin_load",
+                "source",
+            ),
+            (
+                stats.get("mode"),
+                architecture,
+                scheme,
+                context,
+                stats.get("events_published"),
+                stats.get("event_deliveries"),
+                stats.get("polls"),
+                stats.get("subscriptions"),
+                stats.get("catchups"),
+                stats.get("channel_bytes"),
+                stats.get("inv_frames"),
+                stats.get("inv_bytes"),
+                stats.get("protocol_bytes"),
+                stats.get("stale_hits"),
+                stats.get("stale_bytes"),
+                stats.get("copies_invalidated"),
+                stats.get("stale_copies_evicted"),
+                stats.get("staleness_p50"),
+                stats.get("staleness_p99"),
+                origin_load,
+                source,
+            ),
+            identity,
+        )
 
     def _add_run_record(
         self, result: IngestResult, raw: dict, source: str
@@ -831,6 +957,18 @@ class Warehouse:
             ),
             document,
         )
+        coherency = document.get("coherency")
+        if isinstance(coherency, dict):
+            self._add_coherency(
+                result,
+                coherency,
+                architecture=document.get("arch"),
+                scheme=document.get("scheme"),
+                context="loadgen",
+                origin_load=document.get("origin_served"),
+                source=source,
+                identity={"coherency_of": document},
+            )
 
     def _add_snapshot(
         self, result: IngestResult, document: dict, source: str
@@ -845,6 +983,24 @@ class Warehouse:
                 continue
             self._add_node_stats(
                 result, None, architecture, scheme, node, counters, source
+            )
+        coherency = document.get("coherency")
+        if isinstance(coherency, dict):
+            self._add_coherency(
+                result,
+                coherency,
+                architecture=architecture,
+                scheme=scheme,
+                context="snapshot",
+                origin_load=None,
+                source=source,
+                identity={
+                    "coherency_of": {
+                        "scheme": scheme,
+                        "architecture": architecture,
+                        "coherency": coherency,
+                    }
+                },
             )
 
     def _add_span(

@@ -17,6 +17,12 @@ simulator's metrics bit-for-bit.
 See ``docs/serving.md`` for the wire protocol and deployment notes.
 """
 
+from repro.serve.channel import (
+    BROKER_NODE_ID,
+    ChannelBroker,
+    ChannelSubscriber,
+    merge_channel_stats,
+)
 from repro.serve.cluster import Cluster
 from repro.serve.loadgen import ClusterClient, LoadGenerator, LoadReport
 from repro.serve.metrics_http import MetricsServer
@@ -52,8 +58,11 @@ from repro.serve.transport import (
 )
 
 __all__ = [
+    "BROKER_NODE_ID",
     "CacheNode",
     "CallTimeout",
+    "ChannelBroker",
+    "ChannelSubscriber",
     "CircuitBreaker",
     "Cluster",
     "ClusterClient",
@@ -83,5 +92,6 @@ __all__ = [
     "encode_frame",
     "fetch_stats",
     "is_retryable",
+    "merge_channel_stats",
     "shard_trace_path",
 ]

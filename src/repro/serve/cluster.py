@@ -37,20 +37,37 @@ import signal as signal_module
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.coherency.config import CoherencyConfig
+from repro.coherency.stats import CoherencyStats
+from repro.core.piggyback import INV_FRAME_BYTES
 from repro.costs.model import CostModel, LatencyCostModel
 from repro.obs.export import JsonlTraceWriter
 from repro.obs.probe import Probe
 from repro.obs.timers import PhaseTimers
 from repro.schemes.base import CachingScheme
+from repro.serve.channel import (
+    BROKER_NODE_ID,
+    ChannelBroker,
+    ChannelSubscriber,
+    merge_channel_stats,
+)
 from repro.serve.metrics_http import MetricsServer
 from repro.serve.node import CacheNode, ResilienceConfig
-from repro.serve.protocol import MSG_INV, RETRYABLE_ERRORS
+from repro.serve.protocol import (
+    MSG_CHSYNC,
+    MSG_INV,
+    MSG_PUB,
+    MSG_SUB,
+    RETRYABLE_ERRORS,
+)
 from repro.serve.tracing import NodeTracer, TracingConfig
 from repro.serve.transport import InProcessTransport, Transport
 from repro.sim.architecture import Architecture
 from repro.sim.config import SimulationConfig
 from repro.sim.factory import build_scheme
 from repro.workload.catalog import ObjectCatalog
+from repro.workload.groups import GroupAssignment
+from repro.workload.updates import GroupUpdateEvent, expand_group_events
 
 SchemeFactory = Callable[[], CachingScheme]
 
@@ -69,10 +86,27 @@ class Cluster:
         seed: int = 0,
         max_inflight: Optional[int] = None,
         tracing: Optional[TracingConfig] = None,
+        coherency: Optional[CoherencyConfig] = None,
+        groups: Optional[GroupAssignment] = None,
     ) -> None:
+        if (
+            coherency is not None
+            and coherency.mode == "channel"
+            and groups is None
+        ):
+            raise ValueError(
+                "channel-mode coherency requires a group assignment "
+                "(build one from the object catalog via "
+                "CoherencyConfig.build_groups)"
+            )
         self.architecture = architecture
         self.cost_model = cost_model
         self.scheme_factory = scheme_factory
+        # The coherency plane (inv broadcasts, channel subscriptions)
+        # only spans cache nodes: the origin is authoritative, never
+        # holds a stale copy, and the simulator prices exactly
+        # len(architecture.cache_nodes) frames per event.
+        self._cache_nodes = frozenset(architecture.cache_nodes)
         self.transport = transport if transport is not None else InProcessTransport()
         self.scheme_name = scheme_name
         # Per-node admission bound (None = unbounded); see CacheNode.
@@ -98,6 +132,17 @@ class Cluster:
         # Nodes skipped by best-effort invalidation broadcasts (control
         # plane's failure visibility; the data plane has its own counters).
         self.invalidate_skips = 0
+        # Coherency mode (None behaves as implicit in-band with no stats
+        # surfaced).  The broker's address deliberately lives OUTSIDE
+        # self.addresses: invalidation broadcasts and node sweeps iterate
+        # the address map and must never treat the broker as a cache.
+        self.coherency = coherency
+        self.groups = groups
+        self.broker: Optional[ChannelBroker] = None
+        self.broker_address: Optional[object] = None
+        self._updates_published = 0
+        self._inv_frames = 0
+        self._copies_invalidated = 0
         self._started = False
         self._draining = False
 
@@ -113,6 +158,7 @@ class Cluster:
         seed: int = 0,
         max_inflight: Optional[int] = None,
         tracing: Optional[TracingConfig] = None,
+        coherency: Optional[CoherencyConfig] = None,
         **params,
     ) -> "Cluster":
         """Derive per-node schemes exactly as the experiment runner does.
@@ -121,13 +167,20 @@ class Cluster:
         ``(cost model, capacity, d-cache entries, params)`` tuple the
         simulator's ``execute_point`` would hand a single shared
         instance; the cluster's distribution is purely an ownership
-        split, never a configuration change.
+        split, never a configuration change.  ``coherency`` selects the
+        invalidation mode; its group assignment is derived from the
+        catalog, so cluster and simulator group objects identically.
         """
         config = config if config is not None else SimulationConfig()
         cost_model = LatencyCostModel(architecture.network, catalog.mean_size)
         capacity = config.capacity_bytes(catalog.total_bytes)
         dcache_entries = config.dcache_entries(
             catalog.total_bytes, catalog.mean_size
+        )
+        groups = (
+            coherency.build_groups(catalog.num_objects)
+            if coherency is not None
+            else None
         )
         return cls(
             architecture,
@@ -141,6 +194,8 @@ class Cluster:
             seed=seed,
             max_inflight=max_inflight,
             tracing=tracing,
+            coherency=coherency,
+            groups=groups,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -179,11 +234,29 @@ class Cluster:
             self.addresses[node_id] = await self.transport.start_node(
                 node_id, node.handle
             )
+        if self.coherency is not None and self.coherency.mode == "channel":
+            self.broker = ChannelBroker(self._forward)
+            self.broker_address = await self.transport.start_node(
+                BROKER_NODE_ID, self.broker.handle
+            )
+            for node_id in sorted(self.nodes):
+                if node_id not in self._cache_nodes:
+                    continue
+                node = self.nodes[node_id]
+                node.subscriber = ChannelSubscriber(
+                    node_id, node.scheme, self.groups, self._call_broker
+                )
+                await self._call_broker(
+                    {"type": MSG_SUB, "node": node_id, "groups": "*"}
+                )
         self._started = True
         return dict(self.addresses)
 
     async def _forward(self, node_id: int, message: dict) -> dict:
         return await self.transport.call(self.addresses[node_id], message)
+
+    async def _call_broker(self, message: dict) -> dict:
+        return await self.transport.call(self.broker_address, message)
 
     def ingress_address(self, client_id: int):
         """The address a given client sends its ``get`` frames to."""
@@ -252,18 +325,30 @@ class Cluster:
 
     def snapshot(self) -> dict:
         """Point-in-time cluster state: per-node counters and cache fill."""
-        return {
+        nodes = {}
+        for node_id, node in sorted(self.nodes.items()):
+            entry = {
+                "requests_handled": node.requests_handled,
+                "cached_bytes": node.scheme.total_cached_bytes(),
+                "stats": node.registry.snapshot().get(node_id, {}),
+            }
+            if node.subscriber is not None:
+                entry["channel"] = node.subscriber.to_dict()
+            nodes[str(node_id)] = entry
+        snap = {
             "scheme": self.scheme_name,
             "architecture": self.architecture.name,
-            "nodes": {
-                str(node_id): {
-                    "requests_handled": node.requests_handled,
-                    "cached_bytes": node.scheme.total_cached_bytes(),
-                    "stats": node.registry.snapshot().get(node_id, {}),
-                }
-                for node_id, node in sorted(self.nodes.items())
-            },
+            "nodes": nodes,
         }
+        if self.broker is not None:
+            snap["channel"] = {
+                "broker": self.broker.stats_dict(),
+                "groups": dict(self.groups.params),
+            }
+        summary = self.coherency_summary()
+        if summary is not None:
+            snap["coherency"] = summary
+        return snap
 
     async def stop(
         self,
@@ -277,6 +362,10 @@ class Cluster:
         if self._started:
             if drain:
                 await self.drain(timeout=drain_timeout)
+                if self.broker is not None:
+                    # Deterministic convergence: replay every event the
+                    # fan-out lost before the snapshot freezes the state.
+                    await self.channel_sync()
             snap = self.snapshot()
             if snapshot_path is not None:
                 Path(snapshot_path).write_text(
@@ -340,6 +429,8 @@ class Cluster:
             self._inv_seq += 1
             ctx = {"id": f"tinv.{self._inv_seq}", "parent": None}
         for node_id in sorted(self.addresses):
+            if node_id not in self._cache_nodes:
+                continue
             frame = {"type": MSG_INV, "object_id": object_id}
             if ctx is not None:
                 frame["trace"] = ctx
@@ -351,4 +442,91 @@ class Cluster:
                 self.invalidate_skips += 1
                 continue
             removed += reply["removed"]
+            self._inv_frames += 1
+        self._copies_invalidated += removed
         return removed
+
+    async def apply_update(self, event) -> int:
+        """Apply one update event through the configured coherency mode.
+
+        In-band (or no coherency configured): a group event expands to
+        its member objects and each is broadcast-invalidated -- exactly
+        what in-band mode pays for group invalidation.  Channel mode:
+        one ``pub`` frame to the broker, which sequences and fans out.
+        Returns copies removed cluster-wide (for channel mode, by the
+        synchronous fan-out; copies recovered later via catchup are not
+        in the count).
+        """
+        self._updates_published += 1
+        if self.broker is None:
+            events = [event]
+            if isinstance(event, GroupUpdateEvent):
+                if self.groups is None:
+                    raise ValueError(
+                        "group-targeted updates require a group assignment"
+                    )
+                events = expand_group_events([event], self.groups)
+            removed = 0
+            for per_object in events:
+                removed += await self.invalidate(per_object.object_id)
+            return removed
+        if isinstance(event, GroupUpdateEvent):
+            group = event.group_id
+        else:
+            group = self.groups.group_of(event.object_id)
+        reply = await self._call_broker(
+            {"type": MSG_PUB, "group": group, "time": event.time}
+        )
+        removed = reply["removed"]
+        self._copies_invalidated += removed
+        return removed
+
+    async def channel_sync(self) -> Dict[int, int]:
+        """Sync every node to the broker's log; returns per-node pending.
+
+        After a successful sync every node's pending count is zero --
+        the convergence invariant the CI smoke's fault stage asserts.
+        """
+        if self.broker is None:
+            return {}
+        latest = self.broker.latest()
+        pending: Dict[int, int] = {}
+        for node_id in sorted(self.nodes):
+            if self.nodes[node_id].subscriber is None:
+                continue
+            reply = await self.transport.call(
+                self.addresses[node_id],
+                {"type": MSG_CHSYNC, "latest": latest},
+            )
+            pending[node_id] = reply["pending"]
+        return pending
+
+    async def coherency_report(self) -> Optional[dict]:
+        """Async face of :meth:`coherency_summary` (matches ClusterClient)."""
+        return self.coherency_summary()
+
+    def coherency_summary(self) -> Optional[dict]:
+        """Merged coherency accounting, or ``None`` when not configured.
+
+        Channel mode folds the broker's wire accounting and every
+        subscriber's staleness counters through
+        :func:`~repro.serve.channel.merge_channel_stats`; in-band mode
+        prices the inv broadcasts this orchestrator actually delivered.
+        """
+        if self.coherency is None:
+            return None
+        if self.broker is not None:
+            return merge_channel_stats(
+                self.broker.stats_dict(),
+                [
+                    node.subscriber.to_dict()
+                    for _, node in sorted(self.nodes.items())
+                    if node.subscriber is not None
+                ],
+            )
+        stats = CoherencyStats(mode="inband")
+        stats.events_published = self._updates_published
+        stats.inv_frames = self._inv_frames
+        stats.inv_bytes = self._inv_frames * INV_FRAME_BYTES
+        stats.copies_invalidated = self._copies_invalidated
+        return stats.to_dict()

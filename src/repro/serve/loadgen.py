@@ -50,12 +50,26 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.coherency.stats import CoherencyStats
+from repro.core.piggyback import INV_FRAME_BYTES
 from repro.metrics.collector import MetricsCollector, MetricsSummary
 from repro.schemes.base import RequestOutcome
+from repro.serve.channel import merge_channel_stats
 from repro.serve.cluster import Cluster
-from repro.serve.protocol import MSG_GET, NodeBusy
+from repro.serve.protocol import (
+    MSG_CHSTATS,
+    MSG_CHSYNC,
+    MSG_GET,
+    MSG_PUB,
+    MSG_STATS,
+    NodeBusy,
+)
 from repro.workload.trace import Trace, TraceRecord
-from repro.workload.updates import UpdateEvent
+from repro.workload.updates import (
+    GroupUpdateEvent,
+    UpdateEvent,
+    expand_group_events,
+)
 
 MODES = ("sequential", "closed", "open")
 
@@ -70,13 +84,51 @@ class ClusterClient:
     in another.  The architecture must be rebuilt from the same
     parameters the server used (the manifest records them); attachment
     and routing are deterministic given those parameters.
+
+    For a channel-mode server the manifest additionally carries the
+    broker address and the group parameters; with those set,
+    :meth:`apply_update` publishes to the broker instead of
+    broadcasting inv frames, and :meth:`coherency_report` merges the
+    broker's and every node's channel accounting over the wire.
     """
 
-    def __init__(self, architecture, cost_model, addresses, transport) -> None:
+    def __init__(
+        self,
+        architecture,
+        cost_model,
+        addresses,
+        transport,
+        coherency=None,
+        groups=None,
+        broker_address=None,
+    ) -> None:
+        if (
+            coherency is not None
+            and coherency.mode == "channel"
+            and (groups is None or broker_address is None)
+        ):
+            raise ValueError(
+                "a channel-mode client needs the broker address and the "
+                "group assignment from the serve manifest"
+            )
         self.architecture = architecture
         self.cost_model = cost_model
         self.addresses = dict(addresses)
         self.transport = transport
+        # Mirror of Cluster's coherency-plane scoping: only cache
+        # nodes receive inv frames or channel syncs (the origin never
+        # subscribes, and chsync on a non-subscriber is a protocol
+        # error).
+        self._cache_nodes = frozenset(architecture.cache_nodes)
+        self.coherency = coherency
+        self.groups = groups
+        self.broker_address = (
+            broker_address if coherency is not None
+            and coherency.mode == "channel" else None
+        )
+        self._updates_published = 0
+        self._inv_frames = 0
+        self._copies_invalidated = 0
 
     def ingress_address(self, client_id: int):
         return self.addresses[self.architecture.client_nodes[client_id]]
@@ -84,12 +136,85 @@ class ClusterClient:
     async def invalidate(self, object_id: int) -> int:
         removed = 0
         for node_id in sorted(self.addresses):
+            if node_id not in self._cache_nodes:
+                continue
             reply = await self.transport.call(
                 self.addresses[node_id],
                 {"type": "inv", "object_id": object_id},
             )
             removed += reply["removed"]
+            self._inv_frames += 1
+        self._copies_invalidated += removed
         return removed
+
+    async def apply_update(self, event) -> int:
+        """Mirror of :meth:`Cluster.apply_update` over the wire."""
+        self._updates_published += 1
+        if self.broker_address is None:
+            events = [event]
+            if isinstance(event, GroupUpdateEvent):
+                if self.groups is None:
+                    raise ValueError(
+                        "group-targeted updates require a group assignment"
+                    )
+                events = expand_group_events([event], self.groups)
+            removed = 0
+            for per_object in events:
+                removed += await self.invalidate(per_object.object_id)
+            return removed
+        if isinstance(event, GroupUpdateEvent):
+            group = event.group_id
+        else:
+            group = self.groups.group_of(event.object_id)
+        reply = await self.transport.call(
+            self.broker_address,
+            {"type": MSG_PUB, "group": group, "time": event.time},
+        )
+        removed = reply["removed"]
+        self._copies_invalidated += removed
+        return removed
+
+    async def channel_sync(self) -> dict:
+        """Drive every node's catch-up to the broker's latest sequences."""
+        if self.broker_address is None:
+            return {}
+        broker = await self.transport.call(
+            self.broker_address, {"type": MSG_CHSTATS}
+        )
+        latest = broker["stats"].get("latest", {})
+        pending = {}
+        for node_id in sorted(self.addresses):
+            if node_id not in self._cache_nodes:
+                continue
+            reply = await self.transport.call(
+                self.addresses[node_id],
+                {"type": MSG_CHSYNC, "latest": latest},
+            )
+            pending[node_id] = reply["pending"]
+        return pending
+
+    async def coherency_report(self) -> Optional[dict]:
+        """Merged coherency accounting (None when no mode configured)."""
+        if self.coherency is None:
+            return None
+        if self.broker_address is not None:
+            broker = await self.transport.call(
+                self.broker_address, {"type": MSG_CHSTATS}
+            )
+            node_stats = []
+            for node_id in sorted(self.addresses):
+                reply = await self.transport.call(
+                    self.addresses[node_id], {"type": MSG_STATS}
+                )
+                if "channel" in reply:
+                    node_stats.append(reply["channel"])
+            return merge_channel_stats(broker["stats"], node_stats)
+        stats = CoherencyStats(mode="inband")
+        stats.events_published = self._updates_published
+        stats.inv_frames = self._inv_frames
+        stats.inv_bytes = self._inv_frames * INV_FRAME_BYTES
+        stats.copies_invalidated = self._copies_invalidated
+        return stats.to_dict()
 
     async def close(self) -> None:
         await self.transport.close()
@@ -133,6 +258,11 @@ class LoadReport:
     # conservation law the chaos fault matrix asserts under node crashes.
     cache_served: int = 0
     origin_served: int = 0
+    # Coherency accounting (None when the cluster has no coherency mode
+    # configured): the merged CoherencyStats dict -- protocol bytes,
+    # stale hits, staleness percentiles -- for the in-band vs. channel
+    # comparison.
+    coherency: Optional[dict] = None
 
     def to_dict(self) -> dict:
         s = self.summary
@@ -155,6 +285,7 @@ class LoadReport:
             "shed": self.shed,
             "busy_retries": self.busy_retries,
             "aborted": self.aborted,
+            "coherency": self.coherency,
             "modelled": {
                 "mean_latency": s.mean_latency,
                 "mean_response_ratio": s.mean_response_ratio,
@@ -227,7 +358,7 @@ class LoadGenerator:
         self,
         cluster: Cluster,
         trace: Trace,
-        updates: Sequence[UpdateEvent] = (),
+        updates: Sequence["UpdateEvent | GroupUpdateEvent"] = (),
         warmup_fraction: float = 0.5,
     ) -> None:
         if len(trace) == 0:
@@ -319,6 +450,11 @@ class LoadGenerator:
             raise ValueError("open_inflight_limit must be at least 1")
         if busy_retries < 0:
             raise ValueError("busy_retries must be non-negative")
+        if mode == "closed" and self.updates:
+            raise ValueError(
+                "update streams require sequential or open mode "
+                "(closed mode has no notion of trace time to pace them)"
+            )
         started = time.perf_counter()
         counters = _Counters(max_errors=max_errors)
         self._busy_retries = busy_retries
@@ -329,13 +465,24 @@ class LoadGenerator:
             completed = await self._run_closed(concurrency, counters)
             applied = invalidated = 0
         else:
-            completed = await self._run_open(
+            completed, applied, invalidated = await self._run_open(
                 speedup, counters, open_inflight_limit
             )
-            applied = invalidated = 0
         duration = time.perf_counter() - started
+        # Converge the channel (no-op in-band) before reading the
+        # coherency accounting, so the report never shows pending events
+        # a chsync would have drained.
+        cluster = getattr(self, "cluster", None)
+        sync = getattr(cluster, "channel_sync", None)
+        if sync is not None:
+            await sync()
+        coherency = None
+        reporter = getattr(cluster, "coherency_report", None)
+        if reporter is not None:
+            coherency = await reporter()
         return self._report(
-            mode, completed, duration, applied, invalidated, counters
+            mode, completed, duration, applied, invalidated, counters,
+            coherency,
         )
 
     async def _run_sequential(self) -> Tuple[List[_Completed], int, int]:
@@ -357,8 +504,8 @@ class LoadGenerator:
                 update_index < len(updates)
                 and updates[update_index].time <= record.time
             ):
-                invalidated += await self.cluster.invalidate(
-                    updates[update_index].object_id
+                invalidated += await self.cluster.apply_update(
+                    updates[update_index]
                 )
                 applied += 1
                 update_index += 1
@@ -434,7 +581,7 @@ class LoadGenerator:
         speedup: float,
         counters: _Counters,
         inflight_limit: Optional[int],
-    ) -> List[_Completed]:
+    ) -> Tuple[List[_Completed], int, int]:
         """Fire requests at their (compressed) trace timestamps.
 
         One pacer coroutine walks the trace in order, sleeps until each
@@ -442,13 +589,39 @@ class LoadGenerator:
         schedule is identical to materializing every task up front, but
         memory stays O(in-flight) and startup does not stampede the event
         loop with O(trace) simultaneous timers.
+
+        Updates (when given) run on a sibling coroutine paced by the same
+        compressed timeline, so origin updates land concurrently with the
+        offered request load -- the configuration where channel-mode
+        staleness is actually observable.  An update failure counts as an
+        error like any request failure.
         """
         loop = asyncio.get_running_loop()
         epoch = loop.time()
         trace_start = self.trace[0].time
         completed: List[_Completed] = []
         inflight: Set[asyncio.Task] = set()
+        applied = 0
+        invalidated = 0
 
+        async def updater() -> None:
+            nonlocal applied, invalidated
+            for event in self.updates:
+                offset = (event.time - trace_start) / speedup
+                delay = epoch + offset - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                if counters.stop.is_set():
+                    return
+                try:
+                    invalidated += await self.cluster.apply_update(event)
+                    applied += 1
+                except Exception:
+                    counters.record_error()
+
+        update_task = (
+            loop.create_task(updater()) if self.updates else None
+        )
         for index, record in enumerate(self.trace):
             if counters.stop.is_set():
                 break
@@ -471,7 +644,9 @@ class LoadGenerator:
             task.add_done_callback(inflight.discard)
         if inflight:
             await asyncio.gather(*inflight, return_exceptions=True)
-        return completed
+        if update_task is not None:
+            await update_task
+        return completed, applied, invalidated
 
     # -- reporting -----------------------------------------------------------
 
@@ -483,6 +658,7 @@ class LoadGenerator:
         applied: int,
         invalidated: int,
         counters: _Counters,
+        coherency: Optional[dict] = None,
     ) -> LoadReport:
         """Fold completions into the paper's collector, in trace order."""
         warmup_end, total = self.trace.split_warmup(self.warmup_fraction)
@@ -551,4 +727,5 @@ class LoadGenerator:
             aborted=counters.aborted,
             cache_served=cache_served,
             origin_served=origin_served,
+            coherency=coherency,
         )

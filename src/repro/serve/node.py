@@ -70,6 +70,10 @@ from repro.obs.registry import StatRegistry
 from repro.schemes.base import CachingScheme
 from repro.serve.protocol import (
     MSG_BUSY,
+    MSG_CHSYNC,
+    MSG_CHSYNC_OK,
+    MSG_EVENT,
+    MSG_EVENT_OK,
     MSG_FWD,
     MSG_GET,
     MSG_INV,
@@ -179,6 +183,10 @@ class CacheNode:
         scheme.attach_instruments(Instruments(registry=self.registry))
         self._coordinated = isinstance(scheme, CoordinatedScheme)
         self._tracer = tracer
+        # Channel-mode coherency: the cluster attaches a
+        # ChannelSubscriber after construction; None = in-band mode and
+        # the exact pre-channel code path.
+        self.subscriber = None
         self.requests_handled = 0
         self.inflight = 0
         # Per-node monotone clock: under concurrent load generation,
@@ -239,6 +247,10 @@ class CacheNode:
                 return await self._handle_get(message)
             if kind == MSG_INV:
                 return self._handle_invalidate(message)
+            if kind == MSG_EVENT:
+                return await self._handle_event(message)
+            if kind == MSG_CHSYNC:
+                return await self._handle_chsync(message)
             if kind == MSG_STATS:
                 return self._handle_stats()
             if kind == MSG_PING:
@@ -403,6 +415,10 @@ class CacheNode:
         if hit:
             stats.hits += 1
             stats.bytes_read += size
+            if self.subscriber is not None:
+                # Channel mode: log the hit so a later event can judge
+                # retroactively whether it was served off a stale copy.
+                self.subscriber.note_hit(object_id, now, size)
             decision = _timed(
                 span,
                 "decide",
@@ -520,6 +536,8 @@ class CacheNode:
             reply["inserted"].append(self.node_id)
             stats.insertions += 1
             stats.bytes_written += size
+            if self.subscriber is not None:
+                self.subscriber.note_insert(object_id, now)
         reply["evictions"] += evictions
         if self._coordinated:
             if self.node_id in decision["cache_at"]:
@@ -596,6 +614,11 @@ class CacheNode:
             object_id = message["object_id"]
         except KeyError as missing:
             raise ProtocolError(f"inv frame missing field {missing}") from None
+        if self._coordinated:
+            # One in-band inv frame delivered to this node: priced into
+            # the coordination overhead exactly as the simulator counts
+            # it (channel-mode coherency never sends these).
+            self.scheme.protocol_stats.invalidations += 1
         tracer = self._tracer
         ctx = message.get("trace") if tracer is not None else None
         if ctx is None:
@@ -625,12 +648,50 @@ class CacheNode:
         )
         return {"type": MSG_INV_OK, "node": self.node_id, "removed": removed}
 
+    async def _handle_event(self, message: dict) -> dict:
+        """One pushed channel event (see :mod:`repro.serve.channel`)."""
+        if self.subscriber is None:
+            raise ProtocolError(
+                f"node {self.node_id} has no channel subscription"
+            )
+        try:
+            group = message["group"]
+            seq = message["seq"]
+            event_time = message["time"]
+        except KeyError as missing:
+            raise ProtocolError(
+                f"event frame missing field {missing}"
+            ) from None
+        removed = await self.subscriber.deliver(
+            group, seq, event_time, self._clock
+        )
+        return {"type": MSG_EVENT_OK, "node": self.node_id, "removed": removed}
+
+    async def _handle_chsync(self, message: dict) -> dict:
+        """Drain-time channel sync: catch up to the broker's latest seqs."""
+        if self.subscriber is None:
+            raise ProtocolError(
+                f"node {self.node_id} has no channel subscription"
+            )
+        removed = await self.subscriber.sync(
+            message.get("latest", {}), self._clock
+        )
+        return {
+            "type": MSG_CHSYNC_OK,
+            "node": self.node_id,
+            "removed": removed,
+            "pending": self.subscriber.pending(),
+        }
+
     def _handle_stats(self) -> dict:
         snapshot = self.registry.snapshot().get(self.node_id, {})
-        return {
+        reply = {
             "type": MSG_STATS_OK,
             "node": self.node_id,
             "requests_handled": self.requests_handled,
             "cached_bytes": self.scheme.total_cached_bytes(),
             "stats": snapshot,
         }
+        if self.subscriber is not None:
+            reply["channel"] = self.subscriber.to_dict()
+        return reply

@@ -12,6 +12,12 @@ kinds mirror the paper's online protocol (section 2.3):
   shipped placement decision (with the coordinated cost accumulator,
   advanced hop by hop), and the insertion/eviction tally.
 * ``inv``/``inv-ok``     -- push invalidation of one object.
+* ``sub``/``sub-ok``, ``pub``/``pub-ok``, ``event``/``event-ok``,
+  ``catchup``/``catchup-ok``, ``chsync``/``chsync-ok``,
+  ``chstats``/``chstats-ok`` -- the out-of-band invalidation channel
+  (see :mod:`repro.serve.channel`): nodes subscribe to a broker, origins
+  publish group stale events, the broker fans them out with per-group
+  sequence numbers, and gap/drain recovery replays missed events.
 * ``stats``/``stats-ok`` -- a node's live counter snapshot.
 * ``ping``/``pong``      -- liveness probe.
 * ``busy``  -- admission control: the node's inflight bound is hit and
@@ -50,6 +56,18 @@ MSG_FWD = "fwd"
 MSG_RESP = "resp"
 MSG_INV = "inv"
 MSG_INV_OK = "inv-ok"
+MSG_SUB = "sub"
+MSG_SUB_OK = "sub-ok"
+MSG_PUB = "pub"
+MSG_PUB_OK = "pub-ok"
+MSG_EVENT = "event"
+MSG_EVENT_OK = "event-ok"
+MSG_CATCHUP = "catchup"
+MSG_CATCHUP_OK = "catchup-ok"
+MSG_CHSYNC = "chsync"
+MSG_CHSYNC_OK = "chsync-ok"
+MSG_CHSTATS = "chstats"
+MSG_CHSTATS_OK = "chstats-ok"
 MSG_STATS = "stats"
 MSG_STATS_OK = "stats-ok"
 MSG_PING = "ping"

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.coherency.policy import InbandCoherency
 from repro.costs.model import CostModel
 from repro.metrics.collector import MetricsCollector, MetricsSummary
 from repro.obs.instruments import Instruments
@@ -46,6 +47,11 @@ class SimulationResult:
     instrumented (see :mod:`repro.obs`): the final per-node counter
     snapshot of the stat registry and the phase timers' summary.  Like
     auditing, instrumentation never changes the metrics.
+
+    ``coherency`` is ``None`` unless an explicit coherency policy drove
+    the run (see :mod:`repro.coherency`): the policy's
+    :meth:`~repro.coherency.stats.CoherencyStats.to_dict` accounting
+    (channel bytes, stale hits, staleness-window percentiles, ...).
     """
 
     architecture: str
@@ -60,6 +66,7 @@ class SimulationResult:
     audit: Optional[AuditReport] = None
     node_stats: Optional[dict] = None
     phase_timings: Optional[dict] = None
+    coherency: Optional[dict] = None
 
 
 class SimulationEngine:
@@ -89,6 +96,7 @@ class SimulationEngine:
         auditor: Optional[Auditor] = None,
         audit_every: int = 0,
         instruments: Optional[Instruments] = None,
+        coherency=None,
     ) -> SimulationResult:
         """Replay the trace; returns metrics over the measurement window.
 
@@ -96,6 +104,15 @@ class SimulationEngine:
         all cached copies of its object the moment simulation time passes
         it -- the coherency extension stressing the paper's read-mostly
         assumption.
+
+        ``coherency`` selects how those updates reach the caches: a
+        policy object from :mod:`repro.coherency.policy` (in-band
+        broadcast vs. polled pub/sub channel).  ``None`` keeps the
+        default in-band behavior with no stats surfaced -- results are
+        bit-identical to pre-seam engines, and columnar traces keep
+        their fast path.  An explicit policy routes the run through the
+        reference loop and lands its accounting in
+        ``SimulationResult.coherency``.
 
         ``interval_collector`` (an
         :class:`~repro.metrics.timeseries.IntervalMetricsCollector`)
@@ -144,6 +161,7 @@ class SimulationEngine:
         if (
             auditor is None
             and instruments is None
+            and coherency is None
             and isinstance(trace, ColumnarTrace)
         ):
             # Columnar fast path: bit-identical results without the
@@ -180,30 +198,25 @@ class SimulationEngine:
         request_path = self.architecture.request_path
         process = self.scheme.process_request
         path_cost = self.cost_model.path_cost
-        update_index = 0
-        updates_applied = 0
-        copies_invalidated = 0
+        # The coherency seam: update handling is a policy the loop
+        # drives.  The implicit in-band policy replays the exact
+        # pre-seam inline loop (and its probe events).
+        policy = coherency if coherency is not None else InbandCoherency()
+        policy.bind(
+            scheme=self.scheme,
+            architecture=self.architecture,
+            updates=updates,
+            probe=probe,
+        )
+        policy_observes = policy.wants_outcomes
         sweep_every = auditor.config.audit_every if auditor is not None else 0
+        last_time = 0.0
         for index, record in enumerate(trace):
             if instruments is not None:
                 instruments.request_index = index
-            while (
-                update_index < len(updates)
-                and updates[update_index].time <= record.time
-            ):
-                event = updates[update_index]
-                removed = self.scheme.invalidate_object(event.object_id)
-                copies_invalidated += removed
-                updates_applied += 1
-                update_index += 1
-                if probe is not None and probe.sample("invalidation"):
-                    probe.write(
-                        "invalidation",
-                        i=index,
-                        t=event.time,
-                        object=event.object_id,
-                        copies=removed,
-                    )
+            last_time = record.time
+            if policy.next_time <= record.time:
+                policy.advance(index, record.time)
             if timers is None:
                 path = request_path(record.client_id, record.server_id)
                 outcome = process(
@@ -219,6 +232,8 @@ class SimulationEngine:
                 processed = time.perf_counter()
                 timers.add(PHASE_ROUTING, routed - started_phase)
                 timers.add(PHASE_SCHEME, processed - routed)
+            if policy_observes:
+                policy.observe(outcome, record)
             if registry is not None:
                 registry.observe_outcome(outcome)
                 if snapshot_every and (index + 1) % snapshot_every == 0:
@@ -256,6 +271,7 @@ class SimulationEngine:
                 auditor.audit_now(self.scheme, collector, index)
             if report_progress is not None and (index + 1) % progress_every == 0:
                 report_progress(index + 1, total)
+        policy.finalize(last_time)
         duration = time.perf_counter() - started
         if report_progress is not None and total % progress_every != 0:
             report_progress(total, total)
@@ -272,11 +288,14 @@ class SimulationEngine:
             requests_total=total,
             requests_measured=collector.requests,
             summary=collector.summary(),
-            updates_applied=updates_applied,
-            copies_invalidated=copies_invalidated,
+            updates_applied=policy.updates_applied,
+            copies_invalidated=policy.copies_invalidated,
             duration_seconds=duration,
             requests_per_second=total / duration if duration > 0 else 0.0,
             audit=audit,
             node_stats=node_stats,
             phase_timings=phase_timings,
+            coherency=(
+                policy.stats_dict() if coherency is not None else None
+            ),
         )

@@ -297,12 +297,18 @@ def _run_generic(
     copies_invalidated = 0
     report_progress = progress_callback if progress_every > 0 else None
     invalidate = scheme.invalidate_object
+    # In-band inv frames fan out to every cache node per event; mirror
+    # the reference loop's ProtocolStats counting (coordinated only).
+    proto_stats = getattr(scheme, "protocol_stats", None)
+    inv_broadcast = len(engine.architecture.cache_nodes)
 
     for index in range(total):
         while uj < num_updates and ufire[uj] <= index:
             copies_invalidated += invalidate(uoids[uj])
             updates_applied += 1
             uj += 1
+            if proto_stats is not None:
+                proto_stats.invalidations += inv_broadcast
         pid = pids[index]
         size = sizes[index]
         outcome = process(paths[pid], oids[index], size, times[index])
@@ -1167,6 +1173,9 @@ def _run_coordinated(engine, prep, started, progress_every, progress_callback):
     stats.no_descriptor_tags += proto_tags
     stats.decisions += proto_decisions
     stats.responses_with_accumulator += proto_acc_responses
+    # One in-band inv frame per cache node per update event (the
+    # reference loop counts these through its coherency policy).
+    stats.invalidations += updates_applied * len(engine.architecture.cache_nodes)
 
     _writeback_coordinated(scheme, paths, reach, node_states)
 

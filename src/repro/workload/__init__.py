@@ -17,13 +17,26 @@ from repro.workload.columnar import (
     write_trace_csv_columnar,
 )
 from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
-from repro.workload.scenarios import inject_flash_crowd, inject_scan
+from repro.workload.groups import GroupAssignment
+from repro.workload.scenarios import (
+    inject_flash_crowd,
+    inject_invalidation_storm,
+    inject_scan,
+)
 from repro.workload.stats import fit_zipf, summarize_trace
-from repro.workload.updates import UpdateEvent, generate_update_events
+from repro.workload.updates import (
+    GroupUpdateEvent,
+    UpdateEvent,
+    expand_group_events,
+    generate_group_update_events,
+    generate_update_events,
+)
 
 __all__ = [
     "BoeingLikeTraceGenerator",
     "ColumnarTrace",
+    "GroupAssignment",
+    "GroupUpdateEvent",
     "ObjectCatalog",
     "SizeDistribution",
     "Trace",
@@ -31,9 +44,12 @@ __all__ = [
     "UpdateEvent",
     "WorkloadConfig",
     "ZipfSampler",
+    "expand_group_events",
     "fit_zipf",
+    "generate_group_update_events",
     "generate_update_events",
     "inject_flash_crowd",
+    "inject_invalidation_storm",
     "inject_scan",
     "read_trace_csv",
     "read_trace_csv_columnar",

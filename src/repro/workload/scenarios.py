@@ -10,18 +10,23 @@ stressed:
 * :func:`inject_scan` -- a one-pass sequential sweep over many cold
   objects (a crawler).  Scans pollute recency-based caches; admission- or
   cost-aware schemes should shrug them off.
+* :func:`inject_invalidation_storm` -- a burst of correlated *group*
+  update events (a site-wide template push).  This is the coherency
+  stress: in-band mode pays one inv broadcast per member object while
+  channel mode pays one event per group (see :mod:`repro.coherency`).
 
-Both return new, time-sorted traces and leave the input untouched.
+All helpers return new, time-sorted sequences and leave inputs untouched.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.workload.catalog import ObjectCatalog
 from repro.workload.trace import Trace, TraceRecord
+from repro.workload.updates import GroupUpdateEvent
 
 
 def _merge(base: Trace, extra: List[TraceRecord]) -> Trace:
@@ -88,3 +93,33 @@ def inject_scan(
         for i, oid in enumerate(ids)
     ]
     return _merge(trace, extra)
+
+
+def inject_invalidation_storm(
+    updates: Sequence[GroupUpdateEvent],
+    group_ids: Sequence[int],
+    start: float,
+    duration: float,
+    storm_rate: float,
+    seed: int = 0,
+) -> List[GroupUpdateEvent]:
+    """Add a Poisson burst of updates over correlated groups.
+
+    During ``[start, start + duration]`` the listed ``group_ids`` are
+    hammered with extra update events at aggregate rate ``storm_rate``
+    (targets drawn uniformly over the listed groups -- the correlation
+    *is* the small target set).  Returns a new time-sorted stream.
+    """
+    if duration <= 0 or storm_rate <= 0:
+        raise ValueError("duration and storm_rate must be positive")
+    if not group_ids:
+        raise ValueError("need at least one target group")
+    rng = np.random.default_rng(seed)
+    count = int(rng.poisson(storm_rate * duration))
+    times = np.sort(rng.random(count) * duration) + start
+    targets = rng.integers(len(group_ids), size=count)
+    extra = [
+        GroupUpdateEvent(time=float(t), group_id=int(group_ids[g]))
+        for t, g in zip(times, targets)
+    ]
+    return sorted(list(updates) + extra, key=lambda e: e.time)

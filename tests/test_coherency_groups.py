@@ -1,0 +1,128 @@
+"""Invalidation groups and group-targeted update streams."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.workload.groups import GroupAssignment
+from repro.workload.updates import (
+    GroupUpdateEvent,
+    expand_group_events,
+    generate_group_update_events,
+    generate_update_events,
+)
+
+
+class TestGroupAssignment:
+    def test_per_object_is_identity(self):
+        groups = GroupAssignment.per_object(5)
+        assert groups.group_count == 5
+        assert [groups.group_of(i) for i in range(5)] == [0, 1, 2, 3, 4]
+        assert groups.members(3) == (3,)
+        assert groups.params.get("per_object") is True
+
+    def test_generate_covers_every_object(self):
+        groups = GroupAssignment.generate(
+            num_objects=100, group_count=7, skew=0.8, seed=3
+        )
+        assert groups.group_count == 7
+        seen = []
+        for gid in range(7):
+            members = groups.members(gid)
+            assert list(members) == sorted(members)
+            for object_id in members:
+                assert groups.group_of(object_id) == gid
+            seen.extend(members)
+        assert sorted(seen) == list(range(100))
+        assert sum(groups.group_sizes().values()) == 100
+
+    def test_generate_deterministic_by_seed(self):
+        a = GroupAssignment.generate(100, 7, skew=0.8, seed=3)
+        b = GroupAssignment.generate(100, 7, skew=0.8, seed=3)
+        c = GroupAssignment.generate(100, 7, skew=0.8, seed=4)
+        assert a.group_of_object == b.group_of_object
+        assert a.group_of_object != c.group_of_object
+
+    def test_skew_makes_sizes_uneven(self):
+        groups = GroupAssignment.generate(500, 10, skew=1.2, seed=0)
+        sizes = groups.group_sizes().values()
+        assert max(sizes) > min(sizes)
+
+    def test_more_groups_than_objects_rejected(self):
+        with pytest.raises(ValueError):
+            GroupAssignment.generate(num_objects=3, group_count=4)
+
+    def test_params_round_trip(self):
+        for groups in (
+            GroupAssignment.per_object(20),
+            GroupAssignment.generate(50, 6, skew=0.5, seed=9),
+        ):
+            rebuilt = GroupAssignment.from_params(groups.params)
+            assert rebuilt.group_of_object == groups.group_of_object
+            assert rebuilt.group_count == groups.group_count
+
+
+class TestGroupUpdateEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupUpdateEvent(-1.0, 0)
+        with pytest.raises(ValueError):
+            GroupUpdateEvent(0.0, -1)
+        groups = GroupAssignment.per_object(10)
+        with pytest.raises(ValueError):
+            generate_group_update_events(groups, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            generate_group_update_events(groups, 10.0, -1.0)
+
+    def test_stream_shape(self):
+        groups = GroupAssignment.generate(100, 8, seed=1)
+        events = generate_group_update_events(
+            groups, duration=200.0, update_rate=1.0, seed=2
+        )
+        assert events
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 <= e.group_id < 8 for e in events)
+        again = generate_group_update_events(groups, 200.0, 1.0, seed=2)
+        assert events == again
+
+    def test_expand_preserves_time_and_orders_members(self):
+        groups = GroupAssignment.generate(30, 3, seed=0)
+        events = [GroupUpdateEvent(5.0, 1), GroupUpdateEvent(9.0, 0)]
+        expanded = expand_group_events(events, groups)
+        assert len(expanded) == len(groups.members(1)) + len(groups.members(0))
+        first = [e for e in expanded if e.time == 5.0]
+        assert tuple(e.object_id for e in first) == groups.members(1)
+
+
+class TestPerObjectStreamUnchanged:
+    """Golden pin: the group extension must not perturb the original RNG.
+
+    ``generate_update_events`` draws (count, times, targets) in a fixed
+    order; any reordering or extra draw would silently shift every
+    downstream experiment.  The hash pins the exact stream.
+    """
+
+    def test_golden_stream(self):
+        events = generate_update_events(
+            200, duration=30.0, update_rate=0.9, seed=7
+        )
+        assert len(events) == 29
+        digest = hashlib.sha256(
+            repr([(e.time, e.object_id) for e in events]).encode()
+        ).hexdigest()
+        assert digest == (
+            "d2fcd4c669ddc1bdd49b18b5a48b390a"
+            "f50db11c726663f8d272e6b5cfa93f10"
+        )
+
+    def test_group_generation_same_draw_structure(self):
+        """Per-object events == group events over per-object groups."""
+        groups = GroupAssignment.per_object(200)
+        per_object = generate_update_events(200, 100.0, 0.7, seed=5)
+        grouped = generate_group_update_events(groups, 100.0, 0.7, seed=5)
+        assert [(e.time, e.object_id) for e in per_object] == [
+            (e.time, e.group_id) for e in grouped
+        ]

@@ -1,0 +1,241 @@
+"""The coherency differential oracle and protocol-overhead goldens.
+
+Three contracts pin the invalidation subsystem:
+
+* **Seam transparency** -- running the engine with an explicit
+  ``InbandCoherency`` policy is bit-identical to running with none (the
+  default path), for every scheme on both architectures.
+* **Channel oracle** -- a zero-latency channel over per-object groups
+  delivers each event at exactly the code point in-band invalidation
+  uses, so metrics reproduce in-band bit-for-bit with zero staleness.
+* **Golden protocol counters** -- the exact ``ProtocolStats`` counters
+  (including the new in-band ``invalidations`` frames) for the
+  coordinated scheme on a pinned workload.  The pre-existing counters
+  (reports, tags, decisions, accumulators) are the regression guard:
+  pricing invalidation traffic must not perturb them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.coherency import CoherencyConfig, build_policy
+from repro.costs.model import LatencyCostModel
+from repro.experiments.presets import build_architecture
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import SCHEME_NAMES, build_scheme
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+
+WORKLOAD = WorkloadConfig(
+    num_objects=200,
+    num_servers=4,
+    num_clients=12,
+    num_requests=1500,
+    zipf_theta=0.8,
+    seed=11,
+)
+CONFIG = SimulationConfig(relative_cache_size=0.02, dcache_ratio=3.0)
+UPDATE_RATE = 0.8
+UPDATE_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def workload():
+    generator = BoeingLikeTraceGenerator(WORKLOAD)
+    trace = generator.generate()
+    from repro.workload.updates import generate_update_events
+
+    updates = generate_update_events(
+        WORKLOAD.num_objects,
+        trace.duration,
+        update_rate=UPDATE_RATE,
+        seed=UPDATE_SEED,
+    )
+    assert updates, "the oracle needs a non-empty update stream"
+    return trace, generator.catalog, updates
+
+
+def run_once(arch_name, scheme_name, trace, catalog, updates, coherency=None):
+    arch = build_architecture(arch_name, WORKLOAD, seed=0)
+    cost = LatencyCostModel(arch.network, catalog.mean_size)
+    scheme = build_scheme(
+        scheme_name,
+        cost,
+        CONFIG.capacity_bytes(catalog.total_bytes),
+        CONFIG.dcache_entries(catalog.total_bytes, catalog.mean_size),
+    )
+    policy = (
+        build_policy(coherency, catalog.num_objects)
+        if coherency is not None
+        else None
+    )
+    engine = SimulationEngine(arch, cost, scheme)
+    result = engine.run(trace, updates=updates, coherency=policy)
+    return result, scheme
+
+
+class TestDifferentialOracle:
+    @pytest.mark.parametrize("arch_name", ["hierarchical", "en-route"])
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEME_NAMES))
+    def test_channel_zero_latency_matches_inband(
+        self, workload, arch_name, scheme_name
+    ):
+        trace, catalog, updates = workload
+        default, _ = run_once(
+            arch_name, scheme_name, trace, catalog, updates
+        )
+        inband, _ = run_once(
+            arch_name, scheme_name, trace, catalog, updates,
+            CoherencyConfig(mode="inband"),
+        )
+        channel, _ = run_once(
+            arch_name, scheme_name, trace, catalog, updates,
+            CoherencyConfig(mode="channel"),
+        )
+        # Seam transparency: the explicit in-band policy is the default.
+        assert inband.summary == default.summary
+        assert inband.updates_applied == default.updates_applied
+        assert inband.copies_invalidated == default.copies_invalidated
+        # The oracle: zero-latency channel + per-object groups == in-band.
+        assert channel.summary == inband.summary
+        assert channel.updates_applied == inband.updates_applied
+        assert channel.copies_invalidated == inband.copies_invalidated
+        # Accounting surfaces only on explicit policies.
+        assert default.coherency is None
+        assert inband.coherency is not None
+        assert channel.coherency is not None
+        assert channel.coherency["mode"] == "channel"
+        assert channel.coherency["stale_hits"] == 0
+        assert channel.coherency["stale_bytes"] == 0
+        assert channel.coherency["events_published"] == len(updates)
+        assert inband.coherency["events_published"] == len(updates)
+        assert inband.coherency["inv_bytes"] > 0
+        assert channel.coherency["inv_bytes"] == 0
+        assert channel.coherency["channel_bytes"] > 0
+
+    def test_polled_channel_measures_staleness(self, workload):
+        trace, catalog, updates = workload
+        inband, _ = run_once(
+            "en-route", "lru", trace, catalog, updates,
+            CoherencyConfig(mode="inband"),
+        )
+        polled, _ = run_once(
+            "en-route", "lru", trace, catalog, updates,
+            CoherencyConfig(mode="channel", poll_interval=5.0),
+        )
+        stats = polled.coherency
+        assert stats["polls"] > 0
+        assert stats["event_deliveries"] > 0
+        # Copies linger between polls, so some stale service shows up
+        # either as stale hits or as recorded staleness windows.
+        assert stats["staleness_windows"] > 0
+        assert stats["staleness_p99"] >= stats["staleness_p50"] >= 0.0
+        assert stats["staleness_max"] <= 5.0 + trace.duration
+        # One window per stale copy the channel actually removed.
+        assert stats["staleness_windows"] <= stats["copies_invalidated"]
+        # In-band pays inv frames; the channel pays event/poll bytes.
+        assert stats["inv_bytes"] == 0
+        assert inband.coherency["channel_bytes"] == 0
+
+    def test_grouped_streams_keep_modes_comparable(self, workload):
+        """Group events: in-band expansion == zero-latency channel."""
+        trace, catalog, _ = workload
+        from repro.workload.updates import generate_group_update_events
+
+        config = CoherencyConfig(mode="inband", group_count=12)
+        groups = config.build_groups(catalog.num_objects)
+        group_updates = generate_group_update_events(
+            groups, trace.duration, update_rate=UPDATE_RATE, seed=UPDATE_SEED
+        )
+        assert group_updates
+        inband, _ = run_once(
+            "hierarchical", "coordinated", trace, catalog, group_updates,
+            config,
+        )
+        channel, _ = run_once(
+            "hierarchical", "coordinated", trace, catalog, group_updates,
+            CoherencyConfig(mode="channel", group_count=12),
+        )
+        assert channel.summary == inband.summary
+        assert channel.copies_invalidated == inband.copies_invalidated
+        # One published event per group update on the channel; one
+        # per *member object* in-band (the expansion is the price).
+        assert channel.coherency["events_published"] == len(group_updates)
+        assert inband.coherency["events_published"] >= len(group_updates)
+
+
+class TestGoldenProtocolCounters:
+    """Exact counters for coordinated on the pinned workload.
+
+    requests/reports/no_descriptor_tags/decisions/accumulators existed
+    before invalidation pricing; their values here were captured at the
+    commit introducing it and must never drift.
+    """
+
+    GOLDEN = {
+        "hierarchical": dict(
+            requests=1500,
+            reports=473,
+            no_descriptor_tags=3964,
+            decisions=261,
+            responses_with_accumulator=1242,
+            invalidations=1120,
+            overhead=43700,
+            updates=28,
+            copies=4,
+            hit_ratio=0.39066666666666666,
+            mean_latency=0.6838547319635208,
+        ),
+        "en-route": dict(
+            requests=1500,
+            reports=960,
+            no_descriptor_tags=8046,
+            decisions=296,
+            responses_with_accumulator=1250,
+            invalidations=2800,
+            overhead=83916,
+            updates=28,
+            copies=8,
+            hit_ratio=0.5,
+            mean_latency=0.3572798075195245,
+        ),
+    }
+
+    @pytest.mark.parametrize("arch_name", sorted(GOLDEN))
+    def test_counters(self, workload, arch_name):
+        trace, catalog, updates = workload
+        result, scheme = run_once(
+            arch_name, "coordinated", trace, catalog, updates
+        )
+        stats = scheme.protocol_stats
+        golden = self.GOLDEN[arch_name]
+        assert stats.requests == golden["requests"]
+        assert stats.reports == golden["reports"]
+        assert stats.no_descriptor_tags == golden["no_descriptor_tags"]
+        assert stats.decisions == golden["decisions"]
+        assert (
+            stats.responses_with_accumulator
+            == golden["responses_with_accumulator"]
+        )
+        assert stats.invalidations == golden["invalidations"]
+        assert stats.overhead_bytes() == golden["overhead"]
+        assert result.updates_applied == golden["updates"]
+        assert result.copies_invalidated == golden["copies"]
+        assert result.summary.hit_ratio == golden["hit_ratio"]
+        assert result.summary.mean_latency == golden["mean_latency"]
+
+    def test_overhead_prices_invalidations(self, workload):
+        """inv frames are 12 B each on top of the pre-existing bytes."""
+        trace, catalog, updates = workload
+        _, scheme = run_once(
+            "hierarchical", "coordinated", trace, catalog, updates
+        )
+        stats = scheme.protocol_stats
+        assert (
+            stats.overhead_bytes()
+            - stats.overhead_bytes(inv_frame_bytes=0)
+            == stats.invalidations * 12
+        )

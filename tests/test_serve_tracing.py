@@ -192,8 +192,9 @@ class TestTracedEqualsUntraced:
         ]
         assert len(inv_trees) == 1
         (tree,) = inv_trees
-        # One flat span per node of the broadcast.
-        assert tree.span_count == len(arch.network.nodes())
+        # One flat span per cache node of the broadcast (the origin is
+        # authoritative and outside the coherency plane).
+        assert tree.span_count == len(arch.cache_nodes)
         assert all(s.op == "inv" for s in tree.spans)
         assert len(tree.roots) == tree.span_count
 

@@ -1,0 +1,194 @@
+"""Coherency accounting through the warehouse: every artifact family.
+
+Sweep points, loadgen reports and cluster snapshots all carry the same
+:meth:`CoherencyStats.to_dict`-shaped section; each must land as one
+row in the ``coherency`` table with the right ``context``, and the
+``coherency-modes`` canned query must line in-band and channel runs up
+side by side.  Ingest stays idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.coherency import CoherencyConfig
+from repro.costs.model import LatencyCostModel
+from repro.experiments.presets import build_architecture
+from repro.experiments.results_io import save_points_json
+from repro.experiments.runner import GridTask, execute_point
+from repro.obs.warehouse import Warehouse
+from repro.sim.config import SimulationConfig
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+from repro.workload.updates import generate_update_events
+
+WORKLOAD = WorkloadConfig(
+    num_objects=60,
+    num_servers=2,
+    num_clients=6,
+    num_requests=250,
+    zipf_theta=0.8,
+    seed=5,
+)
+CONFIG = SimulationConfig(relative_cache_size=0.02)
+
+
+@pytest.fixture(scope="module")
+def mode_points():
+    """One real sim point per coherency mode, same workload."""
+    generator = BoeingLikeTraceGenerator(WORKLOAD)
+    trace = generator.generate()
+    catalog = generator.catalog
+    updates = generate_update_events(
+        WORKLOAD.num_objects, trace.duration, update_rate=0.6, seed=3
+    )
+    arch = build_architecture("hierarchical", WORKLOAD, seed=2)
+    points = []
+    for mode in ("inband", "channel"):
+        point, _ = execute_point(
+            arch,
+            trace,
+            catalog,
+            GridTask(scheme="lru", config=CONFIG, params={}),
+            updates=updates,
+            coherency=CoherencyConfig(mode=mode),
+        )
+        points.append(point)
+    return points
+
+
+class TestSimPoints:
+    def test_one_row_per_mode(self, mode_points, tmp_path):
+        results = tmp_path / "results.json"
+        save_points_json(mode_points, results)
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            ingested = warehouse.ingest(results)
+            assert ingested.added["coherency"] == 2
+            headers, rows = warehouse.query("coherency-modes")
+            assert rows and len(rows) == 2
+            by_mode = {row[headers.index("mode")]: row for row in rows}
+            assert set(by_mode) == {"inband", "channel"}
+            for row in rows:
+                assert row[headers.index("context")] == "sim"
+                assert row[headers.index("scheme")] == "lru"
+                assert row[headers.index("architecture")] == "hierarchical"
+
+    def test_origin_load_is_miss_traffic(self, mode_points, tmp_path):
+        results = tmp_path / "results.json"
+        save_points_json(mode_points, results)
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            warehouse.ingest(results)
+            headers, rows = warehouse.query("coherency-modes")
+            point = mode_points[0]
+            expected = point.summary.requests * (
+                1.0 - point.summary.hit_ratio
+            )
+            origin = rows[0][headers.index("origin_load")]
+            assert origin == pytest.approx(expected)
+
+    def test_reingest_adds_nothing(self, mode_points, tmp_path):
+        results = tmp_path / "results.json"
+        save_points_json(mode_points, results)
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            warehouse.ingest(results)
+            again = warehouse.ingest(results)
+            assert again.total_added == 0
+
+
+def channel_stats(**overrides):
+    stats = {
+        "mode": "channel",
+        "events_published": 9,
+        "event_deliveries": 36,
+        "polls": 0,
+        "subscriptions": 4,
+        "catchups": 1,
+        "channel_bytes": 800,
+        "inv_frames": 0,
+        "inv_bytes": 0,
+        "protocol_bytes": 800,
+        "stale_hits": 2,
+        "stale_bytes": 64,
+        "copies_invalidated": 5,
+        "stale_copies_evicted": 1,
+        "staleness_windows": 5,
+        "staleness_p50": 0.5,
+        "staleness_p99": 2.0,
+        "staleness_max": 2.5,
+    }
+    stats.update(overrides)
+    return stats
+
+
+class TestLoadReportAndSnapshot:
+    def test_load_report_row(self, tmp_path):
+        document = {
+            "mode": "sequential",
+            "requests_total": 100,
+            "requests_measured": 50,
+            "modelled": {"hit_ratio": 0.4, "mean_latency": 0.8},
+            "origin_served": 30,
+            "scheme": "lru",
+            "arch": "hierarchical",
+            "coherency": channel_stats(),
+        }
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(document))
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            ingested = warehouse.ingest(path)
+            assert ingested.added["coherency"] == 1
+            headers, rows = warehouse.query("coherency-modes")
+            (row,) = rows
+            assert row[headers.index("context")] == "loadgen"
+            assert row[headers.index("origin_load")] == 30
+            assert row[headers.index("stale_hits")] == 2
+            assert row[headers.index("staleness_p99")] == 2.0
+
+    def test_snapshot_row(self, tmp_path):
+        document = {
+            "scheme": "coordinated",
+            "architecture": "en-route",
+            "nodes": {},
+            "coherency": channel_stats(mode="inband", inv_frames=40,
+                                       inv_bytes=480, channel_bytes=0),
+        }
+        path = tmp_path / "snapshot.json"
+        path.write_text(json.dumps(document))
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            ingested = warehouse.ingest(path)
+            assert ingested.added["coherency"] == 1
+            headers, rows = warehouse.query("coherency-modes")
+            (row,) = rows
+            assert row[headers.index("context")] == "snapshot"
+            assert row[headers.index("mode")] == "inband"
+            # A snapshot has no request totals: origin load is unknown,
+            # never fabricated.
+            assert row[headers.index("origin_load")] is None
+
+    def test_modes_line_up_across_contexts(self, mode_points, tmp_path):
+        """The comparison-table query: sim + live rows, both modes."""
+        results = tmp_path / "results.json"
+        save_points_json(mode_points, results)
+        report = tmp_path / "report.json"
+        report.write_text(
+            json.dumps(
+                {
+                    "mode": "sequential",
+                    "modelled": {},
+                    "origin_served": 11,
+                    "scheme": "lru",
+                    "arch": "hierarchical",
+                    "coherency": channel_stats(),
+                }
+            )
+        )
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            warehouse.ingest(results)
+            warehouse.ingest(report)
+            headers, rows = warehouse.query("coherency-modes")
+            assert len(rows) == 3
+            contexts = {row[headers.index("context")] for row in rows}
+            assert contexts == {"sim", "loadgen"}
+            modes = {row[headers.index("mode")] for row in rows}
+            assert modes == {"inband", "channel"}

@@ -35,7 +35,7 @@ echo "== audited simulation smoke =="
 # invariants, differential oracles, shadow replay); exits non-zero on
 # any violation.
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro sim --audit \
-    --scale small --schemes lru,lnc-r,coordinated
+    --scale small --schemes lru,lnc-r,coordinated,adaptive,costaware
 
 echo "== instrumented simulation smoke =="
 # One coordinated run with the full observability layer on: JSONL event
@@ -52,6 +52,39 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro trace \
     "$OBS_DIR/run.jsonl"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro trace \
     "$OBS_DIR/run.jsonl" --kinds placement --events --limit 3
+
+echo "== approximate-placement family sweep (adaptive + costaware) =="
+# The greedy and single-copy placement schemes through the full
+# pipeline: an *audited* provisioned mini-sweep (uniform vs. edge-heavy
+# capacity profiles; the command exits non-zero on any audit violation,
+# while the placement oracle reports the adaptive-vs-DP gap as a note),
+# then ingestion into a temporary warehouse where both new schemes must
+# come back out of the scheme-arch and provisioning canned queries.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro sweep \
+    --arch hierarchical --schemes coordinated,adaptive,costaware \
+    --sizes 0.02 --scale small --provision --profiles uniform,edge-heavy \
+    --audit --metrics latency,byte_hit_ratio \
+    --save "$OBS_DIR/family.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro warehouse \
+    --db "$OBS_DIR/family.sqlite" ingest \
+    "$OBS_DIR/family.json" "$OBS_DIR/family.json.records.json"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - \
+    "$OBS_DIR/family.sqlite" <<'EOF'
+import sys
+
+from repro.obs.warehouse import Warehouse
+
+with Warehouse(sys.argv[1]) as warehouse:
+    headers, rows = warehouse.query("scheme-arch")
+    schemes = {row[headers.index("scheme")] for row in rows}
+    assert {"coordinated", "adaptive", "costaware"} <= schemes, schemes
+    headers, rows = warehouse.query("provisioning")
+    assert len(rows) == 6, rows  # 3 schemes x 2 capacity profiles
+    profiles = {row[headers.index("profile")] for row in rows}
+    assert profiles == {"uniform", "edge-heavy"}, profiles
+print("approximate-placement sweep: both new schemes present in "
+      "scheme-arch, all 6 provisioning rows accounted for")
+EOF
 
 echo "== disabled-instrumentation overhead gate =="
 # The obs layer's zero-overhead-when-off contract: a disabled bundle

@@ -56,7 +56,12 @@ from repro.experiments.presets import (
     build_architecture,
 )
 from repro.experiments.results_io import save_points_json, save_run_records
-from repro.experiments.sweeps import run_cache_size_sweep, run_modulo_radius_sweep
+from repro.experiments.sweeps import (
+    PROVISION_PROFILES,
+    run_cache_size_sweep,
+    run_modulo_radius_sweep,
+    run_provisioning_sweep,
+)
 from repro.experiments.tables import (
     format_sweep_table,
     format_table1,
@@ -335,18 +340,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     preset = _preset(args)
     unknown = set(args.schemes) - set(SCHEME_NAMES)
     if unknown:
-        print(f"unknown schemes: {sorted(unknown)}", file=sys.stderr)
+        print(
+            f"unknown schemes: {sorted(unknown)}; "
+            f"expected names from {sorted(SCHEME_NAMES)}",
+            file=sys.stderr,
+        )
         return 2
     if not _check_resume(args):
         return 2
+    if args.profiles and not args.provision:
+        print("--profiles requires --provision", file=sys.stderr)
+        return 2
+    profiles = None
+    if args.provision:
+        names = args.profiles or sorted(PROVISION_PROFILES)
+        unknown_profiles = set(names) - set(PROVISION_PROFILES)
+        if unknown_profiles:
+            print(
+                f"unknown provisioning profiles: {sorted(unknown_profiles)}; "
+                f"expected names from {sorted(PROVISION_PROFILES)}",
+                file=sys.stderr,
+            )
+            return 2
+        profiles = {name: PROVISION_PROFILES[name] for name in names}
     generator = preset.generator()
     trace = generator.generate()
     arch = build_architecture(args.arch, preset.workload, seed=args.seed)
     on_progress, records = _grid_observer(args)
-    points = run_cache_size_sweep(
-        arch,
-        trace,
-        generator.catalog,
+    sweep_kwargs = dict(
         scheme_names=args.schemes,
         cache_sizes=args.sizes,
         scheme_params={"modulo": {"radius": args.radius}},
@@ -357,13 +378,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         audit=args.audit,
         node_stats=args.node_stats,
     )
-    print(
-        format_sweep_table(
-            points,
-            args.metrics,
-            title=f"{args.arch} sweep ({preset.name} scale, seed {args.seed})",
+    if profiles is not None:
+        points = run_provisioning_sweep(
+            arch, trace, generator.catalog, profiles=profiles, **sweep_kwargs
         )
-    )
+        title = (
+            f"{args.arch} provisioning sweep "
+            f"({preset.name} scale, seed {args.seed}, "
+            f"profiles {', '.join(sorted(profiles))})"
+        )
+    else:
+        points = run_cache_size_sweep(
+            arch, trace, generator.catalog, **sweep_kwargs
+        )
+        title = f"{args.arch} sweep ({preset.name} scale, seed {args.seed})"
+    print(format_sweep_table(points, args.metrics, title=title))
     if args.chart:
         for metric in args.metrics:
             print()
@@ -456,7 +485,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.workload.trace import read_trace_csv
 
     if args.scheme not in SCHEME_NAMES:
-        print(f"unknown scheme {args.scheme!r}", file=sys.stderr)
+        print(
+            f"unknown scheme {args.scheme!r}; "
+            f"expected one of {sorted(SCHEME_NAMES)}",
+            file=sys.stderr,
+        )
         return 2
     trace = read_trace_csv(args.trace)
     if len(trace) == 0:
@@ -569,7 +602,11 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     preset = _preset(args)
     unknown = set(args.schemes) - set(SCHEME_NAMES)
     if unknown:
-        print(f"unknown schemes: {sorted(unknown)}", file=sys.stderr)
+        print(
+            f"unknown schemes: {sorted(unknown)}; "
+            f"expected names from {sorted(SCHEME_NAMES)}",
+            file=sys.stderr,
+        )
         return 2
     if args.timeseries_out and not args.timeseries_window:
         print("--timeseries-out requires --timeseries-window", file=sys.stderr)
@@ -795,7 +832,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.sim.config import SimulationConfig
 
     if args.scheme not in SCHEME_NAMES:
-        print(f"unknown scheme {args.scheme!r}", file=sys.stderr)
+        print(
+            f"unknown scheme {args.scheme!r}; "
+            f"expected one of {sorted(SCHEME_NAMES)}",
+            file=sys.stderr,
+        )
         return 2
     try:
         coherency = _build_coherency(args)
@@ -1272,6 +1313,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated metric names",
     )
     _add_grid_args(sweep)
+    sweep.add_argument(
+        "--provision",
+        action="store_true",
+        help="joint cache-sizing mode: rerun every (scheme, size) point "
+        "under each budget-preserving per-level capacity profile",
+    )
+    sweep.add_argument(
+        "--profiles",
+        type=_csv_strs,
+        default=None,
+        help="comma-separated provisioning profile names "
+        f"(default: all of {', '.join(sorted(PROVISION_PROFILES))})",
+    )
     sweep.add_argument(
         "--chart",
         action="store_true",

@@ -67,15 +67,19 @@ class CoordinatedScheme(DescriptorSchemeBase):
             Callable[[PlacementProblem, PlacementSolution], None]
         ] = None
 
+    # The placement solver; subclasses swap in approximations (greedy,
+    # single-copy) while inheriting the full piggyback protocol.
+    _solver = staticmethod(solve_placement)
+
     def _solve(self, problem: PlacementProblem) -> PlacementSolution:
         """Solver seam (overridden by the audit self-test's mutants)."""
         instruments = self._instruments
         if instruments is not None and instruments.timers is not None:
             started = perf_counter()
-            solution = solve_placement(problem)
+            solution = self._solver(problem)
             instruments.timers.add(PHASE_DP_SOLVE, perf_counter() - started)
             return solution
-        return solve_placement(problem)
+        return self._solver(problem)
 
     # -- protocol phases -------------------------------------------------------
 

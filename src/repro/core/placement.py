@@ -23,7 +23,7 @@ adjacent to the node satisfying the request) and position ``n-1`` is
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
 from typing import List, Sequence, Tuple
 
@@ -89,10 +89,21 @@ class PlacementProblem:
 
 @dataclass(frozen=True)
 class PlacementSolution:
-    """Optimal caching positions (0-based, strictly increasing) and gain."""
+    """Caching positions (0-based, strictly increasing) and their gain.
+
+    ``method`` records which solver produced the solution (``"dp"`` for
+    the exact dynamic program, ``"greedy"`` for the online marginal-gain
+    approximation).  It is excluded from equality so solutions compare by
+    content alone.
+    """
 
     indices: Tuple[int, ...]
     gain: float
+    method: str = field(default="dp", compare=False)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.method == "dp"
 
 
 def solve_placement(problem: PlacementProblem) -> PlacementSolution:
@@ -126,6 +137,41 @@ def solve_placement(problem: PlacementProblem) -> PlacementSolution:
         k = v - 1
     indices.reverse()
     return PlacementSolution(indices=tuple(indices), gain=opt[n])
+
+
+def greedy_placement(problem: PlacementProblem) -> PlacementSolution:
+    """Online marginal-gain approximation of the n-optimization problem.
+
+    The adaptive scheme [Ioannidis & Yeh 2016, PAPERS.md] replaces the
+    exact dynamic program with hill climbing on the same objective: start
+    from the empty placement and repeatedly add the position whose
+    inclusion yields the largest strictly positive marginal gain, until
+    no single addition improves the objective.  The objective is
+    submodular in the chosen set, so this is the classic greedy
+    approximation; it is deterministic (smallest index wins ties) and
+    never exceeds the DP optimum, making the gap between the two an
+    auditable quantity (see :class:`repro.verify.oracles.PlacementOracle`).
+    """
+    n = problem.num_nodes
+    chosen: List[int] = []
+    current = 0.0
+    remaining = list(range(n))
+    while remaining:
+        best_gain = current
+        best_pos = -1
+        for pos in remaining:
+            candidate = sorted(chosen + [pos])
+            gain = problem.objective(candidate)
+            if gain > best_gain + 1e-15:
+                best_gain = gain
+                best_pos = pos
+        if best_pos < 0:
+            break
+        chosen.append(best_pos)
+        remaining.remove(best_pos)
+        current = best_gain
+    indices = tuple(sorted(chosen))
+    return PlacementSolution(indices=indices, gain=current, method="greedy")
 
 
 def brute_force_placement(problem: PlacementProblem) -> PlacementSolution:

@@ -24,6 +24,13 @@ class SweepPoint:
     coherency policy (see :mod:`repro.coherency`): the policy's
     accounting dict, carried through results JSON so the warehouse can
     compare in-band vs. channel runs.
+
+    ``provision`` is ``None`` for uniformly sized runs; a provisioning
+    sweep (``repro sweep --provision``) records the capacity profile it
+    applied, e.g. ``{"profile": "edge-heavy", "level_multipliers":
+    {"0": 0.5, "1": 1.0, "2": 2.0}}`` -- the total budget is unchanged,
+    only its split across tree levels (see
+    :func:`repro.sim.architecture.level_capacity_overrides`).
     """
 
     architecture: str
@@ -31,3 +38,4 @@ class SweepPoint:
     relative_cache_size: float
     summary: MetricsSummary
     coherency: Optional[dict] = None
+    provision: Optional[dict] = None

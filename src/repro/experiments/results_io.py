@@ -43,6 +43,8 @@ def point_to_dict(point: SweepPoint) -> dict:
     }
     if point.coherency is not None:
         document["coherency"] = point.coherency
+    if point.provision is not None:
+        document["provision"] = point.provision
     return document
 
 
@@ -57,6 +59,7 @@ def point_from_dict(raw: dict) -> SweepPoint:
         relative_cache_size=raw["relative_cache_size"],
         summary=MetricsSummary(**summary),
         coherency=raw.get("coherency"),
+        provision=raw.get("provision"),
     )
 
 

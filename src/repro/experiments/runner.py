@@ -231,6 +231,15 @@ def execute_point(
     in-band behavior and surfaces nothing, bit-identical to before the
     seam existed.  Checkpoint identities deliberately ignore both --
     the update stream is an input, not a grid axis.
+
+    Provisioning points (``repro sweep --provision``) carry a
+    ``level_multipliers`` param -- JSON-keyed ``{level: multiplier}`` --
+    which IS part of the checkpoint key (it is a grid axis).  It is
+    translated here into per-node ``capacity_overrides`` via
+    :func:`~repro.sim.architecture.level_capacity_overrides`, preserving
+    the total capacity budget, and echoed on ``SweepPoint.provision``
+    (with the optional ``provision_profile`` label) so downstream
+    consumers can separate sizing profiles from uniform runs.
     """
     config = task.config
     key = task.key(architecture.name)
@@ -238,6 +247,24 @@ def execute_point(
     capacity = config.capacity_bytes(catalog.total_bytes)
     dcache_entries = config.dcache_entries(catalog.total_bytes, catalog.mean_size)
     params = dict(task.params)
+    provision = None
+    multipliers = params.pop("level_multipliers", None)
+    profile = params.pop("provision_profile", None)
+    if multipliers is not None:
+        from repro.sim.architecture import level_capacity_overrides
+
+        params["capacity_overrides"] = level_capacity_overrides(
+            architecture.network,
+            capacity,
+            {int(level): float(m) for level, m in multipliers.items()},
+        )
+        provision = {
+            "level_multipliers": {
+                str(level): float(m) for level, m in multipliers.items()
+            }
+        }
+        if profile is not None:
+            provision["profile"] = profile
     auditor = None
     if audit:
         audit_config = (
@@ -285,6 +312,7 @@ def execute_point(
         relative_cache_size=config.relative_cache_size,
         summary=result.summary,
         coherency=result.coherency,
+        provision=provision,
     )
     record = RunRecord(
         key=key,

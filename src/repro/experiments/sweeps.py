@@ -31,10 +31,23 @@ from repro.workload.trace import Trace
 
 __all__ = [
     "SweepPoint",
+    "PROVISION_PROFILES",
     "run_single",
     "run_cache_size_sweep",
     "run_modulo_radius_sweep",
+    "run_provisioning_sweep",
 ]
+
+# Budget-preserving capacity profiles for the joint sizing sweep
+# (Araldo-style provisioning axis).  Multipliers are JSON-keyed by tree
+# level (level 0 is the root/server side) and renormalized per
+# architecture so every profile installs the same total capacity; see
+# repro.sim.architecture.level_capacity_overrides.
+PROVISION_PROFILES: Dict[str, Dict[str, float]] = {
+    "uniform": {},
+    "root-heavy": {"0": 3.0, "1": 1.5},
+    "edge-heavy": {"0": 0.5, "1": 1.0, "2": 2.0, "3": 3.0},
+}
 
 
 def run_single(
@@ -107,6 +120,75 @@ def run_cache_size_sweep(
             tasks.append(
                 GridTask(scheme=name, config=config, params=params.get(name, {}))
             )
+    result = run_grid(
+        architecture,
+        trace,
+        catalog,
+        tasks,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        progress=progress,
+        audit=audit,
+        node_stats=node_stats,
+    )
+    return result.points
+
+
+def run_provisioning_sweep(
+    architecture: Architecture,
+    trace: Trace,
+    catalog: ObjectCatalog,
+    scheme_names: Sequence[str],
+    cache_sizes: Iterable[float],
+    profiles: Dict[str, Dict[str, float]] | None = None,
+    dcache_ratio: float = 3.0,
+    warmup_fraction: float = 0.5,
+    scheme_params: Dict[str, Dict] | None = None,
+    workers: int = 1,
+    checkpoint_path: str | Path | None = None,
+    resume: bool = False,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+    audit: bool = False,
+    node_stats: bool = False,
+) -> List[SweepPoint]:
+    """Joint cache-sizing sweep: (scheme, size, capacity profile) grid.
+
+    For every scheme and relative cache size, the same total capacity
+    budget is re-split across tree levels according to each profile in
+    ``profiles`` (default :data:`PROVISION_PROFILES`), so the sweep
+    isolates *where* capacity lives from *how much* there is -- the
+    provisioning axis of the cost-aware scheme [Araldo et al.,
+    PAPERS.md].  The ``"uniform"`` profile (empty multipliers) runs with
+    no overrides at all, bit-identical to the plain cache-size sweep, so
+    provisioned and fixed-size points land comparably in the warehouse.
+
+    Each point's :attr:`SweepPoint.provision` records the profile name
+    and multipliers (``None`` for uniform); parallelism, checkpointing
+    and auditing follow :func:`run_cache_size_sweep`'s contract.
+    """
+    params = scheme_params or {}
+    profiles = dict(profiles) if profiles is not None else dict(PROVISION_PROFILES)
+    if not profiles:
+        raise ValueError("provisioning sweep needs at least one profile")
+    tasks = []
+    for size in cache_sizes:
+        config = SimulationConfig(
+            relative_cache_size=size,
+            dcache_ratio=dcache_ratio,
+            warmup_fraction=warmup_fraction,
+        )
+        for profile_name, multipliers in profiles.items():
+            for name in scheme_names:
+                task_params = dict(params.get(name, {}))
+                if multipliers:
+                    task_params["level_multipliers"] = {
+                        str(level): float(m) for level, m in multipliers.items()
+                    }
+                    task_params["provision_profile"] = profile_name
+                tasks.append(
+                    GridTask(scheme=name, config=config, params=task_params)
+                )
     result = run_grid(
         architecture,
         trace,

@@ -99,12 +99,22 @@ def format_sweep_table(
     metrics: Sequence[str],
     title: str = "",
 ) -> str:
-    """Render sweep points as a fixed-width text table, one row per point."""
+    """Render sweep points as a fixed-width text table, one row per point.
+
+    Provisioning-sweep points (``point.provision``) get their capacity
+    profile appended to the scheme label, e.g. ``coordinated[edge-heavy]``,
+    so joint sizing grids stay readable next to uniform rows.
+    """
     header = ["scheme", "cache%"] + list(metrics)
     rows: List[List[str]] = []
-    ordered = sorted(points, key=lambda p: (p.scheme, p.relative_cache_size))
+
+    def label(point: SweepPoint) -> str:
+        profile = (point.provision or {}).get("profile")
+        return f"{point.scheme}[{profile}]" if profile else point.scheme
+
+    ordered = sorted(points, key=lambda p: (label(p), p.relative_cache_size))
     for point in ordered:
-        row = [point.scheme, f"{100 * point.relative_cache_size:g}"]
+        row = [label(point), f"{100 * point.relative_cache_size:g}"]
         row.extend(
             f"{metric_value(point.summary, metric):.6g}" for metric in metrics
         )

@@ -65,6 +65,8 @@ CREATE TABLE IF NOT EXISTS points (
     latency_p50 REAL,
     latency_p90 REAL,
     latency_p99 REAL,
+    provision_profile TEXT,
+    provision_multipliers TEXT,
     source TEXT,
     content_hash TEXT NOT NULL UNIQUE
 );
@@ -301,6 +303,17 @@ CANNED_QUERIES: Dict[str, CannedQuery] = {
             "ORDER BY architecture, scheme, relative_cache_size",
         ),
         CannedQuery(
+            "provisioning",
+            "Joint placement + sizing comparison: every sweep point keyed "
+            "by its capacity profile (uniform = fixed-size run), so "
+            "--provision points render alongside plain ones",
+            "SELECT architecture, scheme, relative_cache_size, "
+            "COALESCE(provision_profile, 'uniform') AS profile, "
+            "hit_ratio, byte_hit_ratio, mean_latency, mean_hops "
+            "FROM points "
+            "ORDER BY architecture, scheme, relative_cache_size, profile",
+        ),
+        CannedQuery(
             "overhead",
             "Coordination overhead per scheme x architecture: total "
             "piggyback bytes and per-request byte cost from per-node "
@@ -453,7 +466,25 @@ class Warehouse:
         self.path = Path(path)
         self.conn = sqlite3.connect(str(self.path))
         self.conn.executescript(_SCHEMA)
+        self._migrate()
         self.conn.commit()
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing database up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves old tables untouched, so
+        columns added later (the provisioning pair) are bolted on here;
+        existing rows read back NULL for them, which every consumer
+        treats as "uniform sizing".
+        """
+        existing = {
+            row[1] for row in self.conn.execute("PRAGMA table_info(points)")
+        }
+        for column in ("provision_profile", "provision_multipliers"):
+            if column not in existing:
+                self.conn.execute(
+                    f"ALTER TABLE points ADD COLUMN {column} TEXT"
+                )
 
     def close(self) -> None:
         self.conn.close()
@@ -589,6 +620,14 @@ class Warehouse:
     ) -> None:
         summary = raw.get("summary", {})
         percentiles = summary.get("latency_percentiles") or (None, None, None)
+        provision = raw.get("provision")
+        provision_profile = None
+        provision_multipliers = None
+        if isinstance(provision, dict):
+            provision_profile = provision.get("profile")
+            multipliers = provision.get("level_multipliers")
+            if multipliers is not None:
+                provision_multipliers = _canonical(multipliers)
         identity = {"point": raw}
         if key is not None:
             identity["key"] = key
@@ -611,6 +650,8 @@ class Warehouse:
                 "latency_p50",
                 "latency_p90",
                 "latency_p99",
+                "provision_profile",
+                "provision_multipliers",
                 "source",
             ),
             (
@@ -629,6 +670,8 @@ class Warehouse:
                 percentiles[0],
                 percentiles[1],
                 percentiles[2],
+                provision_profile,
+                provision_multipliers,
                 source,
             ),
             identity["point"],

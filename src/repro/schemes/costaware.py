@@ -1,0 +1,54 @@
+"""Cost-aware single-copy placement [Araldo, Rossi & Martignon, PAPERS.md].
+
+"Cost-aware caching: Caching more (costs less) than less (costs more)"
+argues that a cache hierarchy should place copies where they save the
+most *retrieval cost*, not merely where they raise hit ratio -- and that
+placement interacts with how capacity is provisioned across levels.
+
+This scheme keeps the paper's piggyback protocol (upstream reports of
+``(f_i, m_i, l_i)`` per node, a downstream decision + cost accumulator)
+but replaces the dynamic program with the cost-aware rule: per delivery,
+cache **at most one** new copy, at the position with the largest net
+retrieval-cost saving ``f_i * m_i - l_i`` (the single-placement value of
+the same n-optimization objective).  Caching fewer copies leaves room
+for more distinct objects, trading copy redundancy for catalogue
+coverage -- the "cache less for more" effect.
+
+The provisioning axis is exposed by the experiment layer: ``repro sweep
+--provision`` reallocates a fixed total capacity budget across tree
+levels (see :func:`repro.sim.architecture.level_capacity_overrides` and
+:func:`repro.experiments.sweeps.run_provisioning_sweep`) so joint
+placement + sizing comparisons land in the same warehouse tables as
+fixed-size runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.coordinated import CoordinatedScheme
+from repro.core.placement import PlacementProblem, PlacementSolution
+
+
+def single_copy_placement(problem: PlacementProblem) -> PlacementSolution:
+    """Best single-position placement (deterministic, server-side wins ties).
+
+    Evaluates ``objective((i,))`` for every candidate position and keeps
+    the strictly best strictly-positive one; placing nothing is the
+    correct answer when no single copy pays for its eviction loss.
+    """
+    best_gain = 0.0
+    best = -1
+    for i in range(problem.num_nodes):
+        gain = problem.objective((i,))
+        if gain > best_gain:
+            best_gain = gain
+            best = i
+    indices = (best,) if best >= 0 else ()
+    return PlacementSolution(indices=indices, gain=best_gain, method="single")
+
+
+class CostAwareScheme(CoordinatedScheme):
+    """Piggybacked placement capped at one cost-optimal copy per delivery."""
+
+    name = "costaware"
+
+    _solver = staticmethod(single_copy_placement)

@@ -181,7 +181,14 @@ class CacheNode:
         # flow through the standard observer wiring; request-level counts
         # are fed by the handler below, mirroring the engine's feeds.
         scheme.attach_instruments(Instruments(registry=self.registry))
+        # Two distinct capabilities, split on purpose: report *decoding*
+        # is tied to the coordinated protocol family (its reports are
+        # NodeReport wire dicts), while piggyback byte accounting and
+        # invalidation-frame pricing apply to any scheme that exposes
+        # protocol counters -- a future scheme with its own report format
+        # still gets its overhead priced.
         self._coordinated = isinstance(scheme, CoordinatedScheme)
+        self._piggyback = getattr(scheme, "protocol_stats", None) is not None
         self._tracer = tracer
         # Channel-mode coherency: the cluster attaches a
         # ChannelSubscriber after construction; None = in-band mode and
@@ -445,7 +452,7 @@ class CacheNode:
         if report is not None:
             payload = report.to_dict() if hasattr(report, "to_dict") else report
             reports.append(payload)
-            if self._coordinated:
+            if self._piggyback:
                 added = REPORT_BYTES if payload.get("d") else TAG_BYTES
                 stats.piggyback_bytes += added
                 if span is not None:
@@ -505,7 +512,7 @@ class CacheNode:
                 if span is not None:
                     span["failovers"] += 1
                     span["skipped"].append(next_index)
-                if self._coordinated:
+                if self._piggyback:
                     stats.piggyback_bytes += SKIPPED_NODE_BYTES
                     if span is not None:
                         span["piggyback"] += SKIPPED_NODE_BYTES
@@ -539,7 +546,7 @@ class CacheNode:
             if self.subscriber is not None:
                 self.subscriber.note_insert(object_id, now)
         reply["evictions"] += evictions
-        if self._coordinated:
+        if self._piggyback:
             if self.node_id in decision["cache_at"]:
                 stats.piggyback_bytes += DECISION_BYTES
                 if span is not None:
@@ -614,7 +621,7 @@ class CacheNode:
             object_id = message["object_id"]
         except KeyError as missing:
             raise ProtocolError(f"inv frame missing field {missing}") from None
-        if self._coordinated:
+        if self._piggyback:
             # One in-band inv frame delivered to this node: priced into
             # the coordination overhead exactly as the simulator counts
             # it (channel-mode coherency never sends these).

@@ -11,7 +11,9 @@ from typing import Callable, Dict
 
 from repro.core.coordinated import CoordinatedScheme
 from repro.costs.model import CostModel
+from repro.schemes.adaptive import AdaptiveScheme
 from repro.schemes.base import CachingScheme
+from repro.schemes.costaware import CostAwareScheme
 from repro.schemes.extra_baselines import (
     AdmissionLRUScheme,
     GDSScheme,
@@ -97,15 +99,55 @@ def _build_admission_lru(
     )
 
 
-_REGISTRY: Dict[str, Callable[..., CachingScheme]] = {
-    "lru": _build_lru,
-    "modulo": _build_modulo,
-    "lnc-r": _build_lncr,
-    "coordinated": _build_coordinated,
-    "lfu": _build_lfu,
-    "gds": _build_gds,
-    "admission-lru": _build_admission_lru,
-}
+def _build_adaptive(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return AdaptiveScheme(
+        cost_model,
+        capacity,
+        dcache_entries,
+        step_size=params.get("step_size", 0.5),
+        dcache_policy=params.get("dcache_policy", "lfu"),
+        ncl_structure=params.get("ncl_structure", "list"),
+        capacity_overrides=params.get("capacity_overrides"),
+    )
+
+
+def _build_costaware(
+    cost_model: CostModel, capacity: int, dcache_entries: int, **params
+) -> CachingScheme:
+    return CostAwareScheme(
+        cost_model,
+        capacity,
+        dcache_entries,
+        dcache_policy=params.get("dcache_policy", "lfu"),
+        ncl_structure=params.get("ncl_structure", "list"),
+        capacity_overrides=params.get("capacity_overrides"),
+    )
+
+
+_REGISTRY: Dict[str, Callable[..., CachingScheme]] = {}
+
+
+def register_scheme(name: str, builder: Callable[..., CachingScheme]) -> None:
+    """Add a scheme builder to the registry; names must be unique."""
+    if name in _REGISTRY:
+        raise ValueError(f"duplicate scheme registration: {name!r}")
+    _REGISTRY[name] = builder
+
+
+for _name, _builder in (
+    ("lru", _build_lru),
+    ("modulo", _build_modulo),
+    ("lnc-r", _build_lncr),
+    ("coordinated", _build_coordinated),
+    ("adaptive", _build_adaptive),
+    ("costaware", _build_costaware),
+    ("lfu", _build_lfu),
+    ("gds", _build_gds),
+    ("admission-lru", _build_admission_lru),
+):
+    register_scheme(_name, _builder)
 
 SCHEME_NAMES = tuple(_REGISTRY)
 

@@ -65,10 +65,16 @@ class AuditConfig:
 
 @dataclass(frozen=True)
 class AuditReport:
-    """What one audited run checked and what it found."""
+    """What one audited run checked and what it found.
+
+    ``notes`` carries informational observations that are not
+    violations -- e.g. the adaptive scheme's measured vs-DP placement
+    gap -- keyed by check name.
+    """
 
     violations: Tuple[AuditViolation, ...] = ()
     checks_run: Dict[str, int] = field(default_factory=dict)
+    notes: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -84,9 +90,13 @@ class AuditReport:
         )
         head = f"audit: {self.total_checks} checks ({checks or 'none'})"
         if self.ok:
-            return head + ", no violations"
-        lines = [head + f", {len(self.violations)} VIOLATIONS:"]
-        lines.extend("  " + v.format() for v in self.violations)
+            lines = [head + ", no violations"]
+        else:
+            lines = [head + f", {len(self.violations)} VIOLATIONS:"]
+            lines.extend("  " + v.format() for v in self.violations)
+        lines.extend(
+            f"  {name}: {note}" for name, note in sorted(self.notes.items())
+        )
         return "\n".join(lines)
 
 
@@ -100,6 +110,7 @@ class Auditor:
         self._ledger = OutcomeLedger()
         self._signatures: Dict[int, tuple] = {}
         self._placement_oracle: PlacementOracle | None = None
+        self.notes: Dict[str, str] = {}
 
     # -- wiring -------------------------------------------------------------
 
@@ -157,10 +168,14 @@ class Auditor:
     def finalize(self, scheme, collector, request_index: int = -1) -> AuditReport:
         """Final sweep + report; called by the engine after the replay."""
         self.audit_now(scheme, collector, request_index)
-        if self._placement_oracle is not None:
-            self.checks_run["placement-oracle"] = (
-                self._placement_oracle.problems_checked
-            )
+        oracle = self._placement_oracle
+        if oracle is not None:
+            self.checks_run["placement-oracle"] = oracle.problems_checked
+            if oracle.gap_count:
+                self.checks_run["placement-gap"] = oracle.gap_count
+                summary = oracle.gap_summary()
+                if summary is not None:
+                    self.notes["placement-gap"] = summary
         return self.report()
 
     def extend(self, violations) -> None:
@@ -172,6 +187,7 @@ class Auditor:
         return AuditReport(
             violations=tuple(self.violations),
             checks_run=dict(self.checks_run),
+            notes=dict(self.notes),
         )
 
     # -- internals -----------------------------------------------------------

@@ -73,6 +73,13 @@ def assert_cache_state_identical(
     source), so for LRU caches the policy-bearing ``_recency`` order is
     what must -- and does -- match exactly.
     """
+    assert type(reference) is type(fast), (
+        f"{tag}: scheme types differ: {type(reference).__name__} vs "
+        f"{type(fast).__name__}"
+    )
+    assert reference.capacity_overrides == fast.capacity_overrides, (
+        tag, "capacity overrides",
+    )
     ref_caches = reference.caches()
     fast_caches = fast.caches()
     assert set(ref_caches) == set(fast_caches), (

@@ -28,6 +28,7 @@ from repro.core.placement import (
     PlacementProblem,
     PlacementSolution,
     brute_force_placement,
+    solve_placement,
 )
 from repro.verify.violations import AuditViolation
 
@@ -131,11 +132,22 @@ class MirroredNCLCache(NCLCache):
 
 
 class PlacementOracle:
-    """Sampled differential check of the placement dynamic program.
+    """Sampled differential check of live placement decisions.
 
-    Installed as a coordinated scheme's ``placement_observer``; every
-    ``sample_every``-th solved problem is re-checked.  Violations go to
-    the ``report`` callback supplied by the auditor.
+    Installed as a coordinated-family scheme's ``placement_observer``;
+    every ``sample_every``-th solved problem is re-checked.  Violations
+    go to the ``report`` callback supplied by the auditor.
+
+    Exact solutions (``method == "dp"``) must equal the brute-force
+    optimum.  Approximate solutions (the adaptive scheme's greedy hill
+    climb, the cost-aware single-copy rule) are held to two laws -- the
+    reported gain must recompute from the chosen indices, and must never
+    *exceed* the DP optimum -- while the realised adaptive-vs-DP gap is
+    accumulated into :attr:`gap_count` / :attr:`gap_total` /
+    :attr:`gap_max` and surfaced per-run by the auditor's report.  On
+    small problems the DP reference itself is still cross-checked
+    against the exhaustive solver, so approximate runs keep exercising
+    the optimality oracle.
     """
 
     def __init__(
@@ -151,6 +163,22 @@ class PlacementOracle:
         self.brute_force_limit = brute_force_limit
         self.problems_seen = 0
         self.problems_checked = 0
+        # Approximation-gap accounting (optimum minus achieved gain) over
+        # the sampled problems solved by a non-exact method.
+        self.gap_count = 0
+        self.gap_total = 0.0
+        self.gap_max = 0.0
+        self.gap_suboptimal = 0
+
+    def gap_summary(self) -> Optional[str]:
+        """One-line description of the observed vs-DP gap, if any."""
+        if not self.gap_count:
+            return None
+        return (
+            f"{self.gap_suboptimal}/{self.gap_count} sampled problems "
+            f"strictly below the DP optimum; mean gap "
+            f"{self.gap_total / self.gap_count:.6g}, max {self.gap_max:.6g}"
+        )
 
     def __call__(
         self, problem: PlacementProblem, solution: PlacementSolution
@@ -159,6 +187,7 @@ class PlacementOracle:
         if self.sample_every <= 0 or self.problems_seen % self.sample_every:
             return
         self.problems_checked += 1
+        solver = "DP" if solution.is_exact else solution.method
         try:
             recomputed = problem.objective(solution.indices)
         except (ValueError, IndexError) as error:
@@ -176,12 +205,43 @@ class PlacementOracle:
                 AuditViolation(
                     check="placement-objective",
                     detail=(
-                        f"DP reports gain {solution.gain!r} for indices "
+                        f"{solver} reports gain {solution.gain!r} for indices "
                         f"{solution.indices} but the objective recomputes to "
                         f"{recomputed!r}"
                     ),
                 )
             )
+        if not solution.is_exact:
+            optimum = solve_placement(problem)
+            gap = optimum.gain - solution.gain
+            if gap < 0 and not math.isclose(
+                optimum.gain,
+                solution.gain,
+                rel_tol=_GAIN_REL_TOL,
+                abs_tol=_GAIN_ABS_TOL,
+            ):
+                self.report(
+                    AuditViolation(
+                        check="placement-gap",
+                        detail=(
+                            f"{solver} gain {solution.gain!r} (indices "
+                            f"{solution.indices}) exceeds the DP optimum "
+                            f"{optimum.gain!r} (indices {optimum.indices}) -- "
+                            f"an approximation cannot beat the exact solver"
+                        ),
+                    )
+                )
+                return
+            gap = max(gap, 0.0)
+            self.gap_count += 1
+            self.gap_total += gap
+            self.gap_max = max(self.gap_max, gap)
+            if gap > _GAIN_ABS_TOL and gap > _GAIN_REL_TOL * abs(optimum.gain):
+                self.gap_suboptimal += 1
+            # The exact-vs-exhaustive cross-check below now audits the
+            # DP reference rather than the scheme's own answer.
+            solution = optimum
+            solver = "DP"
         if problem.num_nodes > self.brute_force_limit:
             return
         reference = brute_force_placement(problem)
@@ -192,10 +252,10 @@ class PlacementOracle:
                 AuditViolation(
                     check="placement-optimality",
                     detail=(
-                        f"DP gain {solution.gain!r} (indices {solution.indices}) "
-                        f"!= brute-force optimum {reference.gain!r} (indices "
-                        f"{reference.indices}) on a {problem.num_nodes}-node "
-                        f"problem"
+                        f"{solver} gain {solution.gain!r} (indices "
+                        f"{solution.indices}) != brute-force optimum "
+                        f"{reference.gain!r} (indices {reference.indices}) on "
+                        f"a {problem.num_nodes}-node problem"
                     ),
                 )
             )

@@ -59,6 +59,61 @@ class TestCommands:
         assert code == 2
         assert "unknown schemes" in capsys.readouterr().err
 
+    def test_unknown_scheme_error_lists_valid_names(self, capsys):
+        from repro.sim.factory import SCHEME_NAMES
+
+        code = main(["sweep", "--schemes", "bogus", "--sizes", "0.05"])
+        assert code == 2
+        err = capsys.readouterr().err
+        for name in SCHEME_NAMES:
+            assert name in err
+
+    def test_sweep_profiles_require_provision_flag(self, capsys):
+        code = main(
+            ["sweep", "--schemes", "lru", "--sizes", "0.05",
+             "--profiles", "edge-heavy"]
+        )
+        assert code == 2
+        assert "--provision" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_profile(self, capsys):
+        code = main(
+            ["sweep", "--schemes", "lru", "--sizes", "0.05",
+             "--provision", "--profiles", "bogus-profile"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus-profile" in err
+        assert "edge-heavy" in err
+
+    def test_provisioning_sweep_runs_new_schemes(self, capsys, tmp_path):
+        out_path = tmp_path / "points.json"
+        code = main(
+            [
+                "sweep",
+                "--arch",
+                "hierarchical",
+                "--schemes",
+                "costaware,adaptive",
+                "--sizes",
+                "0.05",
+                "--scale",
+                "small",
+                "--provision",
+                "--profiles",
+                "uniform,edge-heavy",
+                "--metrics",
+                "latency",
+                "--save",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "costaware[edge-heavy]" in out
+        assert "adaptive[edge-heavy]" in out
+        assert out_path.exists()
+
     def test_sweep_chart_and_save(self, capsys, tmp_path):
         out_path = tmp_path / "points.json"
         code = main(

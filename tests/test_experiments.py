@@ -11,8 +11,10 @@ from repro.experiments.presets import (
     build_architecture,
 )
 from repro.experiments.sweeps import (
+    PROVISION_PROFILES,
     run_cache_size_sweep,
     run_modulo_radius_sweep,
+    run_provisioning_sweep,
     run_single,
 )
 from repro.experiments.tables import (
@@ -107,6 +109,97 @@ class TestSweeps:
             "modulo(r=2)",
             "modulo(r=4)",
         ]
+
+    def test_provisioning_sweep_covers_profile_grid(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        points = run_provisioning_sweep(
+            arch,
+            trace,
+            catalog,
+            scheme_names=["costaware", "adaptive"],
+            cache_sizes=[0.05],
+        )
+        assert len(points) == 2 * len(PROVISION_PROFILES)
+        profiles = {
+            (p.provision or {}).get("profile", "uniform") for p in points
+        }
+        assert profiles == set(PROVISION_PROFILES)
+        for point in points:
+            if point.provision is None:
+                continue
+            assert set(point.provision) == {"profile", "level_multipliers"}
+            expected = PROVISION_PROFILES[point.provision["profile"]]
+            assert point.provision["level_multipliers"] == {
+                str(level): float(m) for level, m in expected.items()
+            }
+
+    def test_uniform_profile_matches_plain_sweep(self, mini_setup):
+        """The uniform profile is the plain sweep, bit for bit."""
+        arch, trace, catalog = mini_setup
+        provisioned = run_provisioning_sweep(
+            arch,
+            trace,
+            catalog,
+            scheme_names=["costaware"],
+            cache_sizes=[0.05],
+            profiles={"uniform": {}},
+        )
+        plain = run_cache_size_sweep(
+            arch, trace, catalog, scheme_names=["costaware"], cache_sizes=[0.05]
+        )
+        assert len(provisioned) == len(plain) == 1
+        assert provisioned[0].provision is None
+        assert provisioned[0].summary == plain[0].summary
+
+    def test_provisioning_sweep_rejects_empty_profiles(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        with pytest.raises(ValueError, match="at least one profile"):
+            run_provisioning_sweep(
+                arch,
+                trace,
+                catalog,
+                scheme_names=["lru"],
+                cache_sizes=[0.05],
+                profiles={},
+            )
+
+    def test_provision_round_trips_through_results_io(
+        self, mini_setup, tmp_path
+    ):
+        from repro.experiments.results_io import (
+            load_points_json,
+            save_points_json,
+        )
+
+        arch, trace, catalog = mini_setup
+        points = run_provisioning_sweep(
+            arch,
+            trace,
+            catalog,
+            scheme_names=["adaptive"],
+            cache_sizes=[0.05],
+            profiles={"uniform": {}, "edge-heavy": PROVISION_PROFILES["edge-heavy"]},
+        )
+        path = tmp_path / "points.json"
+        save_points_json(points, path)
+        loaded = load_points_json(path)
+        assert [p.provision for p in loaded] == [p.provision for p in points]
+        assert [p.summary for p in loaded] == [p.summary for p in points]
+
+    def test_provisioned_points_labelled_in_sweep_table(self, mini_setup):
+        arch, trace, catalog = mini_setup
+        points = run_provisioning_sweep(
+            arch,
+            trace,
+            catalog,
+            scheme_names=["costaware"],
+            cache_sizes=[0.05],
+            profiles={"uniform": {}, "root-heavy": PROVISION_PROFILES["root-heavy"]},
+        )
+        table = format_sweep_table(points, metrics=["latency"])
+        assert "costaware[root-heavy]" in table
+        # Uniform rows keep the bare scheme label.
+        assert "costaware[uniform]" not in table
 
     def test_larger_cache_never_hurts_byte_hit_ratio(self, mini_setup):
         arch, trace, catalog = mini_setup

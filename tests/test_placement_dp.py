@@ -12,8 +12,10 @@ from repro.core.placement import (
     PlacementProblem,
     brute_force_placement,
     enforce_monotone_frequencies,
+    greedy_placement,
     solve_placement,
 )
+from repro.schemes.costaware import single_copy_placement
 
 
 def make_problem(freqs, penalties, losses) -> PlacementProblem:
@@ -201,6 +203,93 @@ class TestDPProperties:
         for index in solution.indices:
             benefit = problem.frequencies[index] * problem.penalties[index]
             assert benefit >= problem.losses[index] - 1e-6
+
+
+class TestApproximateSolvers:
+    """Greedy and single-copy placement against the exact DP."""
+
+    def test_method_tags_and_is_exact(self):
+        problem = make_problem([5.0, 3.0, 1.0], [2.0, 4.0, 8.0], [1.0] * 3)
+        assert solve_placement(problem).method == "dp"
+        assert solve_placement(problem).is_exact
+        assert greedy_placement(problem).method == "greedy"
+        assert not greedy_placement(problem).is_exact
+        assert single_copy_placement(problem).method == "single"
+        assert not single_copy_placement(problem).is_exact
+
+    def test_method_excluded_from_equality(self):
+        """Tagging the solver must not break solution comparisons."""
+        a = solve_placement(
+            make_problem([5.0, 3.0, 1.0], [2.0, 4.0, 8.0], [1.0] * 3)
+        )
+        from repro.core.placement import PlacementSolution
+
+        b = PlacementSolution(indices=a.indices, gain=a.gain, method="greedy")
+        assert a == b
+
+    def test_single_copy_places_at_most_one(self):
+        problem = make_problem(
+            [8.0, 6.0, 5.0, 2.0], [1.0, 3.0, 0.5, 6.0], [0.1] * 4
+        )
+        solution = single_copy_placement(problem)
+        assert len(solution.indices) <= 1
+        assert solution.gain == pytest.approx(
+            max(
+                0.0,
+                max(
+                    problem.objective((i,))
+                    for i in range(problem.num_nodes)
+                ),
+            )
+        )
+
+    def test_single_copy_caches_less_when_nothing_pays(self):
+        """Araldo's rule: no copy at all when no position pays for its
+        eviction loss ('cache less for more')."""
+        problem = make_problem([1.0, 0.5], [0.1, 0.1], [100.0, 100.0])
+        solution = single_copy_placement(problem)
+        assert solution.indices == ()
+        assert solution.gain == 0.0
+
+    @given(placement_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_greedy_never_exceeds_dp(self, problem):
+        dp = solve_placement(problem)
+        greedy = greedy_placement(problem)
+        assert greedy.gain <= dp.gain + 1e-6
+        assert greedy.gain >= 0.0
+        assert math.isclose(
+            greedy.gain,
+            problem.objective(greedy.indices),
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+
+    @given(placement_problems())
+    @settings(max_examples=200, deadline=None)
+    def test_single_copy_never_exceeds_dp(self, problem):
+        dp = solve_placement(problem)
+        single = single_copy_placement(problem)
+        assert single.gain <= dp.gain + 1e-6
+        assert math.isclose(
+            single.gain,
+            problem.objective(single.indices) if single.indices else 0.0,
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+
+    @given(placement_problems())
+    @settings(max_examples=100, deadline=None)
+    def test_approximate_solvers_deterministic(self, problem):
+        assert greedy_placement(problem) == greedy_placement(problem)
+        assert single_copy_placement(problem) == single_copy_placement(problem)
+
+    def test_greedy_indices_sorted_and_unique(self):
+        problem = make_problem(
+            [8.0, 6.0, 5.0, 2.0], [1.0, 3.0, 0.5, 6.0], [0.1] * 4
+        )
+        solution = greedy_placement(problem)
+        assert list(solution.indices) == sorted(set(solution.indices))
 
 
 class TestEnforceMonotone:

@@ -1,14 +1,22 @@
 """Property-based tests: scheme invariants under random request replay.
 
-For every scheme, replaying an arbitrary request sequence over a random
-chain must preserve the core invariants of cascaded caching:
+For every registered scheme (the :data:`repro.sim.factory.SCHEME_NAMES`
+registry, so new schemes are covered automatically), replaying an
+arbitrary request sequence over a random chain must preserve the core
+invariants of cascaded caching:
 
 * no cache ever exceeds its byte capacity (and byte accounting balances);
 * the reported hit index is the lowest node holding the object at request
   time, and the object genuinely was there;
 * an object is never stored twice at one node, nor in both a node's main
   cache and d-cache;
-* outcome accounting (reads/writes/evictions) is internally consistent.
+* outcome accounting (reads/writes/evictions) is internally consistent;
+* zero capacity degenerates to pure origin serving;
+* repeating one request only ever moves its hit closer to the client,
+  and a hit at the requesting node is a pure read (no state written);
+* uniformly scaling every link delay never changes a placement decision
+  (costs are relative); replay is online and deterministic, so any
+  trace prefix reproduces the full run's first outcomes exactly.
 """
 
 from __future__ import annotations
@@ -16,22 +24,21 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.coordinated import CoordinatedScheme
 from repro.costs.model import LatencyCostModel
-from repro.schemes.lncr import LNCRScheme
-from repro.schemes.lru_everywhere import LRUEverywhereScheme
-from repro.schemes.modulo import ModuloScheme
+from repro.sim.factory import SCHEME_NAMES, build_scheme
 from repro.topology.builder import build_chain
+from repro.verify.fastpath_diff import assert_cache_state_identical
+
+ALL_SCHEMES = sorted(SCHEME_NAMES)
 
 
 def _make_scheme(name, cost_model, capacity):
-    if name == "lru":
-        return LRUEverywhereScheme(cost_model, capacity)
-    if name == "modulo":
-        return ModuloScheme(cost_model, capacity, radius=2)
-    if name == "lnc-r":
-        return LNCRScheme(cost_model, capacity, dcache_entries=8)
-    return CoordinatedScheme(cost_model, capacity, dcache_entries=8)
+    return build_scheme(name, cost_model, capacity, 8)
+
+
+def _chain_cost_model(scale=1.0):
+    network = build_chain([scale] * 5)
+    return LatencyCostModel(network, avg_size=100.0)
 
 
 requests = st.lists(
@@ -47,10 +54,19 @@ requests = st.lists(
 
 @st.composite
 def replay_cases(draw):
-    scheme_name = draw(st.sampled_from(["lru", "modulo", "lnc-r", "coordinated"]))
+    scheme_name = draw(st.sampled_from(ALL_SCHEMES))
     capacity = draw(st.integers(min_value=0, max_value=1200))
     reqs = draw(requests)
     return scheme_name, capacity, reqs
+
+
+def _materialize(reqs):
+    """Stable per-object sizes: derive size from the object id."""
+    out = []
+    for object_id, raw_size, start in reqs:
+        size = 1 + (object_id * 37 + raw_size) % 400
+        out.append((object_id, size, start))
+    return out
 
 
 class TestSchemeInvariants:
@@ -58,9 +74,7 @@ class TestSchemeInvariants:
     @settings(max_examples=120, deadline=None)
     def test_replay_preserves_invariants(self, case):
         scheme_name, capacity, reqs = case
-        network = build_chain([1.0] * 5)
-        cost_model = LatencyCostModel(network, avg_size=100.0)
-        scheme = _make_scheme(scheme_name, cost_model, capacity)
+        scheme = _make_scheme(scheme_name, _chain_cost_model(), capacity)
         # Object sizes must be stable per object id: derive size from id.
         now = 0.0
         for object_id, raw_size, start in reqs:
@@ -87,14 +101,151 @@ class TestSchemeInvariants:
     @settings(max_examples=60, deadline=None)
     def test_cached_bytes_bounded_by_total_capacity(self, case):
         scheme_name, capacity, reqs = case
-        network = build_chain([1.0] * 5)
-        cost_model = LatencyCostModel(network, avg_size=100.0)
-        scheme = _make_scheme(scheme_name, cost_model, capacity)
+        scheme = _make_scheme(scheme_name, _chain_cost_model(), capacity)
         now = 0.0
-        for object_id, raw_size, start in reqs:
-            size = 1 + (object_id * 37 + raw_size) % 400
+        for object_id, size, start in _materialize(reqs):
             scheme.process_request(list(range(start, 6)), object_id, size, now)
             now += 1.0
         assert scheme.total_cached_bytes() <= capacity * 5
         for cache in scheme.caches().values():
             assert cache.used_bytes <= cache.capacity_bytes
+
+
+class TestZeroCapacityDegeneracy:
+    """With zero cache capacity every request degenerates to the origin."""
+
+    @given(st.sampled_from(ALL_SCHEMES), requests)
+    @settings(max_examples=40, deadline=None)
+    def test_everything_served_by_origin(self, scheme_name, reqs):
+        scheme = _make_scheme(scheme_name, _chain_cost_model(), 0)
+        now = 0.0
+        for object_id, size, start in _materialize(reqs):
+            path = list(range(start, 6))
+            outcome = scheme.process_request(path, object_id, size, now)
+            assert outcome.hit_index == len(path) - 1
+            assert not outcome.served_by_cache
+            assert outcome.inserted_nodes == ()
+            assert outcome.bytes_written == 0
+            now += 1.0
+        assert scheme.total_cached_bytes() == 0
+
+
+class TestDuplicateRequestIdempotence:
+    """Repeating one request can only move its hit toward the client."""
+
+    @given(
+        st.sampled_from(ALL_SCHEMES),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=2, max_value=6),
+        requests,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hit_index_monotone_under_repeats(
+        self, scheme_name, object_id, start, repeats, warm_reqs
+    ):
+        scheme = _make_scheme(scheme_name, _chain_cost_model(), 900)
+        now = 0.0
+        for oid, size, s in _materialize(warm_reqs):
+            scheme.process_request(list(range(s, 6)), oid, size, now)
+            now += 1.0
+        size = 1 + (object_id * 37) % 400
+        path = list(range(start, 6))
+        # Between identical requests no other traffic runs, so the
+        # object's copies are only ever added -- never displaced -- and
+        # the hit index cannot move away from the client.
+        previous = len(path) - 1
+        for _ in range(repeats):
+            outcome = scheme.process_request(path, object_id, size, now)
+            assert outcome.hit_index <= previous
+            previous = outcome.hit_index
+            now += 1.0
+
+    @given(st.sampled_from(ALL_SCHEMES), requests)
+    @settings(max_examples=40, deadline=None)
+    def test_hit_at_requesting_node_is_pure_read(self, scheme_name, reqs):
+        scheme = _make_scheme(scheme_name, _chain_cost_model(), 900)
+        now = 0.0
+        for object_id, size, start in _materialize(reqs):
+            path = list(range(start, 6))
+            outcome = scheme.process_request(path, object_id, size, now)
+            if outcome.hit_index == 0:
+                # Nothing downstream of the hit: a local hit writes no
+                # bytes anywhere, whatever the scheme.
+                assert outcome.inserted_nodes == ()
+                assert outcome.bytes_written == 0
+                assert outcome.bytes_read == size
+            now += 1.0
+
+
+class TestDelayScalingInvariance:
+    """Placement decisions depend on relative, not absolute, delays.
+
+    Scaling every link delay by a power of two (exact in floating
+    point) rescales every cost, gain, and miss penalty uniformly, so
+    each scheme's comparisons -- DP placements, greedy marginal gains,
+    cost-density priorities -- resolve identically and the replay
+    produces bit-identical cache states.
+    """
+
+    @given(replay_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_scaled_delays_same_decisions(self, case):
+        scheme_name, capacity, reqs = case
+        base = _make_scheme(scheme_name, _chain_cost_model(1.0), capacity)
+        scaled = _make_scheme(scheme_name, _chain_cost_model(2.0), capacity)
+        now = 0.0
+        for object_id, size, start in _materialize(reqs):
+            path = list(range(start, 6))
+            outcome_base = base.process_request(path, object_id, size, now)
+            outcome_scaled = scaled.process_request(path, object_id, size, now)
+            assert outcome_scaled.hit_index == outcome_base.hit_index
+            assert outcome_scaled.inserted_nodes == outcome_base.inserted_nodes
+            assert (
+                outcome_scaled.evicted_objects == outcome_base.evicted_objects
+            )
+            now += 1.0
+
+
+class TestTracePrefixConsistency:
+    """Replay is online: a prefix reproduces the full run's beginning."""
+
+    @given(replay_cases(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_replay_matches_full_run(self, case, data):
+        scheme_name, capacity, reqs = case
+        cut = data.draw(
+            st.integers(min_value=1, max_value=len(reqs)), label="cut"
+        )
+        full = _make_scheme(scheme_name, _chain_cost_model(), capacity)
+        prefix = _make_scheme(scheme_name, _chain_cost_model(), capacity)
+        materialized = _materialize(reqs)
+        full_outcomes = []
+        now = 0.0
+        for object_id, size, start in materialized:
+            full_outcomes.append(
+                full.process_request(list(range(start, 6)), object_id, size, now)
+            )
+            now += 1.0
+        now = 0.0
+        for i, (object_id, size, start) in enumerate(materialized[:cut]):
+            outcome = prefix.process_request(
+                list(range(start, 6)), object_id, size, now
+            )
+            assert outcome == full_outcomes[i]
+            now += 1.0
+
+    @given(replay_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_replay_is_deterministic(self, case):
+        scheme_name, capacity, reqs = case
+        first = _make_scheme(scheme_name, _chain_cost_model(), capacity)
+        second = _make_scheme(scheme_name, _chain_cost_model(), capacity)
+        now = 0.0
+        for object_id, size, start in _materialize(reqs):
+            path = list(range(start, 6))
+            assert first.process_request(
+                path, object_id, size, now
+            ) == second.process_request(path, object_id, size, now)
+            now += 1.0
+        assert_cache_state_identical(first, second, tag=scheme_name)

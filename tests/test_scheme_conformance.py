@@ -1,0 +1,271 @@
+"""Registry-driven scheme conformance suite.
+
+Every scheme registered in :data:`repro.sim.factory.SCHEME_NAMES` must
+honor the same contracts, whatever its placement rule:
+
+* **Step composition** -- running the per-node protocol steps
+  (``lookup_step`` until the first hit, one ``decide_step``,
+  ``deliver_step`` downstream in descending order) mutates cache state
+  exactly as one ``process_request`` call does.  This is the contract
+  that lets the live serving layer host any registered scheme.
+* **Byte conservation** -- every completed request is served by exactly
+  one party: ``cache_served + origin_served == requests``.
+* **Invalidation correctness** -- per-node ``invalidate_step`` sums to
+  ``invalidate_object``, and after a full update storm no stale copy
+  survives anywhere.
+* **Bit-exact sim-vs-serve replay** -- the in-process cluster reproduces
+  the simulator's ``MetricsSummary`` exactly, on both architectures.
+
+New schemes get all of this for free by being registered; see
+``docs/schemes.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.costs.model import LatencyCostModel
+from repro.experiments.presets import build_architecture
+from repro.serve import Cluster, LoadGenerator
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.factory import SCHEME_NAMES, build_scheme
+from repro.topology.builder import build_chain
+from repro.verify.fastpath_diff import assert_cache_state_identical
+from repro.workload.generator import BoeingLikeTraceGenerator, WorkloadConfig
+from repro.workload.updates import generate_update_events
+
+WORKLOAD = WorkloadConfig(
+    num_objects=80,
+    num_servers=3,
+    num_clients=8,
+    num_requests=400,
+    zipf_theta=0.8,
+    seed=7,
+)
+CONFIG = SimulationConfig(relative_cache_size=0.01, dcache_ratio=3.0)
+
+ALL_SCHEMES = sorted(SCHEME_NAMES)
+
+
+@pytest.fixture(scope="module")
+def seeded_trace():
+    generator = BoeingLikeTraceGenerator(WORKLOAD)
+    return generator.generate(), generator.catalog
+
+
+def make_chain_scheme(name, capacity=1500, dcache=16):
+    network = build_chain([1.0] * 5)
+    cost_model = LatencyCostModel(network, avg_size=100.0)
+    return build_scheme(name, cost_model, capacity, dcache)
+
+
+def chain_requests(count=300, seed=11):
+    """Deterministic (object, size, start) request stream on the chain."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        object_id = rng.randrange(40)
+        size = 1 + (object_id * 37) % 400
+        start = rng.randrange(5)
+        out.append((object_id, size, start))
+    return out
+
+
+def composed_request(scheme, path, object_id, size, now):
+    """Run one request through the node-local steps, serve-layer order.
+
+    Mirrors ``repro.serve.node``: upstream lookups collect piggybacked
+    reports from miss nodes (the hit node contributes none), one
+    decision at the serving node, then the downstream unwind in
+    descending path order mutating the decision in place.
+    """
+    last = len(path) - 1
+    reports = []
+    hit_index = last
+    for i in range(last):
+        hit, report = scheme.lookup_step(path[i], object_id, size, now)
+        if hit:
+            hit_index = i
+            break
+        if report is not None:
+            reports.append(report)
+    decision = scheme.decide_step(
+        path, hit_index, reports, object_id, size, now
+    )
+    inserted = []
+    evictions = 0
+    for i in range(hit_index - 1, -1, -1):
+        did_insert, victims = scheme.deliver_step(
+            i, path, decision, object_id, size, now
+        )
+        if did_insert:
+            inserted.append(path[i])
+            evictions += victims
+    return hit_index, tuple(inserted), evictions
+
+
+def simulate(arch, catalog, scheme_name, trace, updates=()):
+    cost_model = LatencyCostModel(arch.network, catalog.mean_size)
+    capacity = CONFIG.capacity_bytes(catalog.total_bytes)
+    dcache = CONFIG.dcache_entries(catalog.total_bytes, catalog.mean_size)
+    scheme = build_scheme(scheme_name, cost_model, capacity, dcache)
+    engine = SimulationEngine(
+        arch, cost_model, scheme, warmup_fraction=CONFIG.warmup_fraction
+    )
+    return engine.run(trace, updates=updates)
+
+
+def serve_replay(arch, catalog, scheme_name, trace, updates=()):
+    async def scenario():
+        cluster = Cluster.build(arch, catalog, scheme_name, config=CONFIG)
+        await cluster.start()
+        loadgen = LoadGenerator(
+            cluster,
+            trace,
+            updates=updates,
+            warmup_fraction=CONFIG.warmup_fraction,
+        )
+        report = await loadgen.run(mode="sequential")
+        await cluster.stop()
+        return report
+
+    return asyncio.run(scenario())
+
+
+class TestStepComposition:
+    """process_request == composed lookup/decide/deliver steps."""
+
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_steps_match_process_request(self, scheme_name):
+        reference = make_chain_scheme(scheme_name)
+        composed = make_chain_scheme(scheme_name)
+        now = 0.0
+        for object_id, size, start in chain_requests():
+            path = list(range(start, 6))
+            outcome = reference.process_request(path, object_id, size, now)
+            hit_index, inserted, evictions = composed_request(
+                composed, path, object_id, size, now
+            )
+            assert hit_index == outcome.hit_index
+            # Reporting order differs between the two paths (the walk
+            # unwinds downstream); the inserted *set* is the contract.
+            assert sorted(inserted) == sorted(outcome.inserted_nodes)
+            assert evictions == outcome.evicted_objects
+            now += 1.0
+        assert_cache_state_identical(reference, composed, tag=scheme_name)
+
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_steps_match_under_interleaved_invalidation(self, scheme_name):
+        """The equivalence must survive invalidations between requests."""
+        reference = make_chain_scheme(scheme_name)
+        composed = make_chain_scheme(scheme_name)
+        now = 0.0
+        for i, (object_id, size, start) in enumerate(chain_requests(200)):
+            path = list(range(start, 6))
+            reference.process_request(path, object_id, size, now)
+            composed_request(composed, path, object_id, size, now)
+            if i % 17 == 0:
+                victim = (object_id * 7) % 40
+                removed_ref = reference.invalidate_object(victim)
+                removed_comp = sum(
+                    composed.invalidate_step(node, victim) for node in range(6)
+                )
+                assert removed_comp == removed_ref
+            now += 1.0
+        assert_cache_state_identical(reference, composed, tag=scheme_name)
+
+
+class TestByteConservation:
+    """Every completed request is served by exactly one party."""
+
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_cache_plus_origin_equals_requests(self, seeded_trace, scheme_name):
+        trace, catalog = seeded_trace
+        arch = build_architecture("hierarchical", WORKLOAD, seed=2)
+        report = serve_replay(arch, catalog, scheme_name, trace)
+        assert report.errors == 0
+        assert (
+            report.cache_served + report.origin_served == report.requests_total
+        )
+        # The modelled summary must agree with the live accounting.
+        assert 0.0 <= report.summary.hit_ratio <= 1.0
+        assert 0.0 <= report.summary.byte_hit_ratio <= 1.0
+
+
+class TestInvalidationCorrectness:
+    """Push invalidation drops every copy, and only copies."""
+
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_update_storm_leaves_no_copies(self, scheme_name):
+        scheme = make_chain_scheme(scheme_name)
+        now = 0.0
+        for object_id, size, start in chain_requests(200):
+            scheme.process_request(list(range(start, 6)), object_id, size, now)
+            now += 1.0
+        # Storm: invalidate every object in the universe.
+        for object_id in range(40):
+            removed = scheme.invalidate_object(object_id)
+            assert removed >= 0
+            for node in range(6):
+                assert not scheme.has_object(node, object_id)
+            # A second invalidation finds nothing left to remove.
+            assert scheme.invalidate_object(object_id) == 0
+        assert scheme.total_cached_bytes() == 0
+        scheme.check_invariants()
+
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_per_node_steps_sum_to_global_invalidate(self, scheme_name):
+        whole = make_chain_scheme(scheme_name)
+        stepped = make_chain_scheme(scheme_name)
+        now = 0.0
+        for object_id, size, start in chain_requests(200):
+            path = list(range(start, 6))
+            whole.process_request(path, object_id, size, now)
+            stepped.process_request(path, object_id, size, now)
+            now += 1.0
+        for object_id in range(40):
+            removed_whole = whole.invalidate_object(object_id)
+            removed_stepped = sum(
+                stepped.invalidate_step(node, object_id) for node in range(6)
+            )
+            assert removed_stepped == removed_whole
+        assert_cache_state_identical(whole, stepped, tag=scheme_name)
+
+    @pytest.mark.parametrize("scheme_name", ["adaptive", "costaware"])
+    def test_sim_vs_serve_with_update_storm(self, seeded_trace, scheme_name):
+        """The new families stay bit-exact under a dense update stream."""
+        trace, catalog = seeded_trace
+        updates = generate_update_events(
+            num_objects=WORKLOAD.num_objects,
+            duration=trace[len(trace) - 1].time,
+            update_rate=2.0,
+            seed=9,
+        )
+        assert updates, "seed must yield a non-empty update stream"
+        arch = build_architecture("hierarchical", WORKLOAD, seed=2)
+        sim = simulate(arch, catalog, scheme_name, trace, updates=updates)
+        report = serve_replay(
+            arch, catalog, scheme_name, trace, updates=updates
+        )
+        assert report.summary == sim.summary
+        assert report.updates_applied == sim.updates_applied
+        assert report.copies_invalidated == sim.copies_invalidated
+
+
+class TestBitExactReplay:
+    """In-process cluster replay reproduces the simulator exactly."""
+
+    @pytest.mark.parametrize("arch_name", ["hierarchical", "en-route"])
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_summary_identical(self, seeded_trace, scheme_name, arch_name):
+        trace, catalog = seeded_trace
+        arch = build_architecture(arch_name, WORKLOAD, seed=2)
+        sim = simulate(arch, catalog, scheme_name, trace)
+        report = serve_replay(arch, catalog, scheme_name, trace)
+        assert report.summary == sim.summary
+        assert report.requests_total == sim.requests_total
+        assert report.requests_measured == sim.requests_measured

@@ -109,6 +109,19 @@ class TestFactory:
     def test_registry_contents(self):
         assert {"lru", "modulo", "lnc-r", "coordinated"} <= set(SCHEME_NAMES)
         assert {"lfu", "gds", "admission-lru"} <= set(SCHEME_NAMES)
+        assert {"adaptive", "costaware"} <= set(SCHEME_NAMES)
+
+    def test_registry_rejects_duplicate_names(self):
+        from repro.sim.factory import register_scheme
+
+        with pytest.raises(ValueError, match="duplicate scheme registration"):
+            register_scheme("coordinated", lambda *a, **k: None)
+
+    def test_adaptive_step_size_parameter(self, chain_costs):
+        scheme = build_scheme("adaptive", chain_costs, 1000, 10, step_size=0.25)
+        assert scheme.step_size == 0.25
+        with pytest.raises(ValueError, match="step_size"):
+            build_scheme("adaptive", chain_costs, 1000, 10, step_size=0.0)
 
     def test_builds_each_scheme(self, chain4, chain_costs):
         for name in SCHEME_NAMES:
@@ -122,6 +135,14 @@ class TestFactory:
     def test_unknown_scheme_raises(self, chain_costs):
         with pytest.raises(ValueError, match="unknown scheme"):
             build_scheme("magic", chain_costs, 1000, 10)
+
+    def test_unknown_scheme_error_lists_registry(self, chain_costs):
+        """The error must tell the user what the valid names are."""
+        with pytest.raises(ValueError) as excinfo:
+            build_scheme("magic", chain_costs, 1000, 10)
+        message = str(excinfo.value)
+        for name in SCHEME_NAMES:
+            assert name in message
 
 
 class TestSimulationEngine:

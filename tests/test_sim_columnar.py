@@ -108,6 +108,53 @@ class TestBitExactness:
             tag="hier/hop/coordinated",
         )
 
+    @pytest.mark.parametrize("name", ["adaptive", "costaware"])
+    def test_approximate_schemes_take_generic_loop(
+        self, workload, architectures, name
+    ):
+        """The flattened coordinated kernel is gated on the *exact* type.
+
+        The approximate-placement subclasses (greedy, single-copy) must
+        route through the generic columnar loop, which runs their real
+        step methods -- that is what keeps them bit-exact by
+        construction.  Pin the dispatch precondition here so a future
+        ``isinstance`` relaxation of the kernel gate is caught.
+        """
+        from repro.core.coordinated import CoordinatedScheme
+
+        generator, _, _, _ = workload
+        arch = architectures["hier"]
+        cost = LatencyCostModel(arch.network, generator.catalog.mean_size)
+        scheme = build_scheme(name, cost, _capacity(generator.catalog), 64)
+        assert isinstance(scheme, CoordinatedScheme)
+        assert type(scheme) is not CoordinatedScheme
+
+    @pytest.mark.parametrize("name", ["adaptive", "costaware"])
+    def test_provisioned_new_schemes_bit_exact(
+        self, workload, architectures, name
+    ):
+        """Heterogeneous capacities (the sizing sweep) stay bit-exact."""
+        from repro.sim.architecture import level_capacity_overrides
+
+        generator, trace, columnar, updates = workload
+        arch = architectures["hier"]
+        cost = LatencyCostModel(arch.network, generator.catalog.mean_size)
+        capacity = _capacity(generator.catalog)
+        overrides = level_capacity_overrides(
+            arch.network, capacity, {0: 2.0, 1: 0.5}
+        )
+        shadow_compare(
+            arch,
+            cost,
+            lambda: build_scheme(
+                name, cost, capacity, 64, capacity_overrides=overrides
+            ),
+            trace,
+            columnar,
+            updates=updates,
+            tag=f"hier/provisioned/{name}",
+        )
+
     def test_columnar_trace_matches_materialized_twin(self, workload):
         generator, trace, columnar, _ = workload
         assert len(columnar) == len(trace)

@@ -181,3 +181,57 @@ class TestPlacementOracle:
             oracle(problem, solution)
         assert oracle.problems_seen == 7
         assert oracle.problems_checked == 2
+
+    def test_approximate_solution_accumulates_gap_not_violation(self):
+        """A suboptimal greedy/single solution is a *gap*, never a bug."""
+        from repro.schemes.costaware import single_copy_placement
+
+        found = []
+        oracle = PlacementOracle(report=found.append, sample_every=1)
+        # An upstream copy skims the delta-frequency cheaply while the
+        # downstream copy keeps its high penalty: DP takes both,
+        # single-copy can only take one.
+        problem = PlacementProblem(
+            frequencies=(10.0, 4.0),
+            penalties=(2.0, 10.0),
+            losses=(1.0, 1.0),
+        )
+        single = single_copy_placement(problem)
+        optimum = solve_placement(problem)
+        assert single.gain < optimum.gain  # premise: genuinely suboptimal
+        oracle(problem, single)
+        assert found == []
+        assert oracle.gap_count == 1
+        assert oracle.gap_suboptimal == 1
+        assert oracle.gap_total == pytest.approx(optimum.gain - single.gain)
+        assert oracle.gap_max == pytest.approx(optimum.gain - single.gain)
+        assert "below the DP optimum" in oracle.gap_summary()
+
+    def test_optimal_approximate_solution_counts_zero_gap(self):
+        from repro.core.placement import greedy_placement
+
+        oracle = PlacementOracle(report=lambda v: None, sample_every=1)
+        problem = self._problem()
+        greedy = greedy_placement(problem)
+        oracle(problem, greedy)
+        assert oracle.gap_count == 1
+        assert oracle.gap_suboptimal == 0
+        assert oracle.gap_total == pytest.approx(0.0)
+
+    def test_approximate_beating_dp_is_flagged(self):
+        """An 'approximation' above the DP optimum means a broken solver."""
+        found = []
+        oracle = PlacementOracle(report=found.append, sample_every=1)
+        problem = self._problem()
+        good = solve_placement(problem)
+        impossible = PlacementSolution(
+            indices=good.indices, gain=good.gain + 1.0, method="greedy"
+        )
+        oracle(problem, impossible)
+        checks = {v.check for v in found}
+        # The recomputed objective no longer matches the claimed gain, and
+        # the claimed gain exceeds the DP optimum: both must fire.
+        assert "placement-objective" in checks
+        assert "placement-gap" in checks
+        # A refuted "approximation" never enters the gap statistics.
+        assert oracle.gap_count == 0

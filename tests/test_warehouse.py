@@ -160,6 +160,88 @@ class TestPointsFidelity:
             assert warehouse.ingest(b).total_added == 0
 
 
+class TestProvisioningPoints:
+    def _provisioned(self, sweep_points):
+        import dataclasses
+
+        uniform, provisioned = sweep_points[0], sweep_points[1]
+        provisioned = dataclasses.replace(
+            provisioned,
+            provision={
+                "profile": "edge-heavy",
+                "level_multipliers": {"0": 0.5, "1": 2.0},
+            },
+        )
+        return [uniform, provisioned]
+
+    def test_provisioning_query_renders_profiles(self, sweep_points, tmp_path):
+        points = self._provisioned(sweep_points)
+        results = tmp_path / "points.json"
+        save_points_json(points, results)
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            assert warehouse.ingest(results).added == {"points": 2}
+            headers, rows = warehouse.query("provisioning")
+            assert len(rows) == 2
+            profiles = {row[headers.index("profile")] for row in rows}
+            # Points without provisioning surface as the uniform profile.
+            assert profiles == {"uniform", "edge-heavy"}
+
+    def test_provision_multipliers_stored_canonically(
+        self, sweep_points, tmp_path
+    ):
+        points = self._provisioned(sweep_points)
+        results = tmp_path / "points.json"
+        save_points_json(points, results)
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            warehouse.ingest(results)
+            headers, rows = warehouse.sql(
+                "SELECT provision_profile, provision_multipliers "
+                "FROM points ORDER BY provision_profile"
+            )
+            # NULLs (unprovisioned points) sort first in sqlite.
+            assert rows[0] == (None, None)
+            assert rows[1] == ("edge-heavy", '{"0":0.5,"1":2.0}')
+
+    def test_provisioned_and_uniform_points_dedupe_independently(
+        self, sweep_points, tmp_path
+    ):
+        """Same scheme and size, different provisioning: two rows."""
+        points = self._provisioned(sweep_points)
+        import dataclasses
+
+        points[1] = dataclasses.replace(points[1], scheme=points[0].scheme)
+        results = tmp_path / "points.json"
+        save_points_json(points, results)
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            assert warehouse.ingest(results).added == {"points": 2}
+            assert warehouse.ingest(results).total_added == 0
+
+    def test_migration_adds_missing_provision_columns(
+        self, sweep_points, tmp_path
+    ):
+        """A warehouse created before the provisioning columns upgrades
+        in place on open and ingests provisioned points."""
+        import sqlite3
+
+        db = tmp_path / "w.sqlite"
+        with Warehouse(db) as warehouse:
+            pass
+        if sqlite3.sqlite_version_info < (3, 35):
+            pytest.skip("sqlite too old for DROP COLUMN")
+        conn = sqlite3.connect(db)
+        conn.execute("ALTER TABLE points DROP COLUMN provision_profile")
+        conn.execute("ALTER TABLE points DROP COLUMN provision_multipliers")
+        conn.commit()
+        conn.close()
+        results = tmp_path / "points.json"
+        save_points_json(self._provisioned(sweep_points), results)
+        with Warehouse(db) as warehouse:
+            assert warehouse.ingest(results).added == {"points": 2}
+            headers, rows = warehouse.query("provisioning")
+            profiles = {row[headers.index("profile")] for row in rows}
+            assert profiles == {"uniform", "edge-heavy"}
+
+
 class TestCheckpointIngest:
     def test_resume_duplicates_never_double_count(
         self, sweep_points, tmp_path
